@@ -1,0 +1,146 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section (Sec. V). Each benchmark runs the corresponding
+// experiment generator once per iteration at a reduced Scale so that
+// `go test -bench=.` finishes in seconds; the full-scale numbers are
+// produced by `go run ./cmd/cdt-bench -exp <id> -scale 1` and are
+// recorded in EXPERIMENTS.md.
+package cmabhs_test
+
+import (
+	"io"
+	"testing"
+
+	"cmabhs"
+	"cmabhs/internal/experiment"
+)
+
+// benchSettings returns the Table II defaults at smoke scale.
+func benchSettings(scale int) experiment.Settings {
+	s := experiment.Defaults()
+	s.Scale = scale
+	s.Workers = 4
+	return s
+}
+
+func runExperiment(b *testing.B, id string, s experiment.Settings) {
+	b.Helper()
+	exp, ok := experiment.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		figs, err := exp.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) == 0 {
+			b.Fatal("no figures produced")
+		}
+		for _, f := range figs {
+			if err := f.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTableII renders the simulation-settings table.
+func BenchmarkTableII(b *testing.B) {
+	s := benchSettings(1)
+	for i := 0; i < b.N; i++ {
+		if err := experiment.SettingsTable(s).Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7And8 regenerates Fig. 7 (revenue/regret vs N) and
+// Fig. 8 (Δ-profits vs N).
+func BenchmarkFig7And8(b *testing.B) { runExperiment(b, "fig7-8", benchSettings(2000)) }
+
+// BenchmarkFig9And10 regenerates Fig. 9 (revenue/regret vs M) and
+// Fig. 10 (Δ-profits vs M).
+func BenchmarkFig9And10(b *testing.B) { runExperiment(b, "fig9-10", benchSettings(2000)) }
+
+// BenchmarkFig11And12 regenerates Fig. 11 (revenue/regret vs K) and
+// Fig. 12 (average per-round profits vs K).
+func BenchmarkFig11And12(b *testing.B) { runExperiment(b, "fig11-12", benchSettings(2000)) }
+
+// BenchmarkFig13 regenerates Fig. 13 (consumer profit vs p^J).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13", benchSettings(1)) }
+
+// BenchmarkFig14 regenerates Fig. 14 (profits vs seller 6's
+// sensing-time deviation).
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14", benchSettings(1)) }
+
+// BenchmarkFig15And16 regenerates Figs. 15–16 (profits/strategies
+// vs a_6).
+func BenchmarkFig15And16(b *testing.B) { runExperiment(b, "fig15-16", benchSettings(1)) }
+
+// BenchmarkFig17And18 regenerates Figs. 17–18 (profits/strategies
+// vs θ).
+func BenchmarkFig17And18(b *testing.B) { runExperiment(b, "fig17-18", benchSettings(1)) }
+
+// BenchmarkAblationUCB compares the Eq. 19 index against UCB1,
+// Thompson, and ε-greedy.
+func BenchmarkAblationUCB(b *testing.B) { runExperiment(b, "ablation-ucb", benchSettings(2000)) }
+
+// BenchmarkAblationExplore compares initial exploration vs cold start.
+func BenchmarkAblationExplore(b *testing.B) {
+	runExperiment(b, "ablation-explore", benchSettings(2000))
+}
+
+// BenchmarkAblationSolver compares the closed-form and exact solvers.
+func BenchmarkAblationSolver(b *testing.B) { runExperiment(b, "ablation-solver", benchSettings(1)) }
+
+// BenchmarkMechanismRound measures one full mechanism round at the
+// paper's default scale (M=300, K=10, L=10): UCB sort + game solve +
+// collection + settlement.
+func BenchmarkMechanismRound(b *testing.B) {
+	cfg := cmabhs.RandomConfig(300, 10, b.N+1, 1)
+	b.ResetTimer()
+	if _, err := cmabhs.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSolveGameK10 measures the closed-form Stackelberg solve at
+// the default K.
+func BenchmarkSolveGameK10(b *testing.B) {
+	cfg := cmabhs.RandomConfig(10, 10, 2, 1)
+	gs := make([]cmabhs.GameSeller, 10)
+	for i, s := range cfg.Sellers {
+		q := s.ExpectedQuality
+		if q < 0.05 {
+			q = 0.05
+		}
+		gs[i] = cmabhs.GameSeller{CostQuadratic: s.CostQuadratic, CostLinear: s.CostLinear, Quality: q}
+	}
+	gc := cmabhs.GameConfig{Sellers: gs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmabhs.SolveGame(gc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtAggregation runs the aggregation-statistics extension.
+func BenchmarkExtAggregation(b *testing.B) { runExperiment(b, "ext-aggregation", benchSettings(2000)) }
+
+// BenchmarkExtChurn runs the seller-churn extension.
+func BenchmarkExtChurn(b *testing.B) { runExperiment(b, "ext-churn", benchSettings(2000)) }
+
+// BenchmarkExtAuction runs the Stackelberg-vs-auction comparison.
+func BenchmarkExtAuction(b *testing.B) { runExperiment(b, "ext-auction", benchSettings(2000)) }
+
+// BenchmarkExtNonStationary runs the drifting-quality extension.
+func BenchmarkExtNonStationary(b *testing.B) {
+	runExperiment(b, "ext-nonstationary", benchSettings(2000))
+}
+
+// BenchmarkExtFamilies compares equilibria across economics families.
+func BenchmarkExtFamilies(b *testing.B) { runExperiment(b, "ext-families", benchSettings(1)) }
+
+// BenchmarkFig4To6 regenerates the Sec. III-D illustrative example.
+func BenchmarkFig4To6(b *testing.B) { runExperiment(b, "fig4-6", benchSettings(1)) }

@@ -1,0 +1,417 @@
+package cmabhs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cmabhs/internal/aggregate"
+	"cmabhs/internal/bandit"
+	"cmabhs/internal/core"
+	"cmabhs/internal/economics"
+	"cmabhs/internal/game"
+	"cmabhs/internal/market"
+	"cmabhs/internal/quality"
+	"cmabhs/internal/rng"
+)
+
+// Seller describes one candidate data seller: its private quadratic
+// cost C(τ) = (a·τ² + b·τ)·q̄ and its true expected sensing quality.
+// The quality drives the simulated observations and the regret
+// accounting; the mechanism itself never reads it.
+type Seller struct {
+	CostQuadratic   float64 // a > 0
+	CostLinear      float64 // b ≥ 0
+	ExpectedQuality float64 // q ∈ [0, 1]
+}
+
+// Policy selects the bandit algorithm driving seller selection.
+type Policy string
+
+// Supported policies. PolicyCMABHS is the paper's mechanism; the
+// rest are the baselines and extensions of the evaluation.
+const (
+	PolicyCMABHS        Policy = "cmab-hs"       // extended-UCB greedy (the paper's mechanism)
+	PolicyOptimal       Policy = "optimal"       // oracle knowing the true qualities
+	PolicyEpsilonFirst  Policy = "epsilon-first" // explore first ε·N rounds, then greedy
+	PolicyEpsilonGreedy Policy = "epsilon-greedy"
+	PolicyRandom        Policy = "random"
+	PolicyThompson      Policy = "thompson"
+	PolicyUCB1          Policy = "ucb1"   // classic UCB1 index (ablation)
+	PolicySlidingWindow Policy = "sw-ucb" // windowed UCB for drifting qualities
+	PolicyDiscounted    Policy = "d-ucb"  // discounted UCB for drifting qualities
+)
+
+// Drift makes the sellers' expected qualities non-stationary:
+// seller i's expectation oscillates around its configured level with
+// the given amplitude and period (in rounds), clamped to [0, 1].
+// With drift enabled, Result.DynamicRegret measures regret against
+// the per-round oracle.
+type Drift struct {
+	Amplitude float64 // peak deviation from the base quality, in [0, 1]
+	Period    float64 // rounds per oscillation cycle (> 0)
+}
+
+// Solver selects how each round's Stackelberg game is solved.
+type Solver string
+
+// Supported solvers.
+const (
+	SolverClosedForm Solver = "closed-form" // the paper's Theorems 14–16 (default)
+	SolverExact      Solver = "exact"       // exact over the kinked supply curve
+	SolverNumeric    Solver = "numeric"     // grid/golden-section reference (slow)
+)
+
+// Config parameterizes a full CDT market simulation. Zero values get
+// the paper's Table II defaults where one exists.
+type Config struct {
+	Sellers []Seller // the M candidate sellers
+	K       int      // sellers selected per round
+	PoIs    int      // L points of interest (default 10)
+	Rounds  int      // N trading rounds
+	// RoundDuration is T, the cap on each seller's per-round sensing
+	// time; 0 leaves sensing times uncapped (the paper's regime).
+	RoundDuration float64
+
+	Theta float64 // platform aggregation cost θ (default 0.1)
+	// Lambda is the platform's linear aggregation cost λ. A zero
+	// value means "use the paper default of 1"; the model itself
+	// allows λ = 0, which this API cannot express (use a tiny
+	// positive value instead).
+	Lambda float64
+	Omega  float64 // consumer valuation ω (default 1000)
+
+	PJMin, PJMax float64 // consumer price bounds (default [0, 100])
+	PMin, PMax   float64 // platform price bounds (default [0, 5])
+
+	ObservationSD float64 // truncated-Gaussian noise σ (default 0.1)
+	Seed          int64   // randomness seed (policies + observations)
+
+	Policy  Policy  // default PolicyCMABHS
+	Epsilon float64 // parameter for the ε-policies (default 0.1)
+	Window  int     // window for PolicySlidingWindow (default 500)
+	Gamma   float64 // discount for PolicyDiscounted (default 0.995)
+	Solver  Solver  // default SolverClosedForm
+
+	// QualityDrift, if non-nil, makes expected qualities oscillate
+	// (non-stationary market). See Drift.
+	QualityDrift *Drift
+
+	Tau0        float64 // initial-exploration sensing time (default 1)
+	ColdStart   bool    // skip the initial full-exploration round (ablation)
+	KeepRounds  bool    // retain every per-round record in the result
+	Checkpoints []int   // rounds at which to snapshot cumulative metrics
+
+	// Budget caps the consumer's cumulative spend; the run stops
+	// after the round in which it is reached. 0 means unlimited.
+	Budget float64
+
+	// Departures[i] = r makes seller i permanently leave the market
+	// at the start of round r (seller churn / failure injection).
+	// Empty or zero entries mean no departure.
+	Departures []int
+
+	// DeliveryRate makes selected sellers fail to deliver a round's
+	// data with probability 1−rate (transient failures: no data, no
+	// pay, no cost). 0 means always deliver; otherwise must lie in
+	// (0, 1].
+	DeliveryRate float64
+
+	// CollectData enables the raw-data layer: sellers return noisy
+	// readings of a per-PoI ground-truth signal (noise set by their
+	// true quality), the platform aggregates them weighted by the
+	// estimated qualities, and Result.AggregationRMSE reports the
+	// mean statistical error delivered to the consumer.
+	CollectData bool
+}
+
+// RandomConfig draws an M-seller configuration from the paper's
+// Table II parameter ranges: a∈[0.1,0.5], b∈[0.1,1], q∈[0,1].
+func RandomConfig(m, k, rounds int, seed int64) Config {
+	src := rng.New(seed)
+	cfg := Config{K: k, Rounds: rounds, Seed: seed}
+	for i := 0; i < m; i++ {
+		cfg.Sellers = append(cfg.Sellers, Seller{
+			CostQuadratic:   src.Uniform(0.1, 0.5),
+			CostLinear:      src.Uniform(0.1, 1),
+			ExpectedQuality: src.Float64(),
+		})
+	}
+	return cfg
+}
+
+// withDefaults fills zero values with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.PoIs == 0 {
+		c.PoIs = 10
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.1
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.Omega == 0 {
+		c.Omega = 1000
+	}
+	if c.PJMax == 0 {
+		c.PJMax = 100
+	}
+	if c.PMax == 0 {
+		c.PMax = 5
+	}
+	if c.ObservationSD == 0 {
+		c.ObservationSD = 0.1
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyCMABHS
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	if c.Solver == "" {
+		c.Solver = SolverClosedForm
+	}
+	if c.Window == 0 {
+		c.Window = 500
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.995
+	}
+	return c
+}
+
+// build assembles the internal configuration and policy.
+func (c Config) build() (*core.Config, bandit.Policy, error) {
+	c = c.withDefaults()
+	if len(c.Sellers) == 0 {
+		return nil, nil, errors.New("cmabhs: no sellers configured")
+	}
+	means := make([]float64, len(c.Sellers))
+	specs := make([]market.SellerSpec, len(c.Sellers))
+	for i, s := range c.Sellers {
+		means[i] = s.ExpectedQuality
+		specs[i] = market.SellerSpec{Cost: economics.SellerCost{A: s.CostQuadratic, B: s.CostLinear}}
+	}
+	src := rng.New(c.Seed)
+	var model quality.Model
+	var err error
+	if c.QualityDrift != nil {
+		amps := make([]float64, len(means))
+		for i := range amps {
+			amps[i] = c.QualityDrift.Amplitude
+		}
+		model, err = quality.NewDrifting(means, amps, c.QualityDrift.Period, c.ObservationSD, src.Split(0x0b5))
+	} else {
+		model, err = quality.NewTruncGaussian(means, c.ObservationSD, src.Split(0x0b5))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("cmabhs: %w", err)
+	}
+	var solver core.Solver
+	switch c.Solver {
+	case SolverClosedForm:
+		solver = core.ClosedForm
+	case SolverExact:
+		solver = core.Exact
+	case SolverNumeric:
+		solver = core.Numeric
+	default:
+		return nil, nil, fmt.Errorf("cmabhs: unknown solver %q", c.Solver)
+	}
+	cfg := &core.Config{
+		Market: market.Config{
+			Job:          market.Job{L: c.PoIs, N: c.Rounds, T: c.RoundDuration},
+			Sellers:      specs,
+			Platform:     economics.PlatformCost{Theta: c.Theta, Lambda: c.Lambda},
+			Consumer:     economics.Valuation{Omega: c.Omega},
+			PJBounds:     game.Bounds{Min: c.PJMin, Max: c.PJMax},
+			PBounds:      game.Bounds{Min: c.PMin, Max: c.PMax},
+			Quality:      model,
+			Departures:   append([]int(nil), c.Departures...),
+			DeliveryRate: c.DeliveryRate,
+			DeliverySeed: c.Seed ^ 0x7e57,
+		},
+		K:           c.K,
+		Tau0:        c.Tau0,
+		Solver:      solver,
+		Budget:      c.Budget,
+		ColdStart:   c.ColdStart,
+		KeepRounds:  c.KeepRounds,
+		Checkpoints: append([]int(nil), c.Checkpoints...),
+	}
+	if c.CollectData {
+		sensor, err := aggregate.NewSensor(0.05, 2, src.Split(0xda7a))
+		if err != nil {
+			return nil, nil, fmt.Errorf("cmabhs: %w", err)
+		}
+		cfg.Market.Data = &market.DataLayer{
+			Signal:     aggregate.SineSignal{Base: 50, Amp: 10, Period: 288},
+			Sensor:     sensor,
+			Aggregator: aggregate.WeightedMean{},
+		}
+	}
+	var policy bandit.Policy
+	switch c.Policy {
+	case PolicyCMABHS:
+		policy = bandit.UCBGreedy{}
+	case PolicyOptimal:
+		policy = bandit.NewOracle(means)
+	case PolicyEpsilonFirst:
+		policy = bandit.NewEpsilonFirst(c.Epsilon, c.Rounds, src.Split(0xe0))
+	case PolicyEpsilonGreedy:
+		policy = bandit.NewEpsilonGreedy(c.Epsilon, src.Split(0xe9))
+	case PolicyRandom:
+		policy = bandit.NewRandom(src.Split(0xaa))
+	case PolicyThompson:
+		policy = bandit.NewThompson(src.Split(0x70))
+	case PolicyUCB1:
+		policy = bandit.UCB1Greedy{}
+	case PolicySlidingWindow:
+		if c.Window <= 0 {
+			return nil, nil, fmt.Errorf("cmabhs: window must be positive, got %d", c.Window)
+		}
+		policy = bandit.NewSlidingWindowUCB(c.Window)
+	case PolicyDiscounted:
+		if c.Gamma <= 0 || c.Gamma >= 1 {
+			return nil, nil, fmt.Errorf("cmabhs: gamma must be in (0, 1), got %v", c.Gamma)
+		}
+		policy = bandit.NewDiscountedUCB(c.Gamma)
+	default:
+		return nil, nil, fmt.Errorf("cmabhs: unknown policy %q", c.Policy)
+	}
+	return cfg, policy, nil
+}
+
+// Round is one trading round's public record.
+type Round struct {
+	Round          int       // 1-based index
+	Selected       []int     // selected seller ids
+	ConsumerPrice  float64   // p^J
+	PlatformPrice  float64   // p
+	SensingTimes   []float64 // τ_i, aligned with Selected
+	TotalTime      float64   // Στ_i
+	ConsumerProfit float64
+	PlatformProfit float64
+	SellerProfits  []float64 // aligned with Selected
+	NoTrade        bool
+	Realized       float64 // Σ observed qualities this round
+	// AggregationRMSE is this round's statistics error vs ground
+	// truth (0 unless Config.CollectData is set).
+	AggregationRMSE float64
+}
+
+// Checkpoint is a cumulative-metric snapshot after a given round.
+type Checkpoint struct {
+	Round           int
+	RealizedRevenue float64
+	ExpectedRevenue float64
+	Regret          float64
+	ConsumerProfit  float64 // cumulative
+	PlatformProfit  float64 // cumulative
+	SellerProfit    float64 // cumulative, all sellers
+}
+
+// Result summarizes a full simulation.
+type Result struct {
+	Policy string
+
+	RealizedRevenue float64 // Σ observed qualities of all selections (Eq. 1)
+	ExpectedRevenue float64 // Σ expected qualities of all selections
+	Regret          float64 // cumulative pseudo-regret vs. the optimal selection
+	RegretBound     float64 // the Theorem 19 bound at this horizon
+
+	ConsumerProfit float64 // cumulative PoC
+	PlatformProfit float64 // cumulative PoP
+	SellerProfit   float64 // cumulative PoS over all sellers
+	Rounds         int     // rounds played
+
+	ConsumerSpend   float64 // total rewards the consumer paid out
+	AggregationRMSE float64 // mean per-round statistics error (NaN unless CollectData)
+	DynamicRegret   float64 // regret vs the per-round oracle (NaN unless QualityDrift)
+	Stopped         string  // non-empty if the run halted early (budget / churn)
+
+	Estimates       []float64    // final quality estimates q̄_i
+	PerSellerProfit []float64    // cumulative profit per seller over the run
+	PerRound        []Round      // populated with Config.KeepRounds
+	Checkpoints     []Checkpoint // populated with Config.Checkpoints
+}
+
+// publicRound converts an internal round record (NaN-bearing fields
+// sanitized for JSON users).
+func publicRound(r *core.RoundRecord) Round {
+	agg := r.AggRMSE
+	if math.IsNaN(agg) {
+		agg = 0
+	}
+	return Round{
+		Round:           r.Round,
+		Selected:        r.Selected,
+		ConsumerPrice:   r.PJ,
+		PlatformPrice:   r.P,
+		SensingTimes:    r.Taus,
+		TotalTime:       r.TotalTau,
+		ConsumerProfit:  r.PoC,
+		PlatformProfit:  r.PoP,
+		SellerProfits:   r.SellerProfits,
+		NoTrade:         r.NoTrade,
+		Realized:        r.Realized,
+		AggregationRMSE: agg,
+	}
+}
+
+// AvgConsumerProfit returns the consumer's average per-round profit.
+func (r *Result) AvgConsumerProfit() float64 { return r.ConsumerProfit / float64(r.Rounds) }
+
+// AvgPlatformProfit returns the platform's average per-round profit.
+func (r *Result) AvgPlatformProfit() float64 { return r.PlatformProfit / float64(r.Rounds) }
+
+// AvgSellerProfit returns the average per-round profit of one
+// selected seller, given K sellers are selected per round.
+func (r *Result) AvgSellerProfit(k int) float64 {
+	return r.SellerProfit / float64(r.Rounds) / float64(k)
+}
+
+// Run executes the configured simulation.
+func Run(c Config) (*Result, error) {
+	cfg, policy, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(cfg, policy)
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: %w", err)
+	}
+	out := &Result{
+		Policy:          res.Policy,
+		RealizedRevenue: res.RealizedRevenue,
+		ExpectedRevenue: res.ExpectedRevenue,
+		Regret:          res.Regret,
+		RegretBound:     res.RegretBound,
+		ConsumerProfit:  res.CumPoC,
+		PlatformProfit:  res.CumPoP,
+		SellerProfit:    res.CumPoS,
+		Rounds:          res.RoundsPlayed,
+		ConsumerSpend:   res.ConsumerSpend,
+		AggregationRMSE: res.MeanAggRMSE,
+		DynamicRegret:   res.DynamicRegret,
+		Stopped:         res.Stopped,
+		Estimates:       res.Estimates,
+		PerSellerProfit: res.SellerTotals,
+	}
+	for _, r := range res.Rounds {
+		out.PerRound = append(out.PerRound, publicRound(&r))
+	}
+	for _, cp := range res.Checkpoints {
+		out.Checkpoints = append(out.Checkpoints, Checkpoint{
+			Round:           cp.Round,
+			RealizedRevenue: cp.RealizedRevenue,
+			ExpectedRevenue: cp.ExpectedRevenue,
+			Regret:          cp.Regret,
+			ConsumerProfit:  cp.CumPoC,
+			PlatformProfit:  cp.CumPoP,
+			SellerProfit:    cp.CumPoS,
+		})
+	}
+	return out, nil
+}

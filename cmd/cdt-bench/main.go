@@ -1,0 +1,137 @@
+// Command cdt-bench regenerates the tables and figures of the
+// paper's evaluation section. Each experiment prints one aligned
+// text table per (sub-)figure: the X column is the swept parameter,
+// the remaining columns are the series the paper plots.
+//
+// Usage:
+//
+//	cdt-bench -list
+//	cdt-bench -exp fig13
+//	cdt-bench -exp all -scale 100       # fast smoke reproduction
+//	cdt-bench -exp fig7-8 -scale 1      # full-scale (minutes)
+//	cdt-bench -exp fig7-8 -csv out.csv  # machine-readable output
+//	cdt-bench -exp fig7-8 -json out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cmabhs/internal/experiment"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Int("scale", 1, "divide all round counts by this (fast smoke runs)")
+		reps     = flag.Int("reps", 1, "replications per sweep point")
+		seed     = flag.Int64("seed", 1, "master seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = #CPU)")
+		csvPath  = flag.String("csv", "", "also write figures as CSV to this file")
+		jsonPath = flag.String("json", "", "also write figures as JSON to this file")
+		chart    = flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiment.Registry {
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy at scale 1)"
+			}
+			fmt.Printf("  %-16s %s%s\n", e.ID, e.Description, heavy)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	s := experiment.Defaults()
+	s.Scale = *scale
+	s.Replications = *reps
+	s.Seed = *seed
+	s.Workers = *workers
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range experiment.Registry {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	var csvOut *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+	var allFigs []experiment.Figure
+
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if id == "settings" {
+			if err := experiment.RunAndRender(os.Stdout, id, s); err != nil {
+				fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		e, ok := experiment.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cdt-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		figs, err := e.Run(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+			os.Exit(1)
+		}
+		for j := range figs {
+			if j > 0 {
+				fmt.Println()
+			}
+			render := figs[j].Render
+			if *chart {
+				render = figs[j].RenderChart
+			}
+			if err := render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+				os.Exit(1)
+			}
+			if csvOut != nil {
+				fmt.Fprintf(csvOut, "# %s: %s\n", figs[j].ID, figs[j].Title)
+				if err := figs[j].RenderCSV(csvOut); err != nil {
+					fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		allFigs = append(allFigs, figs...)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(allFigs); err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command cdt-compare checks a reproduction run against a saved
+// baseline by shape — correlations, trends, and scale of every
+// series — the same standard EXPERIMENTS.md applies against the
+// paper. Exit status 0 means the shapes agree.
+//
+//	cdt-bench -exp fig7-8 -scale 20 -json baseline.json
+//	... later, after changes ...
+//	cdt-bench -exp fig7-8 -scale 20 -json new.json
+//	cdt-compare -baseline baseline.json -candidate new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmabhs/internal/experiment"
+)
+
+func main() {
+	var (
+		baselinePath  = flag.String("baseline", "", "baseline figures JSON (from cdt-bench -json)")
+		candidatePath = flag.String("candidate", "", "candidate figures JSON to check")
+		minCorr       = flag.Float64("min-corr", 0.8, "minimum per-series correlation")
+		maxScale      = flag.Float64("max-scale", 5, "maximum mean-magnitude ratio")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *candidatePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := loadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	candidate, err := loadFile(*candidatePath)
+	if err != nil {
+		fatal(err)
+	}
+	diffs := experiment.CompareFigures(baseline, candidate, experiment.CompareOptions{
+		MinCorrelation: *minCorr,
+		MaxScaleRatio:  *maxScale,
+	})
+	if len(diffs) == 0 {
+		fmt.Printf("OK: %d figures match the baseline in shape\n", len(baseline))
+		return
+	}
+	fmt.Printf("%d shape disagreements:\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Println("  -", d)
+	}
+	os.Exit(1)
+}
+
+func loadFile(path string) ([]experiment.Figure, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return experiment.LoadFigures(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdt-compare:", err)
+	os.Exit(1)
+}

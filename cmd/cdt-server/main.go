@@ -1,0 +1,60 @@
+// Command cdt-server runs the CDT broker as an HTTP/JSON service.
+//
+//	cdt-server -addr :8080
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"random_sellers":300,"k":10,"rounds":100000,"seed":1}'
+//	curl -s -X POST localhost:8080/v1/jobs/job-1/advance -d '{"rounds":1000}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s -X POST localhost:8080/v1/game/solve \
+//	     -d '{"sellers":[{"a":0.2,"b":0.1,"q":0.9},{"a":0.3,"b":0.2,"q":0.7}]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cmabhs/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxJobs    = flag.Int("max-jobs", 64, "maximum concurrently live jobs")
+		maxAdvance = flag.Int("max-advance", 100_000, "maximum rounds per advance call")
+	)
+	flag.Parse()
+
+	srv := server.New()
+	srv.MaxJobs = *maxJobs
+	srv.MaxAdvance = *maxAdvance
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	log.Printf("cdt-server listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Print("cdt-server stopped")
+}

@@ -1,0 +1,178 @@
+// Command cdt-sim runs one CDT market simulation end to end and
+// prints the learning and profit summary, optionally with per-round
+// detail.
+//
+// Usage:
+//
+//	cdt-sim [-m 300] [-k 10] [-n 100000] [-l 10] [-policy cmab-hs]
+//	        [-seed 1] [-solver closed-form] [-epsilon 0.1]
+//	        [-omega 1000] [-theta 0.1] [-lambda 1] [-verbose-rounds 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmabhs"
+	"cmabhs/internal/core"
+	"cmabhs/internal/roundlog"
+)
+
+func main() {
+	var (
+		m         = flag.Int("m", 300, "number of candidate sellers M")
+		k         = flag.Int("k", 10, "sellers selected per round K")
+		n         = flag.Int("n", 100_000, "trading rounds N")
+		l         = flag.Int("l", 10, "points of interest L")
+		seed      = flag.Int64("seed", 1, "random seed")
+		policy    = flag.String("policy", "cmab-hs", "selection policy: cmab-hs|optimal|epsilon-first|epsilon-greedy|random|thompson|ucb1")
+		epsilon   = flag.Float64("epsilon", 0.1, "epsilon for the epsilon policies")
+		solver    = flag.String("solver", "closed-form", "game solver: closed-form|exact|numeric")
+		omega     = flag.Float64("omega", 1000, "consumer valuation omega")
+		theta     = flag.Float64("theta", 0.1, "platform cost theta")
+		lambda    = flag.Float64("lambda", 1, "platform cost lambda")
+		sd        = flag.Float64("sd", 0.1, "observation noise std-dev")
+		verbose   = flag.Int("verbose-rounds", 0, "print the first N round records")
+		compare   = flag.Bool("compare", false, "run every policy on the same market and print a comparison table")
+		logPath   = flag.String("log", "", "write the round-by-round trade journal (JSONL) to this path")
+		tracePath = flag.String("trace", "", "derive the seller population from this mobility-trace CSV (see cdt-trace)")
+	)
+	flag.Parse()
+
+	var cfg cmabhs.Config
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+			os.Exit(1)
+		}
+		recs, err := cmabhs.ParseTraceCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+			os.Exit(1)
+		}
+		pois, taxis, traceCfg := cmabhs.TraceMarket(recs, *l, *m, *seed)
+		fmt.Printf("trace market      %d trips, PoIs %v, %d sellers\n", len(recs), pois, len(taxis))
+		cfg = traceCfg
+		cfg.K = *k
+		cfg.Rounds = *n
+	} else {
+		cfg = cmabhs.RandomConfig(*m, *k, *n, *seed)
+		cfg.PoIs = *l
+	}
+	if *compare {
+		comparePolicies(cfg, *k, *epsilon, *solver, *omega, *theta, *lambda, *sd)
+		return
+	}
+	cfg.Policy = cmabhs.Policy(*policy)
+	cfg.Epsilon = *epsilon
+	cfg.Solver = cmabhs.Solver(*solver)
+	cfg.Omega = *omega
+	cfg.Theta = *theta
+	cfg.Lambda = *lambda
+	cfg.ObservationSD = *sd
+	cfg.KeepRounds = *verbose > 0 || *logPath != ""
+
+	res, err := cmabhs.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+		os.Exit(1)
+	}
+	if *logPath != "" {
+		if err := writeJournal(*logPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trade journal     %s (%d rounds)\n", *logPath, res.Rounds)
+	}
+
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("rounds            %d (M=%d, K=%d, L=%d)\n", res.Rounds, *m, *k, *l)
+	fmt.Printf("realized revenue  %.2f\n", res.RealizedRevenue)
+	fmt.Printf("expected revenue  %.2f\n", res.ExpectedRevenue)
+	fmt.Printf("regret            %.2f (Theorem 19 bound %.3g)\n", res.Regret, res.RegretBound)
+	fmt.Printf("consumer profit   %.2f total, %.4f per round\n", res.ConsumerProfit, res.AvgConsumerProfit())
+	fmt.Printf("platform profit   %.2f total, %.4f per round\n", res.PlatformProfit, res.AvgPlatformProfit())
+	fmt.Printf("seller profit     %.2f total, %.4f per selected seller per round\n",
+		res.SellerProfit, res.AvgSellerProfit(*k))
+
+	if *verbose > 0 {
+		fmt.Println("\nround  selected           p^J      p        sum(tau)  PoC       PoP")
+		for i, r := range res.PerRound {
+			if i >= *verbose {
+				break
+			}
+			sel := fmt.Sprint(r.Selected)
+			if len(sel) > 18 {
+				sel = sel[:15] + "..."
+			}
+			fmt.Printf("%-6d %-18s %-8.3f %-8.3f %-9.3f %-9.3f %-9.3f\n",
+				r.Round, sel, r.ConsumerPrice, r.PlatformPrice, r.TotalTime, r.ConsumerProfit, r.PlatformProfit)
+		}
+	}
+}
+
+// comparePolicies runs the full policy set on identically drawn
+// markets and prints one row per policy.
+func comparePolicies(base cmabhs.Config, k int, epsilon float64, solver string, omega, theta, lambda, sd float64) {
+	policies := []cmabhs.Policy{
+		cmabhs.PolicyOptimal, cmabhs.PolicyCMABHS, cmabhs.PolicyEpsilonFirst,
+		cmabhs.PolicyEpsilonGreedy, cmabhs.PolicyThompson, cmabhs.PolicyUCB1,
+		cmabhs.PolicyRandom,
+	}
+	fmt.Printf("%-14s %14s %14s %12s %12s %12s\n",
+		"policy", "revenue", "regret", "PoC/round", "PoP/round", "PoS/seller")
+	for _, p := range policies {
+		cfg := base
+		cfg.Policy = p
+		cfg.Epsilon = epsilon
+		cfg.Solver = cmabhs.Solver(solver)
+		cfg.Omega = omega
+		cfg.Theta = theta
+		cfg.Lambda = lambda
+		cfg.ObservationSD = sd
+		res, err := cmabhs.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %14.0f %14.0f %12.2f %12.2f %12.3f\n",
+			res.Policy, res.RealizedRevenue, res.Regret,
+			res.AvgConsumerProfit(), res.AvgPlatformProfit(), res.AvgSellerProfit(k))
+	}
+}
+
+// writeJournal dumps the run's per-round records as a roundlog
+// journal (the durable audit trail; replayable with internal/roundlog).
+func writeJournal(path string, res *cmabhs.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := roundlog.NewWriter(f, res.Policy)
+	if err != nil {
+		return err
+	}
+	for i := range res.PerRound {
+		r := &res.PerRound[i]
+		rec := core.RoundRecord{
+			Round:         r.Round,
+			Selected:      r.Selected,
+			PJ:            r.ConsumerPrice,
+			P:             r.PlatformPrice,
+			Taus:          r.SensingTimes,
+			PoC:           r.ConsumerProfit,
+			PoP:           r.PlatformProfit,
+			SellerProfits: r.SellerProfits,
+			NoTrade:       r.NoTrade,
+			Realized:      r.Realized,
+		}
+		if err := w.Append(&rec); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,75 @@
+// Command cdt-trace generates and inspects the synthetic mobility
+// traces that stand in for the paper's Chicago Taxi Trips extract.
+//
+// Usage:
+//
+//	cdt-trace -gen trace.csv [-taxis 300] [-areas 77] [-trips 27465] [-seed 1]
+//	cdt-trace -inspect trace.csv [-pois 10] [-sellers 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmabhs"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "", "write a synthetic trace CSV to this path")
+		inspect = flag.String("inspect", "", "read a trace CSV and print its CDT population")
+		taxis   = flag.Int("taxis", 300, "number of taxis to generate")
+		areas   = flag.Int("areas", 77, "number of community areas")
+		trips   = flag.Int("trips", 27465, "number of trips")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		pois    = flag.Int("pois", 10, "PoIs to extract on -inspect")
+		sellers = flag.Int("sellers", 300, "max seller candidates on -inspect")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		recs := cmabhs.GenerateTrace(cmabhs.TraceConfig{
+			Taxis: *taxis, Areas: *areas, Trips: *trips, Seed: *seed,
+		})
+		f, err := os.Create(*gen)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := cmabhs.WriteTraceCSV(f, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trips (%d taxis, %d areas) to %s\n", len(recs), *taxis, *areas, *gen)
+
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		recs, err := cmabhs.ParseTraceCSV(f)
+		if err != nil {
+			fatal(err)
+		}
+		poiIDs, taxiIDs, _ := cmabhs.TraceMarket(recs, *pois, *sellers, *seed)
+		fmt.Printf("trips:            %d\n", len(recs))
+		fmt.Printf("PoIs (busiest %d): %v\n", len(poiIDs), poiIDs)
+		fmt.Printf("seller candidates: %d\n", len(taxiIDs))
+		show := len(taxiIDs)
+		if show > 10 {
+			show = 10
+		}
+		fmt.Printf("most active:       %v\n", taxiIDs[:show])
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdt-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest useful CMAB-HS program.
+//
+// It builds a random 50-seller market, runs the full mechanism for
+// 5,000 rounds, and prints the learning and profit summary, then
+// solves one pricing game directly.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmabhs"
+)
+
+func main() {
+	// A market of 50 candidate sellers; 5 are hired per round.
+	cfg := cmabhs.RandomConfig(50, 5, 5_000, 42)
+
+	res, err := cmabhs.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== CMAB-HS quickstart ==")
+	fmt.Printf("rounds played:     %d\n", res.Rounds)
+	fmt.Printf("realized revenue:  %.1f (total sensing quality, Eq. 1)\n", res.RealizedRevenue)
+	fmt.Printf("regret:            %.1f (bound %.3g)\n", res.Regret, res.RegretBound)
+	fmt.Printf("consumer profit:   %.2f per round\n", res.AvgConsumerProfit())
+	fmt.Printf("platform profit:   %.2f per round\n", res.AvgPlatformProfit())
+	fmt.Printf("seller profit:     %.2f per selected seller per round\n", res.AvgSellerProfit(5))
+
+	// How well did the mechanism learn the qualities it exploited?
+	var worst, sum float64
+	for i, est := range res.Estimates {
+		diff := est - cfg.Sellers[i].ExpectedQuality
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff
+		if diff > worst {
+			worst = diff
+		}
+	}
+	fmt.Printf("estimate error:    mean %.4f, worst %.4f\n", sum/float64(len(res.Estimates)), worst)
+
+	// A single round's Stackelberg game can also be solved directly.
+	out, err := cmabhs.SolveGame(cmabhs.GameConfig{
+		Sellers: []cmabhs.GameSeller{
+			{CostQuadratic: 0.2, CostLinear: 0.1, Quality: 0.9},
+			{CostQuadratic: 0.3, CostLinear: 0.2, Quality: 0.7},
+			{CostQuadratic: 0.4, CostLinear: 0.3, Quality: 0.8},
+		},
+		Omega: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== one pricing game ==")
+	fmt.Printf("consumer price p^J* = %.4f\n", out.ConsumerPrice)
+	fmt.Printf("platform price p*   = %.4f\n", out.PlatformPrice)
+	for i, tau := range out.SensingTimes {
+		fmt.Printf("seller %d: tau* = %.4f, profit = %.4f\n", i+1, tau, out.SellerProfits[i])
+	}
+	fmt.Printf("profits: consumer %.2f, platform %.2f\n", out.ConsumerProfit, out.PlatformProfit)
+}

@@ -1,0 +1,134 @@
+package cmabhs
+
+import (
+	"errors"
+	"fmt"
+
+	"cmabhs/internal/economics"
+	"cmabhs/internal/game"
+)
+
+// GameSeller is one selected seller inside a single pricing game: its
+// cost parameters and its current estimated quality.
+type GameSeller struct {
+	CostQuadratic float64 // a > 0
+	CostLinear    float64 // b ≥ 0
+	Quality       float64 // estimated q̄ ∈ (0, 1]
+}
+
+// GameConfig describes one round's three-stage Stackelberg game in
+// isolation (what the platform solves once the K sellers of a round
+// are chosen). Zero values get the paper's defaults, as in Config.
+type GameConfig struct {
+	Sellers       []GameSeller
+	Theta, Lambda float64 // platform cost (defaults 0.1, 1)
+	Omega         float64 // consumer valuation (default 1000)
+	PJMin, PJMax  float64 // default [0, 100]
+	PMin, PMax    float64 // default [0, 5]
+	MaxSensing    float64 // T; 0 = uncapped
+	Solver        Solver  // default SolverClosedForm
+}
+
+// GameOutcome is the solved incentive strategy and resulting profits.
+type GameOutcome struct {
+	ConsumerPrice  float64   // p^J*
+	PlatformPrice  float64   // p*
+	SensingTimes   []float64 // τ_i*
+	TotalTime      float64   // Στ_i*
+	ConsumerProfit float64
+	PlatformProfit float64
+	SellerProfits  []float64
+	NoTrade        bool
+}
+
+func (c GameConfig) params() (*game.Params, error) {
+	if len(c.Sellers) == 0 {
+		return nil, errors.New("cmabhs: game needs at least one seller")
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.1
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.Omega == 0 {
+		c.Omega = 1000
+	}
+	if c.PJMax == 0 {
+		c.PJMax = 100
+	}
+	if c.PMax == 0 {
+		c.PMax = 5
+	}
+	p := &game.Params{
+		Platform: economics.PlatformCost{Theta: c.Theta, Lambda: c.Lambda},
+		Consumer: economics.Valuation{Omega: c.Omega},
+		PJBounds: game.Bounds{Min: c.PJMin, Max: c.PJMax},
+		PBounds:  game.Bounds{Min: c.PMin, Max: c.PMax},
+		MaxTau:   c.MaxSensing,
+	}
+	for _, s := range c.Sellers {
+		p.Sellers = append(p.Sellers, economics.SellerCost{A: s.CostQuadratic, B: s.CostLinear})
+		p.Qualities = append(p.Qualities, s.Quality)
+	}
+	return p, nil
+}
+
+func toOutcome(out *game.Outcome) *GameOutcome {
+	return &GameOutcome{
+		ConsumerPrice:  out.PJ,
+		PlatformPrice:  out.P,
+		SensingTimes:   out.Taus,
+		TotalTime:      out.TotalTau,
+		ConsumerProfit: out.ConsumerProfit,
+		PlatformProfit: out.PlatformProfit,
+		SellerProfits:  out.SellerProfits,
+		NoTrade:        out.NoTrade,
+	}
+}
+
+// SolveGame computes the Stackelberg Equilibrium ⟨p^J*, p*, τ*⟩ of a
+// single round's game by backward induction.
+func SolveGame(c GameConfig) (*GameOutcome, error) {
+	p, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	solver := c.Solver
+	if solver == "" {
+		solver = SolverClosedForm
+	}
+	var out *game.Outcome
+	switch solver {
+	case SolverClosedForm:
+		out, err = game.Solve(p)
+	case SolverExact:
+		out, err = game.SolveExact(p)
+	case SolverNumeric:
+		out, err = game.NumericSolve(p)
+	default:
+		return nil, fmt.Errorf("cmabhs: unknown solver %q", solver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: %w", err)
+	}
+	return toOutcome(out), nil
+}
+
+// EvaluateGame computes every party's profit for an arbitrary
+// strategy profile ⟨pJ, p, taus⟩ of the game — useful for exploring
+// deviations from the equilibrium (e.g. the paper's Figs. 13–14). If
+// taus is nil, sellers play their best responses to p.
+func EvaluateGame(c GameConfig, pJ, p float64, taus []float64) (*GameOutcome, error) {
+	params, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("cmabhs: %w", err)
+	}
+	if taus != nil && len(taus) != len(c.Sellers) {
+		return nil, fmt.Errorf("cmabhs: %d sensing times for %d sellers", len(taus), len(c.Sellers))
+	}
+	return toOutcome(params.Evaluate(pJ, p, taus)), nil
+}

@@ -1,0 +1,3 @@
+module cmabhs
+
+go 1.22

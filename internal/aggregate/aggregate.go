@@ -1,0 +1,272 @@
+// Package aggregate implements the platform's data aggregation
+// service (Definition 2): selected sellers return raw per-PoI
+// readings, the platform fuses them into the statistics the consumer
+// actually buys. Sensing quality becomes concrete here — a seller's
+// quality determines the precision of its readings, so the value of
+// quality-aware selection shows up directly as lower aggregation
+// error.
+//
+// The package provides ground-truth signal models for the PoIs, a
+// sensor model mapping quality to reading noise, several aggregation
+// operators (quality-weighted mean, median, trimmed mean), and error
+// metrics against the ground truth.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cmabhs/internal/rng"
+)
+
+// Signal is a ground-truth process over (PoI, round). Implementations
+// must be deterministic: the same (poi, round) always yields the same
+// value, so error metrics are well defined after the fact.
+type Signal interface {
+	Value(poi, round int) float64
+}
+
+// SineSignal is a smooth periodic ground truth: each PoI oscillates
+// around Base with amplitude Amp and period Period rounds, at a
+// PoI-specific phase. It models daily patterns (traffic, noise, air
+// quality).
+type SineSignal struct {
+	Base   float64 // center level
+	Amp    float64 // oscillation amplitude
+	Period float64 // rounds per cycle (> 0)
+}
+
+// Value implements Signal.
+func (s SineSignal) Value(poi, round int) float64 {
+	if s.Period <= 0 {
+		return s.Base
+	}
+	phase := float64(poi) * math.Phi // deterministic per-PoI offset
+	return s.Base + s.Amp*math.Sin(2*math.Pi*float64(round)/s.Period+phase)
+}
+
+// DriftSignal is a deterministic slowly drifting ground truth:
+// a sine modulated by a linear trend, one slope per PoI.
+type DriftSignal struct {
+	Base  float64
+	Slope float64 // drift per round, scaled per PoI
+}
+
+// Value implements Signal.
+func (s DriftSignal) Value(poi, round int) float64 {
+	k := 1 + float64(poi%7)/7
+	return s.Base + s.Slope*k*float64(round)
+}
+
+// ConstSignal is a fixed per-PoI level — the simplest ground truth,
+// used by tests.
+type ConstSignal struct {
+	Levels []float64
+}
+
+// Value implements Signal.
+func (s ConstSignal) Value(poi, round int) float64 {
+	return s.Levels[poi%len(s.Levels)]
+}
+
+// Sensor maps a seller's quality to reading noise: a reading of the
+// ground truth g is g + Normal(0, σ(q)) with σ(q) = SDMax·(1−q) +
+// SDMin. Quality 1 gives the cleanest possible readings.
+type Sensor struct {
+	SDMin float64 // noise floor at quality 1 (≥ 0)
+	SDMax float64 // extra noise at quality 0 (≥ 0)
+	src   *rng.Source
+}
+
+// NewSensor builds the sensor model.
+func NewSensor(sdMin, sdMax float64, src *rng.Source) (*Sensor, error) {
+	if sdMin < 0 || sdMax < 0 {
+		return nil, errors.New("aggregate: negative sensor noise")
+	}
+	return &Sensor{SDMin: sdMin, SDMax: sdMax, src: src}, nil
+}
+
+// SD returns the reading noise at quality q (clamped to [0, 1]).
+func (s *Sensor) SD(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return s.SDMax*(1-q) + s.SDMin
+}
+
+// Read produces one noisy reading of sig at (poi, round) by a seller
+// with true quality q.
+func (s *Sensor) Read(sig Signal, poi, round int, q float64) float64 {
+	return sig.Value(poi, round) + s.src.Normal(0, s.SD(q))
+}
+
+// Reading is one raw data point returned by a seller.
+type Reading struct {
+	Seller int     // seller id
+	PoI    int     // PoI index
+	Value  float64 // sensed value
+	Weight float64 // aggregation weight (the seller's estimated quality)
+}
+
+// Aggregator fuses one PoI's readings into a statistic.
+type Aggregator interface {
+	// Name identifies the operator in reports.
+	Name() string
+	// Aggregate returns the fused estimate; it must tolerate an
+	// empty input by returning NaN.
+	Aggregate(values, weights []float64) float64
+}
+
+// WeightedMean is the platform's default operator: readings weighted
+// by the sellers' estimated qualities. Zero total weight degrades to
+// the plain mean.
+type WeightedMean struct{}
+
+// Name implements Aggregator.
+func (WeightedMean) Name() string { return "weighted-mean" }
+
+// Aggregate implements Aggregator.
+func (WeightedMean) Aggregate(values, weights []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var num, den float64
+	for i, v := range values {
+		w := 1.0
+		if i < len(weights) {
+			w = weights[i]
+		}
+		num += w * v
+		den += w
+	}
+	if den <= 0 {
+		var sum float64
+		for _, v := range values {
+			sum += v
+		}
+		return sum / float64(len(values))
+	}
+	return num / den
+}
+
+// Median is the robust operator: the middle reading, ignoring
+// weights.
+type Median struct{}
+
+// Name implements Aggregator.
+func (Median) Name() string { return "median" }
+
+// Aggregate implements Aggregator.
+func (Median) Aggregate(values, _ []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), values...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// TrimmedMean drops the Frac most extreme readings on each side
+// before averaging (unweighted).
+type TrimmedMean struct {
+	Frac float64 // fraction trimmed per side, in [0, 0.5)
+}
+
+// Name implements Aggregator.
+func (t TrimmedMean) Name() string { return fmt.Sprintf("trimmed-mean(%.2f)", t.Frac) }
+
+// Aggregate implements Aggregator.
+func (t TrimmedMean) Aggregate(values, _ []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	frac := t.Frac
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 0.5 {
+		frac = 0.49
+	}
+	cp := append([]float64(nil), values...)
+	sort.Float64s(cp)
+	drop := int(frac * float64(len(cp)))
+	cp = cp[drop : len(cp)-drop]
+	var sum float64
+	for _, v := range cp {
+		sum += v
+	}
+	return sum / float64(len(cp))
+}
+
+// Report is the per-PoI statistic the consumer receives, with the
+// ground truth attached for error accounting.
+type Report struct {
+	PoI      int
+	Estimate float64
+	Truth    float64
+	Readings int
+}
+
+// Error returns |estimate − truth|.
+func (r Report) Error() float64 { return math.Abs(r.Estimate - r.Truth) }
+
+// AggregateRound fuses one round's readings into per-PoI reports.
+// pois is the number of PoIs; readings may cover any subset.
+func AggregateRound(agg Aggregator, sig Signal, round, pois int, readings []Reading) []Report {
+	values := make([][]float64, pois)
+	weights := make([][]float64, pois)
+	for _, r := range readings {
+		if r.PoI < 0 || r.PoI >= pois {
+			continue
+		}
+		values[r.PoI] = append(values[r.PoI], r.Value)
+		weights[r.PoI] = append(weights[r.PoI], r.Weight)
+	}
+	reports := make([]Report, pois)
+	for l := 0; l < pois; l++ {
+		reports[l] = Report{
+			PoI:      l,
+			Estimate: agg.Aggregate(values[l], weights[l]),
+			Truth:    sig.Value(l, round),
+			Readings: len(values[l]),
+		}
+	}
+	return reports
+}
+
+// RMSE returns the root-mean-square error of the reports with at
+// least one reading; NaN if none have readings.
+func RMSE(reports []Report) float64 {
+	var sum float64
+	n := 0
+	for _, r := range reports {
+		if r.Readings == 0 || math.IsNaN(r.Estimate) {
+			continue
+		}
+		d := r.Estimate - r.Truth
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+var (
+	_ Signal     = SineSignal{}
+	_ Signal     = DriftSignal{}
+	_ Signal     = ConstSignal{}
+	_ Aggregator = WeightedMean{}
+	_ Aggregator = Median{}
+	_ Aggregator = TrimmedMean{}
+)

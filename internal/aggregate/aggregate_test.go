@@ -1,0 +1,217 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"cmabhs/internal/rng"
+)
+
+func TestSineSignalDeterministicAndBounded(t *testing.T) {
+	s := SineSignal{Base: 10, Amp: 2, Period: 24}
+	for poi := 0; poi < 5; poi++ {
+		for round := 0; round < 100; round++ {
+			v := s.Value(poi, round)
+			if v != s.Value(poi, round) {
+				t.Fatal("signal not deterministic")
+			}
+			if v < 8 || v > 12 {
+				t.Fatalf("value %v outside base±amp", v)
+			}
+		}
+	}
+	// Distinct PoIs have distinct phases.
+	if s.Value(0, 0) == s.Value(1, 0) {
+		t.Error("PoIs should be phase-shifted")
+	}
+	// Degenerate period falls back to the base level.
+	if (SineSignal{Base: 3}).Value(0, 10) != 3 {
+		t.Error("zero period should return base")
+	}
+}
+
+func TestDriftAndConstSignals(t *testing.T) {
+	d := DriftSignal{Base: 5, Slope: 0.1}
+	if !(d.Value(0, 10) > d.Value(0, 0)) {
+		t.Error("drift should increase")
+	}
+	c := ConstSignal{Levels: []float64{1, 2}}
+	if c.Value(0, 99) != 1 || c.Value(1, 5) != 2 || c.Value(2, 0) != 1 {
+		t.Error("const signal levels wrong")
+	}
+}
+
+func TestSensorNoiseScalesWithQuality(t *testing.T) {
+	s, err := NewSensor(0.05, 1.0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SD(1) != 0.05 {
+		t.Errorf("SD(1) = %v", s.SD(1))
+	}
+	if s.SD(0) != 1.05 {
+		t.Errorf("SD(0) = %v", s.SD(0))
+	}
+	if s.SD(-5) != s.SD(0) || s.SD(7) != s.SD(1) {
+		t.Error("quality should clamp")
+	}
+	// Empirical: high-quality readings are tighter.
+	sig := ConstSignal{Levels: []float64{10}}
+	spread := func(q float64) float64 {
+		var sum float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			d := s.Read(sig, 0, i, q) - 10
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(n))
+	}
+	if !(spread(0.95) < spread(0.2)/3) {
+		t.Errorf("noise should shrink with quality: %v vs %v", spread(0.95), spread(0.2))
+	}
+	if _, err := NewSensor(-1, 1, rng.New(1)); err == nil {
+		t.Error("negative noise should be rejected")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	var wm WeightedMean
+	if got := wm.Aggregate([]float64{1, 3}, []float64{1, 1}); got != 2 {
+		t.Errorf("uniform weights: %v", got)
+	}
+	if got := wm.Aggregate([]float64{1, 3}, []float64{3, 1}); got != 1.5 {
+		t.Errorf("weighted: %v", got)
+	}
+	// Zero weights degrade to the plain mean.
+	if got := wm.Aggregate([]float64{1, 3}, []float64{0, 0}); got != 2 {
+		t.Errorf("zero-weight fallback: %v", got)
+	}
+	// Missing weights default to 1.
+	if got := wm.Aggregate([]float64{1, 3}, nil); got != 2 {
+		t.Errorf("nil weights: %v", got)
+	}
+	if !math.IsNaN(wm.Aggregate(nil, nil)) {
+		t.Error("empty input should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	var m Median
+	if got := m.Aggregate([]float64{5, 1, 3}, nil); got != 3 {
+		t.Errorf("odd median: %v", got)
+	}
+	if got := m.Aggregate([]float64{4, 1, 3, 2}, nil); got != 2.5 {
+		t.Errorf("even median: %v", got)
+	}
+	if !math.IsNaN(m.Aggregate(nil, nil)) {
+		t.Error("empty input should be NaN")
+	}
+	// Robust to one wild outlier.
+	if got := m.Aggregate([]float64{10, 11, 12, 1e9}, nil); got > 100 {
+		t.Errorf("median not robust: %v", got)
+	}
+	in := []float64{3, 1, 2}
+	m.Aggregate(in, nil)
+	if in[0] != 3 {
+		t.Error("median mutated its input")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	tm := TrimmedMean{Frac: 0.25}
+	// Sorted: [1 2 3 1000]; trim 1 per side -> mean(2,3) = 2.5.
+	if got := tm.Aggregate([]float64{1000, 2, 1, 3}, nil); got != 2.5 {
+		t.Errorf("trimmed: %v", got)
+	}
+	// Out-of-range fractions are clamped, not fatal.
+	if got := (TrimmedMean{Frac: -1}).Aggregate([]float64{1, 3}, nil); got != 2 {
+		t.Errorf("negative frac: %v", got)
+	}
+	if got := (TrimmedMean{Frac: 0.9}).Aggregate([]float64{1, 2, 100}, nil); math.IsNaN(got) {
+		t.Error("over-trim should still return a value")
+	}
+	if !math.IsNaN(tm.Aggregate(nil, nil)) {
+		t.Error("empty input should be NaN")
+	}
+	if tm.Name() != "trimmed-mean(0.25)" {
+		t.Errorf("name %q", tm.Name())
+	}
+}
+
+func TestAggregateRoundAndRMSE(t *testing.T) {
+	sig := ConstSignal{Levels: []float64{10, 20, 30}}
+	readings := []Reading{
+		{Seller: 0, PoI: 0, Value: 9, Weight: 1},
+		{Seller: 1, PoI: 0, Value: 11, Weight: 1},
+		{Seller: 0, PoI: 1, Value: 26, Weight: 1},
+		{Seller: 5, PoI: 99, Value: 1, Weight: 1}, // out of range: dropped
+	}
+	reports := AggregateRound(WeightedMean{}, sig, 0, 3, readings)
+	if len(reports) != 3 {
+		t.Fatalf("reports %d", len(reports))
+	}
+	if reports[0].Estimate != 10 || reports[0].Error() != 0 || reports[0].Readings != 2 {
+		t.Errorf("PoI 0 report %+v", reports[0])
+	}
+	if reports[1].Estimate != 26 || reports[1].Error() != 6 {
+		t.Errorf("PoI 1 report %+v", reports[1])
+	}
+	if reports[2].Readings != 0 || !math.IsNaN(reports[2].Estimate) {
+		t.Errorf("PoI 2 should be empty: %+v", reports[2])
+	}
+	// RMSE over covered PoIs: sqrt((0² + 6²)/2).
+	want := math.Sqrt(36.0 / 2)
+	if got := RMSE(reports); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE %v, want %v", got, want)
+	}
+	if !math.IsNaN(RMSE([]Report{{Readings: 0}})) {
+		t.Error("RMSE of no coverage should be NaN")
+	}
+}
+
+// TestQualitySelectionReducesError is the point of the subsystem:
+// aggregating readings from high-quality sellers yields lower RMSE
+// than from low-quality ones, with the same operator.
+func TestQualitySelectionReducesError(t *testing.T) {
+	sig := SineSignal{Base: 50, Amp: 10, Period: 48}
+	sensor, err := NewSensor(0.1, 3, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(q float64) float64 {
+		var total float64
+		rounds := 300
+		for round := 0; round < rounds; round++ {
+			var readings []Reading
+			for s := 0; s < 10; s++ {
+				for poi := 0; poi < 4; poi++ {
+					readings = append(readings, Reading{
+						Seller: s, PoI: poi,
+						Value:  sensor.Read(sig, poi, round, q),
+						Weight: q,
+					})
+				}
+			}
+			total += RMSE(AggregateRound(WeightedMean{}, sig, round, 4, readings))
+		}
+		return total / float64(rounds)
+	}
+	hi, lo := run(0.95), run(0.1)
+	if !(hi < lo/2) {
+		t.Errorf("high-quality RMSE %v should be well below low-quality %v", hi, lo)
+	}
+}
+
+func BenchmarkWeightedMean100(b *testing.B) {
+	values := make([]float64, 100)
+	weights := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 0.5
+	}
+	var wm WeightedMean
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wm.Aggregate(values, weights)
+	}
+}

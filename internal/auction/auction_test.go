@@ -1,0 +1,218 @@
+package auction
+
+import (
+	"math"
+	"testing"
+
+	"cmabhs/internal/rng"
+)
+
+func TestRunValidation(t *testing.T) {
+	q := []float64{0.5, 0.6}
+	b := []float64{1, 2}
+	cases := []struct {
+		name string
+		q, b []float64
+		k    int
+	}{
+		{"length mismatch", q, []float64{1}, 1},
+		{"k zero", q, b, 0},
+		{"k > m", q, b, 3},
+		{"zero bid", q, []float64{0, 1}, 1},
+		{"negative bid", q, []float64{-1, 1}, 1},
+		{"negative quality", []float64{-0.1, 0.5}, b, 1},
+		{"nan quality", []float64{math.NaN(), 0.5}, b, 1},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.q, tc.b, tc.k); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRunKnownInstance(t *testing.T) {
+	// Scores: 0.9/1=0.9, 0.8/2=0.4, 0.5/1=0.5, 0.3/3=0.1.
+	q := []float64{0.9, 0.8, 0.5, 0.3}
+	b := []float64{1, 2, 1, 3}
+	out, err := Run(q, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Competitive {
+		t.Fatal("competition exists")
+	}
+	if out.Winners[0] != 0 || out.Winners[1] != 2 {
+		t.Fatalf("winners %v", out.Winners)
+	}
+	// Best losing score = 0.4 (seller 1). Critical payments:
+	// q/threshold = 0.9/0.4 = 2.25 and 0.5/0.4 = 1.25.
+	if math.Abs(out.Payments[0]-2.25) > 1e-12 || math.Abs(out.Payments[1]-1.25) > 1e-12 {
+		t.Fatalf("payments %v", out.Payments)
+	}
+	if math.Abs(out.Total-3.5) > 1e-12 {
+		t.Errorf("total %v", out.Total)
+	}
+}
+
+// TestIndividualRationality: critical payments never fall below the
+// winner's own bid.
+func TestIndividualRationality(t *testing.T) {
+	src := rng.New(5)
+	for trial := 0; trial < 300; trial++ {
+		m := 3 + src.Intn(20)
+		k := 1 + src.Intn(m-1)
+		q := make([]float64, m)
+		b := make([]float64, m)
+		for i := range q {
+			q[i] = src.Uniform(0.05, 1)
+			b[i] = src.Uniform(0.1, 2)
+		}
+		out, err := Run(q, b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, w := range out.Winners {
+			if out.Payments[j] < b[w]-1e-12 {
+				t.Fatalf("winner %d paid %v below its bid %v", w, out.Payments[j], b[w])
+			}
+		}
+	}
+}
+
+// TestTruthfulness: with critical payments, no seller can gain by
+// misreporting its cost — the core dominant-strategy property.
+func TestTruthfulness(t *testing.T) {
+	src := rng.New(6)
+	for trial := 0; trial < 150; trial++ {
+		m := 4 + src.Intn(12)
+		k := 1 + src.Intn(m-1)
+		q := make([]float64, m)
+		cost := make([]float64, m)
+		for i := range q {
+			q[i] = src.Uniform(0.05, 1)
+			cost[i] = src.Uniform(0.1, 2)
+		}
+		honest, err := Run(q, cost, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dev := 0; dev < 25; dev++ {
+			i := src.Intn(m)
+			lied := append([]float64(nil), cost...)
+			lied[i] = src.Uniform(0.05, 3)
+			out, err := Run(q, lied, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Utility(i, cost[i]) > honest.Utility(i, cost[i])+1e-9 {
+				t.Fatalf("seller %d gains by bidding %v instead of %v (%v > %v)",
+					i, lied[i], cost[i], out.Utility(i, cost[i]), honest.Utility(i, cost[i]))
+			}
+		}
+	}
+}
+
+// TestMonotonicity: lowering a winner's bid keeps it winning.
+func TestMonotonicity(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		m := 4 + src.Intn(10)
+		k := 1 + src.Intn(m-1)
+		q := make([]float64, m)
+		b := make([]float64, m)
+		for i := range q {
+			q[i] = src.Uniform(0.05, 1)
+			b[i] = src.Uniform(0.1, 2)
+		}
+		out, err := Run(q, b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := out.Winners[src.Intn(k)]
+		b[w] *= src.Uniform(0.1, 0.99)
+		out2, err := Run(q, b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		still := false
+		for _, x := range out2.Winners {
+			if x == w {
+				still = true
+			}
+		}
+		if !still {
+			t.Fatalf("winner %d lost after lowering its bid", w)
+		}
+	}
+}
+
+func TestNoCompetitionPayAsBid(t *testing.T) {
+	out, err := Run([]float64{0.5, 0.9}, []float64{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Competitive {
+		t.Fatal("M == K cannot be competitive")
+	}
+	if out.Total != 3 {
+		t.Errorf("pay-as-bid total %v", out.Total)
+	}
+}
+
+func TestZeroQualityLosers(t *testing.T) {
+	// All losers have zero quality: threshold is 0, winners fall back
+	// to their own bids.
+	out, err := Run([]float64{0.9, 0, 0}, []float64{1, 1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Payments[0] != 1 {
+		t.Errorf("fallback payment %v", out.Payments[0])
+	}
+}
+
+func TestUtility(t *testing.T) {
+	out := &Outcome{Winners: []int{2, 0}, Payments: []float64{3, 2}}
+	if out.Utility(2, 1) != 2 || out.Utility(0, 2.5) != -0.5 {
+		t.Error("winner utilities wrong")
+	}
+	if out.Utility(1, 1) != 0 {
+		t.Error("loser utility should be zero")
+	}
+}
+
+func TestSettle(t *testing.T) {
+	out := &Outcome{Total: 10}
+	s, err := out.Settle(100, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pays = 15·1.1 = 16.5, platform keeps 1.5, consumer keeps 83.5.
+	if math.Abs(s.ConsumerPays-16.5) > 1e-12 ||
+		math.Abs(s.PlatformProfit-1.5) > 1e-12 ||
+		math.Abs(s.ConsumerProfit-83.5) > 1e-12 {
+		t.Fatalf("settlement %+v", s)
+	}
+	if _, err := out.Settle(10, 5, 0.1); err != ErrNoTrade {
+		t.Errorf("want ErrNoTrade, got %v", err)
+	}
+	if _, err := out.Settle(100, 5, -1); err == nil {
+		t.Error("negative commission should fail")
+	}
+}
+
+func BenchmarkRunAuction300(b *testing.B) {
+	src := rng.New(1)
+	q := make([]float64, 300)
+	bids := make([]float64, 300)
+	for i := range q {
+		q[i] = src.Uniform(0.05, 1)
+		bids[i] = src.Uniform(0.1, 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(q, bids, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

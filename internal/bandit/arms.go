@@ -1,0 +1,200 @@
+// Package bandit implements the K-armed Combinatorial Multi-Armed
+// Bandit substrate of CMAB-HS: per-arm quality estimators (Eqs.
+// 17–18), the extended UCB index (Eq. 19), the selection policies the
+// paper evaluates (UCB-greedy, optimal oracle, ε-first, random) plus
+// two extensions (ε-greedy, Thompson sampling), and the regret
+// accounting of Sec. IV-A (Eqs. 34–37 and the Theorem 19 bound).
+package bandit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arms maintains the online quality statistics of all M sellers: the
+// learning counts n_i (Eq. 17), the sample means q̄_i (Eq. 18), and
+// the observation sums needed by the Thompson extension.
+type Arms struct {
+	count    []int64   // n_i: number of quality observations folded in
+	mean     []float64 // q̄_i: running sample mean
+	sum      []float64 // Σ observations (for posterior-based policies)
+	total    int64     // Σ_j n_j
+	inactive []bool    // arms withdrawn from selection (seller churn)
+	nActive  int
+}
+
+// NewArms creates estimators for m arms, all unobserved and active.
+func NewArms(m int) *Arms {
+	if m <= 0 {
+		panic("bandit: need at least one arm")
+	}
+	return &Arms{
+		count:    make([]int64, m),
+		mean:     make([]float64, m),
+		sum:      make([]float64, m),
+		inactive: make([]bool, m),
+		nActive:  m,
+	}
+}
+
+// M returns the number of arms.
+func (a *Arms) M() int { return len(a.count) }
+
+// Update folds one round's observations of arm i into the estimator.
+// A selected seller collects at all L PoIs, so its quality is learned
+// L times per round (Eq. 17); pass those L values here.
+func (a *Arms) Update(i int, observations []float64) {
+	if len(observations) == 0 {
+		return
+	}
+	for _, q := range observations {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			panic(fmt.Sprintf("bandit: observation %v outside [0,1]", q))
+		}
+		a.sum[i] += q
+	}
+	a.count[i] += int64(len(observations))
+	a.total += int64(len(observations))
+	a.mean[i] = a.sum[i] / float64(a.count[i])
+}
+
+// Count returns n_i.
+func (a *Arms) Count(i int) int64 { return a.count[i] }
+
+// TotalCount returns Σ_j n_j.
+func (a *Arms) TotalCount() int64 { return a.total }
+
+// Mean returns the current estimate q̄_i (0 if unobserved).
+func (a *Arms) Mean(i int) float64 { return a.mean[i] }
+
+// Means returns a copy of all current estimates.
+func (a *Arms) Means() []float64 {
+	return append([]float64(nil), a.mean...)
+}
+
+// Deactivate withdraws arm i from selection (the seller left the
+// market). Its statistics are kept; deactivation is permanent.
+func (a *Arms) Deactivate(i int) {
+	if !a.inactive[i] {
+		a.inactive[i] = true
+		a.nActive--
+	}
+}
+
+// Active reports whether arm i can still be selected.
+func (a *Arms) Active(i int) bool { return !a.inactive[i] }
+
+// ActiveCount returns the number of selectable arms.
+func (a *Arms) ActiveCount() int { return a.nActive }
+
+// ActiveIndices returns the selectable arm indices in order.
+func (a *Arms) ActiveIndices() []int {
+	out := make([]int, 0, a.nActive)
+	for i, off := range a.inactive {
+		if !off {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// UCB returns the extended upper-confidence index of arm i for a
+// K-selection game (Eq. 19):
+//
+//	q̂_i = q̄_i + sqrt((K+1)·ln(Σ_j n_j) / n_i)
+//
+// Unobserved arms get +Inf so they are always explored first;
+// deactivated arms get -Inf so they are never selected.
+func (a *Arms) UCB(i, k int) float64 {
+	if a.inactive[i] {
+		return math.Inf(-1)
+	}
+	if a.count[i] == 0 {
+		return math.Inf(1)
+	}
+	return a.mean[i] + a.Confidence(i, k)
+}
+
+// Confidence returns the additive exploration term ε_i of Eq. 19
+// (+Inf for unobserved arms).
+func (a *Arms) Confidence(i, k int) float64 {
+	if a.count[i] == 0 {
+		return math.Inf(1)
+	}
+	logTotal := math.Log(float64(a.total))
+	if logTotal < 0 {
+		logTotal = 0
+	}
+	return math.Sqrt(float64(k+1) * logTotal / float64(a.count[i]))
+}
+
+// UCB1 returns the classic single-play UCB1 index (exploration term
+// sqrt(2·ln t / n_i)) — the ablation alternative to Eq. 19.
+func (a *Arms) UCB1(i int) float64 {
+	if a.inactive[i] {
+		return math.Inf(-1)
+	}
+	if a.count[i] == 0 {
+		return math.Inf(1)
+	}
+	logTotal := math.Log(float64(a.total))
+	if logTotal < 0 {
+		logTotal = 0
+	}
+	return a.mean[i] + math.Sqrt(2*logTotal/float64(a.count[i]))
+}
+
+// SelectableMeans returns the current estimates with deactivated
+// arms replaced by -Inf, the score vector mean-greedy policies rank.
+func (a *Arms) SelectableMeans() []float64 {
+	out := append([]float64(nil), a.mean...)
+	for i, off := range a.inactive {
+		if off {
+			out[i] = math.Inf(-1)
+		}
+	}
+	return out
+}
+
+// Snapshot copies the estimator state, letting callers branch
+// what-if explorations without disturbing the live run.
+func (a *Arms) Snapshot() *Arms {
+	return &Arms{
+		count:    append([]int64(nil), a.count...),
+		mean:     append([]float64(nil), a.mean...),
+		sum:      append([]float64(nil), a.sum...),
+		total:    a.total,
+		inactive: append([]bool(nil), a.inactive...),
+		nActive:  a.nActive,
+	}
+}
+
+// TopK returns the indices of the k largest values in scores,
+// breaking ties by lower index, in descending score order. It panics
+// if k is out of range.
+func TopK(scores []float64, k int) []int {
+	if k <= 0 || k > len(scores) {
+		panic(fmt.Sprintf("bandit: TopK k=%d with %d arms", k, len(scores)))
+	}
+	// Selection into a small ordered buffer: O(M·K) with K ≪ M; no
+	// allocation beyond the result.
+	best := make([]int, 0, k)
+	for i := range scores {
+		pos := len(best)
+		for pos > 0 {
+			j := best[pos-1]
+			if scores[j] > scores[i] || (scores[j] == scores[i] && j < i) {
+				break
+			}
+			pos--
+		}
+		if pos < k {
+			if len(best) < k {
+				best = append(best, 0)
+			}
+			copy(best[pos+1:], best[pos:len(best)-1])
+			best[pos] = i
+		}
+	}
+	return best
+}

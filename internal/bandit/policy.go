@@ -1,0 +1,207 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"cmabhs/internal/rng"
+)
+
+// Policy selects K sellers each round. Implementations see the shared
+// estimator state but must not mutate it; the mechanism owns updates.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// SelectK returns the indices of the K arms to pull in round t
+	// (1-based), given the current estimator state.
+	SelectK(round int, arms *Arms, k int) []int
+}
+
+// UCBGreedy is the paper's CMAB-HS bandit policy: select the K arms
+// with the largest extended UCB indices (Eq. 19). Unobserved arms
+// rank first, so the cold-start behaviour is pure exploration.
+type UCBGreedy struct{}
+
+// Name implements Policy.
+func (UCBGreedy) Name() string { return "CMAB-HS" }
+
+// SelectK implements Policy.
+func (UCBGreedy) SelectK(round int, arms *Arms, k int) []int {
+	scores := make([]float64, arms.M())
+	for i := range scores {
+		scores[i] = arms.UCB(i, k)
+	}
+	return TopK(scores, k)
+}
+
+// UCB1Greedy is the ablation variant using the classic UCB1 index
+// instead of the (K+1)-scaled extended index.
+type UCB1Greedy struct{}
+
+// Name implements Policy.
+func (UCB1Greedy) Name() string { return "UCB1" }
+
+// SelectK implements Policy.
+func (UCB1Greedy) SelectK(round int, arms *Arms, k int) []int {
+	scores := make([]float64, arms.M())
+	for i := range scores {
+		scores[i] = arms.UCB1(i)
+	}
+	return TopK(scores, k)
+}
+
+// Oracle knows the true expected qualities in advance and always
+// selects the same top-K set — the paper's "optimal" baseline.
+type Oracle struct {
+	expected []float64
+	cached   []int
+}
+
+// NewOracle builds the oracle from the true expectations.
+func NewOracle(expected []float64) *Oracle {
+	return &Oracle{expected: append([]float64(nil), expected...)}
+}
+
+// Name implements Policy.
+func (*Oracle) Name() string { return "optimal" }
+
+// SelectK implements Policy.
+func (o *Oracle) SelectK(round int, arms *Arms, k int) []int {
+	if arms.ActiveCount() < arms.M() {
+		// Churn: re-rank among the surviving sellers each round.
+		scores := append([]float64(nil), o.expected...)
+		for i := range scores {
+			if !arms.Active(i) {
+				scores[i] = math.Inf(-1)
+			}
+		}
+		return TopK(scores, k)
+	}
+	if o.cached == nil || len(o.cached) != k {
+		o.cached = TopK(o.expected, k)
+	}
+	return append([]int(nil), o.cached...)
+}
+
+// Random selects K arms uniformly at random each round — the paper's
+// "random" baseline.
+type Random struct {
+	src *rng.Source
+}
+
+// NewRandom builds the policy with its own random stream.
+func NewRandom(src *rng.Source) *Random { return &Random{src: src} }
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// SelectK implements Policy.
+func (r *Random) SelectK(round int, arms *Arms, k int) []int {
+	return randomSubset(arms, k, r.src)
+}
+
+// EpsilonFirst explores with random selections for the first ε·N
+// rounds, then greedily exploits the sample means — the paper's
+// "ε-first" baseline.
+type EpsilonFirst struct {
+	Epsilon float64 // fraction of rounds spent exploring, in [0, 1]
+	Horizon int     // total rounds N
+	src     *rng.Source
+}
+
+// NewEpsilonFirst builds the policy; epsilon is clamped to [0, 1].
+func NewEpsilonFirst(epsilon float64, horizon int, src *rng.Source) *EpsilonFirst {
+	if epsilon < 0 {
+		epsilon = 0
+	}
+	if epsilon > 1 {
+		epsilon = 1
+	}
+	return &EpsilonFirst{Epsilon: epsilon, Horizon: horizon, src: src}
+}
+
+// Name implements Policy.
+func (p *EpsilonFirst) Name() string { return fmt.Sprintf("%.1f-first", p.Epsilon) }
+
+// SelectK implements Policy.
+func (p *EpsilonFirst) SelectK(round int, arms *Arms, k int) []int {
+	if float64(round) <= p.Epsilon*float64(p.Horizon) {
+		return randomSubset(arms, k, p.src)
+	}
+	return TopK(arms.SelectableMeans(), k)
+}
+
+// EpsilonGreedy explores with probability ε every round and exploits
+// the sample means otherwise — a standard bandit baseline beyond the
+// paper's comparison set.
+type EpsilonGreedy struct {
+	Epsilon float64
+	src     *rng.Source
+}
+
+// NewEpsilonGreedy builds the policy; epsilon is clamped to [0, 1].
+func NewEpsilonGreedy(epsilon float64, src *rng.Source) *EpsilonGreedy {
+	if epsilon < 0 {
+		epsilon = 0
+	}
+	if epsilon > 1 {
+		epsilon = 1
+	}
+	return &EpsilonGreedy{Epsilon: epsilon, src: src}
+}
+
+// Name implements Policy.
+func (p *EpsilonGreedy) Name() string { return fmt.Sprintf("%.2f-greedy", p.Epsilon) }
+
+// SelectK implements Policy.
+func (p *EpsilonGreedy) SelectK(round int, arms *Arms, k int) []int {
+	if p.src.Float64() < p.Epsilon {
+		return randomSubset(arms, k, p.src)
+	}
+	return TopK(arms.SelectableMeans(), k)
+}
+
+// Thompson samples a Beta posterior per arm (successes ≈ Σ
+// observations, failures ≈ n − Σ observations, both plus 1) and picks
+// the top-K samples — a Bayesian extension beyond the paper.
+type Thompson struct {
+	src *rng.Source
+}
+
+// NewThompson builds the policy with its own random stream.
+func NewThompson(src *rng.Source) *Thompson { return &Thompson{src: src} }
+
+// Name implements Policy.
+func (*Thompson) Name() string { return "thompson" }
+
+// SelectK implements Policy.
+func (t *Thompson) SelectK(round int, arms *Arms, k int) []int {
+	scores := make([]float64, arms.M())
+	for i := range scores {
+		if !arms.Active(i) {
+			scores[i] = math.Inf(-1)
+			continue
+		}
+		n := float64(arms.Count(i))
+		s := arms.sum[i]
+		scores[i] = t.src.Beta(s+1, n-s+1)
+	}
+	return TopK(scores, k)
+}
+
+// randomSubset draws k distinct active arms uniformly.
+func randomSubset(arms *Arms, k int, src *rng.Source) []int {
+	active := arms.ActiveIndices()
+	src.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+	return active[:k]
+}
+
+var (
+	_ Policy = UCBGreedy{}
+	_ Policy = UCB1Greedy{}
+	_ Policy = (*Oracle)(nil)
+	_ Policy = (*Random)(nil)
+	_ Policy = (*EpsilonFirst)(nil)
+	_ Policy = (*EpsilonGreedy)(nil)
+	_ Policy = (*Thompson)(nil)
+)

@@ -1,0 +1,141 @@
+package bandit
+
+import (
+	"math"
+	"sort"
+
+	"cmabhs/internal/numutil"
+)
+
+// RegretTracker accounts the online performance of a policy against
+// the all-knowing optimal selection (Sec. IV-A): the cumulative
+// pseudo-regret of Eq. 34, the revenue gap constants Δ_min/Δ_max of
+// Eqs. 35–36, the counter scheme β_i of Eq. 37, and the Theorem 19
+// bound.
+type RegretTracker struct {
+	expected []float64 // true expectations q_i
+	l        int       // PoIs per round (each selection learns L samples)
+	k        int       // selection size K
+
+	optimal    []int   // S*: indices of the top-K expected qualities
+	optimalSet []bool  // membership mask for S*
+	optimalVal float64 // Σ_{i∈S*} q_i
+
+	deltaMin float64 // Eq. 36: smallest positive revenue gap
+	deltaMax float64 // Eq. 35: largest revenue gap
+
+	regret   numutil.KahanSum // cumulative pseudo-regret (revenue units)
+	revenue  numutil.KahanSum // cumulative expected revenue of the policy
+	rounds   int
+	counters []int64 // β_i of Eq. 37
+}
+
+// NewRegretTracker builds a tracker for a population with the given
+// true expectations, selection size k, and l PoIs per round.
+func NewRegretTracker(expected []float64, k, l int) *RegretTracker {
+	if k <= 0 || k > len(expected) {
+		panic("bandit: invalid selection size")
+	}
+	if l <= 0 {
+		panic("bandit: need at least one PoI")
+	}
+	r := &RegretTracker{
+		expected:   append([]float64(nil), expected...),
+		l:          l,
+		k:          k,
+		optimal:    TopK(expected, k),
+		optimalSet: make([]bool, len(expected)),
+		counters:   make([]int64, len(expected)),
+	}
+	for _, i := range r.optimal {
+		r.optimalSet[i] = true
+		r.optimalVal += expected[i]
+	}
+	// Δ_min: replace the weakest optimal seller with the strongest
+	// non-optimal one — the closest non-optimal set. Δ_max: the K
+	// smallest expectations — the farthest set.
+	if m := len(expected); m > k {
+		sorted := append([]float64(nil), expected...)
+		sort.Float64s(sorted)
+		r.deltaMin = sorted[m-k] - sorted[m-k-1]
+		var worst float64
+		for _, q := range sorted[:k] {
+			worst += q
+		}
+		r.deltaMax = r.optimalVal - worst
+	}
+	return r
+}
+
+// Record accounts one round's selection. The per-round pseudo-regret
+// is L·(Σ_{i∈S*} q_i − Σ_{i∈S^t} q_i), matching Eq. 1's revenue which
+// sums over all L PoIs. For non-optimal selections the counter of the
+// least-counted selected seller is incremented by L (Eq. 37).
+func (r *RegretTracker) Record(selected []int) {
+	r.rounds++
+	var val float64
+	optimalPick := len(selected) == r.k
+	for _, i := range selected {
+		val += r.expected[i]
+		if !r.optimalSet[i] {
+			optimalPick = false
+		}
+	}
+	r.revenue.Add(val * float64(r.l))
+	r.regret.Add((r.optimalVal - val) * float64(r.l))
+	if optimalPick {
+		return
+	}
+	// Eq. 37: find the selected seller with the smallest counter.
+	minIdx := selected[0]
+	for _, i := range selected[1:] {
+		if r.counters[i] < r.counters[minIdx] {
+			minIdx = i
+		}
+	}
+	r.counters[minIdx] += int64(r.l)
+}
+
+// Rounds returns how many rounds have been recorded.
+func (r *RegretTracker) Rounds() int { return r.rounds }
+
+// Regret returns the cumulative pseudo-regret (Eq. 34).
+func (r *RegretTracker) Regret() float64 { return r.regret.Sum() }
+
+// ExpectedRevenue returns the cumulative expected revenue of the
+// recorded selections (Eq. 1 with expectations substituted).
+func (r *RegretTracker) ExpectedRevenue() float64 { return r.revenue.Sum() }
+
+// OptimalSet returns the indices of S* (descending expectation).
+func (r *RegretTracker) OptimalSet() []int { return append([]int(nil), r.optimal...) }
+
+// DeltaMin returns Δ_min (Eq. 36); zero when M == K.
+func (r *RegretTracker) DeltaMin() float64 { return r.deltaMin }
+
+// DeltaMax returns Δ_max (Eq. 35); zero when M == K.
+func (r *RegretTracker) DeltaMax() float64 { return r.deltaMax }
+
+// Counter returns β_i (Eq. 37).
+func (r *RegretTracker) Counter(i int) int64 { return r.counters[i] }
+
+// Bound evaluates the Theorem 19 regret bound
+//
+//	M·Δ_max·( 4K²(K+1)·ln(NKL)/Δ_min² + 1 + π²/(3·K^(2K+1)·L^(K+2)) )
+//
+// for a horizon of n rounds. It returns +Inf when Δ_min is zero
+// (degenerate gap).
+func (r *RegretTracker) Bound(n int) float64 {
+	if r.deltaMin <= 0 {
+		return math.Inf(1)
+	}
+	m := float64(len(r.expected))
+	k := float64(r.k)
+	l := float64(r.l)
+	logTerm := math.Log(float64(n) * k * l)
+	if logTerm < 0 {
+		logTerm = 0
+	}
+	lead := 4 * k * k * (k + 1) * logTerm / (r.deltaMin * r.deltaMin)
+	tail := math.Pi * math.Pi / (3 * math.Pow(k, 2*k+1) * math.Pow(l, k+2))
+	return m * r.deltaMax * (lead + 1 + tail)
+}

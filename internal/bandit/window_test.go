@@ -1,0 +1,157 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlidingWindowUCBForgets(t *testing.T) {
+	p := NewSlidingWindowUCB(10)
+	arms := NewArms(2)
+	// Rounds 1-5: arm 0 looks great, arm 1 poor.
+	for round := 1; round <= 5; round++ {
+		p.ObserveRound(round, 0, []float64{0.9, 0.9})
+		p.ObserveRound(round, 1, []float64{0.1, 0.1})
+		arms.Update(0, []float64{0.9, 0.9})
+		arms.Update(1, []float64{0.1, 0.1})
+	}
+	if got := p.SelectK(6, arms, 1); got[0] != 0 {
+		t.Fatalf("fresh evidence should pick arm 0, got %v", got)
+	}
+	// Quality flips; the window sees only the new regime soon.
+	for round := 6; round <= 25; round++ {
+		p.ObserveRound(round, 0, []float64{0.1, 0.1})
+		p.ObserveRound(round, 1, []float64{0.9, 0.9})
+	}
+	if got := p.SelectK(26, arms, 1); got[0] != 1 {
+		t.Fatalf("after the flip the window should pick arm 1, got %v", got)
+	}
+	// The cumulative estimator would still be confused; the window's
+	// in-window means are clean.
+	if p.count[0] == 0 || p.sum[0]/float64(p.count[0]) > 0.2 {
+		t.Errorf("in-window mean of arm 0 should reflect the new regime")
+	}
+}
+
+func TestSlidingWindowEviction(t *testing.T) {
+	p := NewSlidingWindowUCB(3)
+	arms := NewArms(1)
+	p.ObserveRound(1, 0, []float64{0.5})
+	p.ObserveRound(2, 0, []float64{0.5})
+	p.ObserveRound(5, 0, []float64{0.7})
+	p.SelectK(6, arms, 1) // evicts rounds ≤ 3
+	if p.count[0] != 1 || p.total != 1 {
+		t.Fatalf("count=%d total=%d after eviction", p.count[0], p.total)
+	}
+	if p.sum[0] != 0.7 {
+		t.Errorf("sum %v", p.sum[0])
+	}
+	// Unobserved-in-window arms become +Inf again.
+	p.SelectK(20, arms, 1)
+	if p.count[0] != 0 {
+		t.Error("stale window should fully evict")
+	}
+}
+
+func TestSlidingWindowPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSlidingWindowUCB(0)
+}
+
+func TestDiscountedUCBForgets(t *testing.T) {
+	p := NewDiscountedUCB(0.9)
+	arms := NewArms(2)
+	for round := 1; round <= 5; round++ {
+		p.ObserveRound(round, 0, []float64{0.9, 0.9})
+		p.ObserveRound(round, 1, []float64{0.1, 0.1})
+	}
+	if got := p.SelectK(6, arms, 1); got[0] != 0 {
+		t.Fatalf("fresh evidence should pick arm 0, got %v", got)
+	}
+	for round := 6; round <= 60; round++ {
+		p.ObserveRound(round, 0, []float64{0.1, 0.1})
+		p.ObserveRound(round, 1, []float64{0.9, 0.9})
+	}
+	if got := p.SelectK(61, arms, 1); got[0] != 1 {
+		t.Fatalf("after the flip discounting should pick arm 1, got %v", got)
+	}
+}
+
+func TestDiscountedUCBDecay(t *testing.T) {
+	p := NewDiscountedUCB(0.5)
+	p.ObserveRound(1, 0, []float64{1})
+	p.advance(0, 11)
+	// 10 rounds of decay at γ=0.5: weight 2^-10.
+	if math.Abs(p.count[0]-math.Pow(0.5, 10)) > 1e-12 {
+		t.Errorf("decayed count %v", p.count[0])
+	}
+	// Mean is preserved under decay (sum and count scale together).
+	if math.Abs(p.sum[0]/p.count[0]-1) > 1e-9 {
+		t.Errorf("decayed mean %v", p.sum[0]/p.count[0])
+	}
+}
+
+func TestDiscountedUCBPanicsOnBadGamma(t *testing.T) {
+	for _, g := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("gamma=%v should panic", g)
+				}
+			}()
+			NewDiscountedUCB(g)
+		}()
+	}
+}
+
+func TestWindowPoliciesRespectMask(t *testing.T) {
+	arms := NewArms(3)
+	arms.Deactivate(0)
+	for _, p := range []Policy{NewSlidingWindowUCB(5), NewDiscountedUCB(0.9)} {
+		fb := p.(RoundFeedback)
+		for round := 1; round <= 5; round++ {
+			for i := 0; i < 3; i++ {
+				fb.ObserveRound(round, i, []float64{0.9})
+			}
+		}
+		for round := 6; round <= 12; round++ {
+			for _, i := range p.SelectK(round, arms, 2) {
+				if i == 0 {
+					t.Fatalf("%s selected deactivated arm", p.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicRegret(t *testing.T) {
+	d := NewDynamicRegret(10)
+	now := []float64{0.9, 0.5, 0.1}
+	d.Record([]int{0, 1}, now, 2) // optimal pick: zero regret
+	if d.Regret() != 0 {
+		t.Errorf("regret %v", d.Regret())
+	}
+	d.Record([]int{1, 2}, now, 2) // gap (1.4 − 0.6)·10 = 8
+	if math.Abs(d.Regret()-8) > 1e-12 {
+		t.Errorf("regret %v", d.Regret())
+	}
+	if d.Rounds() != 2 {
+		t.Errorf("rounds %d", d.Rounds())
+	}
+	// Changing expectations change the oracle.
+	now2 := []float64{0.1, 0.5, 0.9}
+	d.Record([]int{1, 2}, now2, 2) // now this IS optimal
+	if math.Abs(d.Regret()-8) > 1e-12 {
+		t.Errorf("dynamic oracle should track the new expectations: %v", d.Regret())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for l <= 0")
+		}
+	}()
+	NewDynamicRegret(0)
+}

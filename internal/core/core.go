@@ -1,0 +1,544 @@
+// Package core implements the paper's primary contribution: the
+// CMAB-HS data trading mechanism (Algorithm 1). Each run couples the
+// extended-UCB combinatorial bandit (internal/bandit) with the
+// three-stage hierarchical Stackelberg game (internal/game) over a
+// CDT market (internal/market):
+//
+//	round 1:   select ALL sellers at sensing time τ⁰ and price p_max
+//	           (initial exploration), pay the platform the smallest
+//	           price keeping its profit non-negative, then learn the
+//	           first quality estimates;
+//	round t≥2: sort sellers by UCB (Eq. 19), select the top K, play
+//	           the HS game for ⟨p^J*, p*, τ*⟩ (Theorems 14–16),
+//	           collect data at all L PoIs, settle payments, update
+//	           estimates (Eqs. 17–18).
+//
+// Baseline mechanisms (optimal / ε-first / random / …) run through
+// the same loop with a different bandit policy, which is exactly how
+// the paper's comparison is defined.
+//
+// The loop is exposed two ways: Run executes a whole configured
+// horizon, and Mechanism steps round by round (what the broker
+// service uses to advance a live trading job incrementally).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cmabhs/internal/aggregate"
+	"cmabhs/internal/bandit"
+	"cmabhs/internal/game"
+	"cmabhs/internal/market"
+	"cmabhs/internal/numutil"
+	"cmabhs/internal/quality"
+)
+
+// Solver selects how the per-round Stackelberg game is solved.
+type Solver int
+
+const (
+	// ClosedForm uses the paper's closed forms (Theorems 14–16) on
+	// the full selected set, clamping negative sensing times to zero.
+	ClosedForm Solver = iota
+	// Exact uses the kinked-supply-curve solver (game.SolveExact),
+	// which stays an exact equilibrium when sellers opt out.
+	Exact
+	// Numeric uses the grid/golden-section reference solver — slow,
+	// for ablations only.
+	Numeric
+)
+
+// String implements fmt.Stringer.
+func (s Solver) String() string {
+	switch s {
+	case ClosedForm:
+		return "closed-form"
+	case Exact:
+		return "exact"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// Config parameterizes one mechanism run.
+type Config struct {
+	Market market.Config
+	K      int     // sellers selected per round
+	Tau0   float64 // sensing time of the initial exploration round (default 1)
+	MinQ   float64 // floor for estimates entering the game (default 1e-6)
+	Solver Solver  // game solver (default ClosedForm, as in the paper)
+
+	// Budget caps the consumer's cumulative spend (the total rewards
+	// paid out, p^J·Στ summed over rounds). The run stops after the
+	// round in which the budget is reached; 0 means unlimited. This
+	// implements the budget-feasible variant common in the related
+	// work ([35]–[37] in the paper).
+	Budget float64
+
+	// ColdStart skips Algorithm 1's initial full-exploration round:
+	// round 1 is played like any other, with the policy selecting K
+	// sellers off no data (UCB then explores via its +Inf indices).
+	// Exists for the initial-exploration ablation; the paper's
+	// mechanism keeps this false.
+	ColdStart bool
+
+	KeepRounds  bool               // retain every RoundRecord in the result
+	Checkpoints []int              // rounds at which to snapshot cumulative metrics (ascending)
+	Observer    func(*RoundRecord) // optional per-round hook; the record is borrowed
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Market.Validate(); err != nil {
+		return err
+	}
+	if c.K <= 0 || c.K > c.Market.M() {
+		return fmt.Errorf("core: K=%d with M=%d sellers", c.K, c.Market.M())
+	}
+	if c.Tau0 < 0 {
+		return errors.New("core: negative Tau0")
+	}
+	for i := 1; i < len(c.Checkpoints); i++ {
+		if c.Checkpoints[i] <= c.Checkpoints[i-1] {
+			return errors.New("core: checkpoints must be strictly ascending")
+		}
+	}
+	return nil
+}
+
+func (c *Config) tau0() float64 {
+	if c.Tau0 == 0 {
+		return 1
+	}
+	return c.Tau0
+}
+
+func (c *Config) minQ() float64 {
+	if c.MinQ == 0 {
+		return 1e-6
+	}
+	return c.MinQ
+}
+
+// RoundRecord captures everything that happened in one trading round.
+type RoundRecord struct {
+	Round         int       // 1-based round index
+	Selected      []int     // seller ids selected this round
+	PJ, P         float64   // strategies of consumer and platform
+	Taus          []float64 // sensing times, aligned with Selected
+	TotalTau      float64   // Σ τ_i
+	PoC, PoP      float64   // profits of consumer and platform
+	SellerProfits []float64 // profits of the selected sellers
+	NoTrade       bool      // the game admitted no profitable trade
+	Realized      float64   // Σ_i Σ_l q_{i,l}^t — this round's realized revenue
+	AggRMSE       float64   // aggregation error vs ground truth (NaN without a data layer)
+}
+
+// Checkpoint is a snapshot of the cumulative metrics after a round.
+type Checkpoint struct {
+	Round           int
+	RealizedRevenue float64 // cumulative Σ observed qualities (Eq. 1)
+	ExpectedRevenue float64 // cumulative Σ expected qualities of selections
+	Regret          float64 // cumulative pseudo-regret (Eq. 34)
+	CumPoC          float64
+	CumPoP          float64
+	CumPoS          float64 // summed over all selected sellers
+}
+
+// Result is the outcome of a full mechanism run (or of a partial run,
+// when snapshotted from a live Mechanism).
+type Result struct {
+	Policy      string
+	Rounds      []RoundRecord // populated only with Config.KeepRounds
+	Checkpoints []Checkpoint
+
+	RealizedRevenue float64
+	ExpectedRevenue float64
+	Regret          float64
+	RegretBound     float64 // Theorem 19 bound at the run's horizon
+
+	CumPoC, CumPoP, CumPoS float64
+	RoundsPlayed           int
+
+	ConsumerSpend float64 // total rewards paid by the consumer
+	MeanAggRMSE   float64 // mean per-round aggregation RMSE (NaN without a data layer)
+	DynamicRegret float64 // regret vs the per-round oracle (NaN for stationary quality models)
+	Stopped       string  // non-empty if the run halted early ("budget exhausted", "no active sellers")
+
+	Estimates    []float64 // final q̄_i per seller
+	SellerTotals []float64 // cumulative profit per seller over the run
+	Tracker      *bandit.RegretTracker
+}
+
+// AvgPoC returns the consumer's average per-round profit.
+func (r *Result) AvgPoC() float64 { return r.CumPoC / float64(r.RoundsPlayed) }
+
+// AvgPoP returns the platform's average per-round profit.
+func (r *Result) AvgPoP() float64 { return r.CumPoP / float64(r.RoundsPlayed) }
+
+// AvgPoSPerSeller returns the average per-round profit of one
+// selected seller (the paper's Fig. 12(c) metric), given K sellers
+// are selected per round.
+func (r *Result) AvgPoSPerSeller(k int) float64 {
+	return r.CumPoS / float64(r.RoundsPlayed) / float64(k)
+}
+
+// Mechanism is a live, stepwise CMAB-HS run: NewMechanism validates
+// and initializes it, each Step plays one trading round, and Result
+// snapshots the cumulative metrics at any point. Not safe for
+// concurrent use.
+type Mechanism struct {
+	cfg     *Config
+	policy  bandit.Policy
+	mkt     *market.Market
+	arms    *bandit.Arms
+	tracker *bandit.RegretTracker
+
+	res                                             *Result
+	realized, cumPoC, cumPoP, cumPoS, spend, aggSum numutil.KahanSum
+	aggRounds                                       int
+	nextCkpt                                        int
+
+	sellerTotals []float64 // cumulative profit per seller
+
+	feedback bandit.RoundFeedback  // non-nil when the policy learns per round
+	dynModel quality.NonStationary // non-nil for drifting-quality markets
+	dynTrack *bandit.DynamicRegret // dynamic-oracle regret accumulator
+	dynNow   []float64             // scratch: expectations at the current round
+
+	next    int // next round to play, 1-based
+	stopped string
+}
+
+// NewMechanism builds a live run from a validated configuration and
+// policy.
+func NewMechanism(cfg *Config, policy bandit.Policy) (*Mechanism, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, errors.New("core: nil policy")
+	}
+	mkt, err := market.New(cfg.Market)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Market.M()
+	expected := make([]float64, m)
+	for i := range expected {
+		expected[i] = cfg.Market.Quality.Expected(i)
+	}
+	arms := bandit.NewArms(m)
+	for i := 0; i < m; i++ {
+		if cfg.Market.Departed(i, 1) {
+			arms.Deactivate(i)
+		}
+	}
+	if arms.ActiveCount() == 0 {
+		return nil, errors.New("core: every seller departed before round 1")
+	}
+	tracker := bandit.NewRegretTracker(expected, cfg.K, cfg.Market.Job.L)
+	mech := &Mechanism{
+		cfg:          cfg,
+		policy:       policy,
+		mkt:          mkt,
+		arms:         arms,
+		tracker:      tracker,
+		sellerTotals: make([]float64, m),
+		res:          &Result{Policy: policy.Name(), Tracker: tracker},
+		next:         1,
+	}
+	if fb, ok := policy.(bandit.RoundFeedback); ok {
+		mech.feedback = fb
+	}
+	if dyn, ok := cfg.Market.Quality.(quality.NonStationary); ok {
+		mech.dynModel = dyn
+		mech.dynTrack = bandit.NewDynamicRegret(cfg.Market.Job.L)
+		mech.dynNow = make([]float64, m)
+	}
+	return mech, nil
+}
+
+// Round returns the next round to be played (1-based).
+func (m *Mechanism) Round() int { return m.next }
+
+// Done reports whether the run has finished (horizon reached or
+// halted early).
+func (m *Mechanism) Done() bool {
+	return m.stopped != "" || m.next > m.cfg.Market.Job.N
+}
+
+// Stopped returns the early-halt reason, if any.
+func (m *Mechanism) Stopped() string { return m.stopped }
+
+// Arms exposes the live quality estimators (read-only use).
+func (m *Mechanism) Arms() *bandit.Arms { return m.arms }
+
+// Market exposes the underlying market (ledger inspection etc.).
+func (m *Mechanism) Market() *market.Market { return m.mkt }
+
+// Step plays the next trading round and returns its record. When the
+// run is already done it returns (nil, nil).
+func (m *Mechanism) Step() (*RoundRecord, error) {
+	if m.Done() {
+		return nil, nil
+	}
+	t := m.next
+	var rec *RoundRecord
+	var err error
+	if t == 1 && !m.cfg.ColdStart {
+		rec, err = m.exploreRound()
+	} else {
+		rec, err = m.gameRound(t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil { // halted (e.g. no active sellers)
+		return nil, nil
+	}
+	m.account(rec)
+	m.next = t + 1
+	if m.cfg.Budget > 0 && m.spend.Sum() >= m.cfg.Budget {
+		m.stopped = "budget exhausted"
+	}
+	return rec, nil
+}
+
+// account folds a completed round into the cumulative metrics.
+func (m *Mechanism) account(rec *RoundRecord) {
+	m.realized.Add(rec.Realized)
+	m.cumPoC.Add(rec.PoC)
+	m.cumPoP.Add(rec.PoP)
+	for j, sp := range rec.SellerProfits {
+		m.cumPoS.Add(sp)
+		m.sellerTotals[rec.Selected[j]] += sp
+	}
+	if !math.IsNaN(rec.AggRMSE) {
+		m.aggSum.Add(rec.AggRMSE)
+		m.aggRounds++
+	}
+	m.res.RoundsPlayed++
+	if m.cfg.Observer != nil {
+		m.cfg.Observer(rec)
+	}
+	if m.cfg.KeepRounds {
+		m.res.Rounds = append(m.res.Rounds, *rec)
+	}
+	if m.nextCkpt < len(m.cfg.Checkpoints) && m.cfg.Checkpoints[m.nextCkpt] == rec.Round {
+		m.res.Checkpoints = append(m.res.Checkpoints, Checkpoint{
+			Round:           rec.Round,
+			RealizedRevenue: m.realized.Sum(),
+			ExpectedRevenue: m.tracker.ExpectedRevenue(),
+			Regret:          m.tracker.Regret(),
+			CumPoC:          m.cumPoC.Sum(),
+			CumPoP:          m.cumPoP.Sum(),
+			CumPoS:          m.cumPoS.Sum(),
+		})
+		m.nextCkpt++
+	}
+}
+
+// exploreRound runs Algorithm 1's initial exploration: all active
+// sellers selected, sensing time τ⁰ each, collection price p_max,
+// and the smallest service price that keeps the platform's profit
+// non-negative: p^J = p_max + θ·S + λ with S = M·τ⁰.
+func (m *Mechanism) exploreRound() (*RoundRecord, error) {
+	all := m.arms.ActiveIndices()
+	tau0 := m.cfg.tau0()
+	price := m.cfg.Market.PBounds.Max
+	total := float64(len(all)) * tau0
+	pJ := m.cfg.Market.PJBounds.Clamp(price + m.cfg.Market.Platform.Theta*total + m.cfg.Market.Platform.Lambda)
+
+	obs := m.mkt.Collect(1, all)
+	var roundRealized float64
+	delivered := make([]int, 0, len(all))
+	taus := make([]float64, len(all))
+	for j, i := range all {
+		if obs[j] == nil {
+			continue // transient delivery failure: no data, no pay
+		}
+		taus[j] = tau0
+		delivered = append(delivered, i)
+		m.arms.Update(i, obs[j])
+		if m.feedback != nil {
+			m.feedback.ObserveRound(1, i, obs[j])
+		}
+		roundRealized += numutil.SumSlice(obs[j])
+	}
+	// Profits are accounted post-hoc against the just-learned
+	// estimates (the mechanism knows nothing before this round).
+	params := m.mkt.GameParams(all, m.arms.Means(), m.cfg.minQ())
+	out := params.Evaluate(pJ, price, taus)
+	if err := m.mkt.Settle(1, all, out); err != nil {
+		return nil, fmt.Errorf("core: initial settle: %w", err)
+	}
+	rec := &RoundRecord{
+		Round:         1,
+		Selected:      append([]int(nil), all...),
+		PJ:            pJ,
+		P:             price,
+		Taus:          out.Taus,
+		TotalTau:      out.TotalTau,
+		PoC:           out.ConsumerProfit,
+		PoP:           out.PlatformProfit,
+		SellerProfits: out.SellerProfits,
+		Realized:      roundRealized,
+		AggRMSE:       math.NaN(),
+	}
+	if reports := m.mkt.CollectReadings(1, delivered, m.arms.Means()); reports != nil {
+		rec.AggRMSE = aggregate.RMSE(reports)
+	}
+	m.spend.Add(pJ * out.TotalTau)
+	return rec, nil
+}
+
+// gameRound plays one exploit+explore round: UCB selection (or the
+// configured policy), the HS game, collection, settlement, and
+// estimator updates.
+func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
+	for i := 0; i < m.cfg.Market.M(); i++ {
+		if m.arms.Active(i) && m.cfg.Market.Departed(i, t) {
+			m.arms.Deactivate(i)
+		}
+	}
+	k := m.cfg.K
+	if a := m.arms.ActiveCount(); a < k {
+		k = a
+	}
+	if k == 0 {
+		m.stopped = "no active sellers"
+		return nil, nil
+	}
+	selected := m.policy.SelectK(t, m.arms, k)
+
+	params := m.mkt.GameParams(selected, m.arms.Means(), m.cfg.minQ())
+	out, err := solve(m.cfg.Solver, params)
+	if err != nil {
+		return nil, fmt.Errorf("core: round %d game: %w", t, err)
+	}
+	obs := m.mkt.Collect(t, selected)
+	var roundRealized float64
+	delivered := make([]int, 0, len(selected))
+	anyFailed := false
+	for j, i := range selected {
+		if obs[j] == nil {
+			anyFailed = true
+			continue // transient delivery failure: no data, no pay
+		}
+		delivered = append(delivered, i)
+		m.arms.Update(i, obs[j])
+		if m.feedback != nil {
+			m.feedback.ObserveRound(t, i, obs[j])
+		}
+		roundRealized += numutil.SumSlice(obs[j])
+	}
+	if anyFailed {
+		// Re-price the round at the agreed prices with the failed
+		// sellers' sensing time zeroed: they deliver nothing, are
+		// paid nothing, and incur no cost.
+		taus := append([]float64(nil), out.Taus...)
+		for j := range selected {
+			if obs[j] == nil {
+				taus[j] = 0
+			}
+		}
+		noTrade := out.NoTrade
+		out = params.Evaluate(out.PJ, out.P, taus)
+		out.NoTrade = noTrade
+	}
+	m.tracker.Record(selected)
+	if m.dynTrack != nil {
+		for i := range m.dynNow {
+			if m.arms.Active(i) {
+				m.dynNow[i] = m.dynModel.ExpectedAt(i, t)
+			} else {
+				m.dynNow[i] = -1 // departed sellers are no oracle option
+			}
+		}
+		m.dynTrack.Record(selected, m.dynNow, k)
+	}
+	if err := m.mkt.Settle(t, selected, out); err != nil {
+		return nil, fmt.Errorf("core: round %d settle: %w", t, err)
+	}
+	rec := &RoundRecord{
+		Round:         t,
+		Selected:      append([]int(nil), selected...),
+		PJ:            out.PJ,
+		P:             out.P,
+		Taus:          out.Taus,
+		TotalTau:      out.TotalTau,
+		PoC:           out.ConsumerProfit,
+		PoP:           out.PlatformProfit,
+		SellerProfits: out.SellerProfits,
+		NoTrade:       out.NoTrade,
+		Realized:      roundRealized,
+		AggRMSE:       math.NaN(),
+	}
+	if reports := m.mkt.CollectReadings(t, delivered, m.arms.Means()); reports != nil {
+		rec.AggRMSE = aggregate.RMSE(reports)
+	}
+	m.spend.Add(out.TotalReward())
+	return rec, nil
+}
+
+// Result snapshots the cumulative metrics. It may be called at any
+// time; after Done it is the final result.
+func (m *Mechanism) Result() *Result {
+	res := *m.res
+	res.Rounds = m.res.Rounds
+	res.Checkpoints = m.res.Checkpoints
+	res.RealizedRevenue = m.realized.Sum()
+	res.ExpectedRevenue = m.tracker.ExpectedRevenue()
+	res.Regret = m.tracker.Regret()
+	res.RegretBound = m.tracker.Bound(m.cfg.Market.Job.N)
+	res.CumPoC = m.cumPoC.Sum()
+	res.CumPoP = m.cumPoP.Sum()
+	res.CumPoS = m.cumPoS.Sum()
+	res.ConsumerSpend = m.spend.Sum()
+	if m.aggRounds > 0 {
+		res.MeanAggRMSE = m.aggSum.Sum() / float64(m.aggRounds)
+	} else {
+		res.MeanAggRMSE = math.NaN()
+	}
+	if m.dynTrack != nil {
+		res.DynamicRegret = m.dynTrack.Regret()
+	} else {
+		res.DynamicRegret = math.NaN()
+	}
+	res.Stopped = m.stopped
+	res.Estimates = m.arms.Means()
+	res.SellerTotals = append([]float64(nil), m.sellerTotals...)
+	return &res
+}
+
+// Run executes the mechanism with the given bandit policy over the
+// full configured horizon.
+func Run(cfg *Config, policy bandit.Policy) (*Result, error) {
+	m, err := NewMechanism(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	for !m.Done() {
+		if _, err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return m.Result(), nil
+}
+
+// solve dispatches to the configured game solver.
+func solve(s Solver, params *game.Params) (*game.Outcome, error) {
+	switch s {
+	case Exact:
+		return game.SolveExact(params)
+	case Numeric:
+		return game.NumericSolve(params)
+	default:
+		return game.Solve(params)
+	}
+}

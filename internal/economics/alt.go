@@ -1,0 +1,90 @@
+package economics
+
+import (
+	"math"
+)
+
+// CostFunc abstracts a seller cost model so the numeric game solver
+// and ablation benches can swap the quadratic family for the
+// piecewise-linear one used by several related works ([16], [19]–[21]
+// in the paper).
+type CostFunc interface {
+	// Cost returns the data-collection cost for sensing time tau at
+	// estimated quality qbar.
+	Cost(tau, qbar float64) float64
+	// MarginalCost returns ∂Cost/∂τ (a subgradient at kink points).
+	MarginalCost(tau, qbar float64) float64
+}
+
+// ValuationFunc abstracts the consumer valuation so alternatives such
+// as Cobb–Douglas ([15] in the paper) can be benchmarked against the
+// log form.
+type ValuationFunc interface {
+	// Value returns the valuation of total sensing time S at mean
+	// quality qbar.
+	Value(totalTau, qbar float64) float64
+	// MarginalValue returns ∂Value/∂S.
+	MarginalValue(totalTau, qbar float64) float64
+}
+
+// The paper's concrete families satisfy the interfaces.
+var (
+	_ CostFunc      = SellerCost{}
+	_ ValuationFunc = Valuation{}
+)
+
+// PiecewiseLinearCost is the alternative seller cost family from the
+// related work: cost grows linearly with slope Rate up to Knee, then
+// with slope Rate·Steepen beyond it, all scaled by quality.
+type PiecewiseLinearCost struct {
+	Rate    float64 // base marginal cost, > 0
+	Knee    float64 // sensing time at which the slope increases, >= 0
+	Steepen float64 // slope multiplier after the knee, >= 1
+}
+
+// Cost returns the piecewise-linear cost at tau.
+func (c PiecewiseLinearCost) Cost(tau, qbar float64) float64 {
+	if tau <= c.Knee {
+		return c.Rate * tau * qbar
+	}
+	return (c.Rate*c.Knee + c.Rate*c.Steepen*(tau-c.Knee)) * qbar
+}
+
+// MarginalCost returns the slope at tau (the steeper slope at the
+// knee itself).
+func (c PiecewiseLinearCost) MarginalCost(tau, qbar float64) float64 {
+	if tau < c.Knee {
+		return c.Rate * qbar
+	}
+	return c.Rate * c.Steepen * qbar
+}
+
+// CobbDouglasValuation is the alternative consumer valuation family
+// from the related work ([15]): φ = Scale·S^ElasTau·q̄^ElasQ with
+// elasticities in (0, 1) for diminishing marginal returns.
+type CobbDouglasValuation struct {
+	Scale   float64 // multiplicative scale, > 0
+	ElasTau float64 // sensing-time elasticity in (0,1)
+	ElasQ   float64 // quality elasticity in (0,1)
+}
+
+// Value returns the Cobb–Douglas valuation.
+func (v CobbDouglasValuation) Value(totalTau, qbar float64) float64 {
+	if totalTau <= 0 || qbar <= 0 {
+		return 0
+	}
+	return v.Scale * math.Pow(totalTau, v.ElasTau) * math.Pow(qbar, v.ElasQ)
+}
+
+// MarginalValue returns ∂Value/∂S.
+func (v CobbDouglasValuation) MarginalValue(totalTau, qbar float64) float64 {
+	if totalTau <= 0 || qbar <= 0 {
+		return math.Inf(1)
+	}
+	return v.Value(totalTau, qbar) * v.ElasTau / totalTau
+}
+
+var (
+	_ CostFunc      = PiecewiseLinearCost{}
+	_ ValuationFunc = CobbDouglasValuation{}
+)

@@ -1,0 +1,663 @@
+package experiment
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmabhs/internal/stats"
+)
+
+// testSettings returns a drastically scaled-down configuration so the
+// whole suite stays fast; shape assertions still hold at this scale.
+func testSettings() Settings {
+	s := Defaults()
+	s.M = 20
+	s.K = 3
+	s.L = 3
+	s.Scale = 1000 // N sweep becomes {5, 40, 80, 100, 120, 160, 200}
+	s.Workers = 4
+	s.Seed = 42
+	return s
+}
+
+func seriesByName(figs []Figure, figID, name string) (stats.Series, bool) {
+	for _, f := range figs {
+		if f.ID != figID {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Name == name {
+				return s, true
+			}
+		}
+	}
+	return stats.Series{}, false
+}
+
+func lastY(s stats.Series) float64 { return s.Points[len(s.Points)-1].Y }
+
+func TestSettingsValidate(t *testing.T) {
+	s := Defaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := Defaults()
+	bad.K = bad.M + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("K > M should fail")
+	}
+	bad = Defaults()
+	bad.N = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("N = 0 should fail")
+	}
+}
+
+func TestScaledFloorsAtTwo(t *testing.T) {
+	s := Defaults()
+	s.Scale = 1_000_000
+	if got := s.scaled(5000); got != 2 {
+		t.Errorf("scaled = %d", got)
+	}
+	s.Scale = 0
+	if got := s.scaled(5000); got != 5000 {
+		t.Errorf("unscaled = %d", got)
+	}
+}
+
+func TestFig7And8ShapesAndOrdering(t *testing.T) {
+	s := testSettings()
+	figs, err := Fig7And8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"fig7a", "fig7b", "fig8a", "fig8b", "fig8c"}
+	if len(figs) != len(wantIDs) {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	for i, f := range figs {
+		if f.ID != wantIDs[i] {
+			t.Errorf("figure %d id %q, want %q", i, f.ID, wantIDs[i])
+		}
+	}
+	// Revenue at the largest N: optimal ≥ CMAB-HS > random.
+	opt, _ := seriesByName(figs, "fig7a", "optimal")
+	ucb, _ := seriesByName(figs, "fig7a", "CMAB-HS")
+	rnd, _ := seriesByName(figs, "fig7a", "random")
+	if len(opt.Points) != 7 {
+		t.Fatalf("sweep has %d points", len(opt.Points))
+	}
+	if !(lastY(opt) >= lastY(ucb) && lastY(ucb) > lastY(rnd)) {
+		t.Errorf("revenue ordering violated: opt=%v ucb=%v random=%v", lastY(opt), lastY(ucb), lastY(rnd))
+	}
+	// Regret: optimal ≈ 0, CMAB-HS < random; both grow with N.
+	optR, _ := seriesByName(figs, "fig7b", "optimal")
+	ucbR, _ := seriesByName(figs, "fig7b", "CMAB-HS")
+	rndR, _ := seriesByName(figs, "fig7b", "random")
+	if lastY(optR) != 0 {
+		t.Errorf("optimal regret %v", lastY(optR))
+	}
+	if !(lastY(ucbR) < lastY(rndR)) {
+		t.Errorf("CMAB-HS regret %v not below random %v", lastY(ucbR), lastY(rndR))
+	}
+	if !(rndR.Points[len(rndR.Points)-1].Y > rndR.Points[0].Y) {
+		t.Error("random regret should grow with N")
+	}
+	// Δ-PoC of CMAB-HS stays below random's at the largest N.
+	dUCB, ok := seriesByName(figs, "fig8a", "CMAB-HS")
+	if !ok {
+		t.Fatal("fig8a missing CMAB-HS")
+	}
+	dRnd, _ := seriesByName(figs, "fig8a", "random")
+	if !(lastY(dUCB) <= lastY(dRnd)) {
+		t.Errorf("Δ-PoC ordering violated: ucb=%v random=%v", lastY(dUCB), lastY(dRnd))
+	}
+}
+
+func TestFig9And10Shapes(t *testing.T) {
+	s := testSettings()
+	s.Scale = 2000 // horizon 50
+	figs, err := Fig9And10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 5 || figs[0].ID != "fig9a" || figs[4].ID != "fig10c" {
+		t.Fatalf("figure ids: %v, %v...", figs[0].ID, figs[1].ID)
+	}
+	opt, _ := seriesByName(figs, "fig9a", "optimal")
+	if len(opt.Points) != len(SweepM) {
+		t.Fatalf("M sweep has %d points", len(opt.Points))
+	}
+	// Revenue ordering at the largest M.
+	ucb, _ := seriesByName(figs, "fig9a", "CMAB-HS")
+	rnd, _ := seriesByName(figs, "fig9a", "random")
+	if !(lastY(opt) >= lastY(ucb) && lastY(ucb) > lastY(rnd)) {
+		t.Errorf("revenue ordering at M=300: opt=%v ucb=%v rnd=%v", lastY(opt), lastY(ucb), lastY(rnd))
+	}
+}
+
+func TestFig11And12Shapes(t *testing.T) {
+	s := testSettings()
+	s.M = 80 // allow K ∈ {10..60}
+	s.Scale = 2000
+	figs, err := Fig11And12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 5 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	// Revenue increases with K for every policy (more sellers => more
+	// collected quality).
+	for _, name := range PolicyNames {
+		ser, ok := seriesByName(figs, "fig11a", name)
+		if !ok {
+			t.Fatalf("fig11a missing %s", name)
+		}
+		if !(lastY(ser) > ser.Points[0].Y) {
+			t.Errorf("%s revenue should grow with K: first=%v last=%v", name, ser.Points[0].Y, lastY(ser))
+		}
+	}
+	// Average per-seller profit decreases with K (Fig. 12c).
+	pos, ok := seriesByName(figs, "fig12c", "CMAB-HS")
+	if !ok {
+		t.Fatal("fig12c missing CMAB-HS")
+	}
+	if !(lastY(pos) < pos.Points[0].Y) {
+		t.Errorf("avg PoS should fall with K: first=%v last=%v", pos.Points[0].Y, lastY(pos))
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	s := testSettings()
+	s.K = 10
+	figs, err := Fig13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "fig13a" || figs[1].ID != "fig13b" {
+		t.Fatalf("figure ids wrong: %+v", figs)
+	}
+	if len(figs[0].Series) != 5 {
+		t.Fatalf("fig13a has %d series", len(figs[0].Series))
+	}
+	// Larger ω ⇒ larger peak PoC, and each curve is single-peaked.
+	peak := func(s stats.Series) float64 {
+		best := s.Points[0].Y
+		for _, p := range s.Points {
+			if p.Y > best {
+				best = p.Y
+			}
+		}
+		return best
+	}
+	prev := -1.0
+	for _, ser := range figs[0].Series {
+		p := peak(ser)
+		if !(p > prev) {
+			t.Errorf("peak PoC should grow with omega: %v then %v", prev, p)
+		}
+		prev = p
+	}
+	// fig13b: PoP increases with p^J (platform gains from higher
+	// service prices).
+	pop, ok := seriesByName(figs, "fig13b", "PoP")
+	if !ok {
+		t.Fatal("fig13b missing PoP")
+	}
+	if !(lastY(pop) > pop.Points[0].Y) {
+		t.Error("PoP should increase with p^J")
+	}
+	// PoC is single-peaked: rises then falls.
+	poc, _ := seriesByName(figs, "fig13b", "PoC")
+	if !(peak(poc) > poc.Points[0].Y && peak(poc) > lastY(poc)) {
+		t.Error("PoC should be single-peaked in p^J")
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	s := testSettings()
+	s.K = 10
+	figs, err := Fig14(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	// Non-deviating sellers' profits are flat (Eq. 5: PoS-i depends
+	// only on its own τ_i given fixed prices).
+	for _, name := range []string{"PoS-3", "PoS-8"} {
+		ser, ok := seriesByName(figs, "fig14b", name)
+		if !ok {
+			t.Fatalf("fig14b missing %s", name)
+		}
+		for _, p := range ser.Points {
+			if p.Y != ser.Points[0].Y {
+				t.Errorf("%s should be constant under seller-6 deviation", name)
+				break
+			}
+		}
+	}
+	// The deviating seller's profit is single-peaked with an interior max.
+	pos6, ok := seriesByName(figs, "fig14b", "PoS-6")
+	if !ok {
+		t.Fatal("fig14b missing PoS-6")
+	}
+	bestIdx := 0
+	for i, p := range pos6.Points {
+		if p.Y > pos6.Points[bestIdx].Y {
+			bestIdx = i
+		}
+	}
+	if bestIdx == 0 || bestIdx == len(pos6.Points)-1 {
+		t.Errorf("PoS-6 peak at boundary index %d", bestIdx)
+	}
+}
+
+func TestFig15And16Shapes(t *testing.T) {
+	s := testSettings()
+	s.K = 10
+	figs, err := Fig15And16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	// PoC, PoP, PoS-6 decline as a_6 grows; SoC rises; SoS-6 falls.
+	poc, _ := seriesByName(figs, "fig15a", "PoC")
+	if !(lastY(poc) < poc.Points[0].Y) {
+		t.Error("PoC should decline with a_6")
+	}
+	pos6, _ := seriesByName(figs, "fig15b", "PoS-6")
+	if !(lastY(pos6) < pos6.Points[0].Y) {
+		t.Error("PoS-6 should decline with a_6")
+	}
+	soc, _ := seriesByName(figs, "fig16a", "SoC (p^J)")
+	if !(lastY(soc) > soc.Points[0].Y) {
+		t.Error("SoC should rise with a_6")
+	}
+	sos6, _ := seriesByName(figs, "fig16b", "SoS-6")
+	if !(lastY(sos6) < sos6.Points[0].Y) {
+		t.Error("SoS-6 should fall with a_6")
+	}
+}
+
+func TestFig17And18Shapes(t *testing.T) {
+	s := testSettings()
+	s.K = 10
+	figs, err := Fig17And18(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	// Profits fall with θ; SoC (p^J) rises; SoP (p) falls; SoS fall.
+	poc, _ := seriesByName(figs, "fig17a", "PoC")
+	pop, _ := seriesByName(figs, "fig17a", "PoP")
+	if !(lastY(poc) < poc.Points[0].Y) || !(lastY(pop) < pop.Points[0].Y) {
+		t.Error("PoC and PoP should decline with theta")
+	}
+	soc, _ := seriesByName(figs, "fig18a", "SoC (p^J)")
+	sop, _ := seriesByName(figs, "fig18a", "SoP (p)")
+	if !(lastY(soc) > soc.Points[0].Y) {
+		t.Error("SoC should rise with theta")
+	}
+	if !(lastY(sop) < sop.Points[0].Y) {
+		t.Error("SoP should fall with theta")
+	}
+	for _, ser := range figs[3].Series {
+		if !(lastY(ser) < ser.Points[0].Y) {
+			t.Errorf("%s should fall with theta", ser.Name)
+		}
+	}
+}
+
+func TestAblationUCB(t *testing.T) {
+	s := testSettings()
+	figs, err := AblationUCB(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Series) != 5 {
+		t.Fatalf("shape: %d figs", len(figs))
+	}
+	opt, _ := seriesByName(figs, "ablation-ucb", "optimal")
+	if lastY(opt) != 0 {
+		t.Errorf("oracle regret %v", lastY(opt))
+	}
+}
+
+func TestAblationExplore(t *testing.T) {
+	s := testSettings()
+	figs, err := AblationExplore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Series) != 2 {
+		t.Fatal("shape wrong")
+	}
+	for _, ser := range figs[0].Series {
+		if len(ser.Points) != 7 {
+			t.Errorf("%s has %d points", ser.Name, len(ser.Points))
+		}
+	}
+}
+
+func TestAblationSolver(t *testing.T) {
+	s := testSettings()
+	s.M = 80
+	figs, err := AblationSolver(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, ok := seriesByName(figs, "ablation-solver", "relative gap")
+	if !ok {
+		t.Fatal("missing relative gap series")
+	}
+	// The exact solver's platform plays its true best response, which
+	// can cut either way for the consumer relative to the closed
+	// form's inconsistent price — but the gap must stay small.
+	for _, p := range gap.Points {
+		if p.Y < -0.2 || p.Y > 0.2 {
+			t.Errorf("solver gap too large at K=%v: %v", p.X, p.Y)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, ok := Find("fig13"); !ok {
+		t.Error("fig13 not registered")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("bogus id found")
+	}
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Errorf("IDs() returned %d, registry has %d", len(ids), len(Registry))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Error("IDs not sorted")
+		}
+	}
+}
+
+func TestRunAndRender(t *testing.T) {
+	var sb strings.Builder
+	if err := RunAndRender(&sb, "settings", testSettings()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table II") {
+		t.Error("settings table missing title")
+	}
+	sb.Reset()
+	s := testSettings()
+	s.K = 10
+	if err := RunAndRender(&sb, "fig13", s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig13a") || !strings.Contains(out, "fig13b") {
+		t.Errorf("rendered output missing figures:\n%s", out[:min(400, len(out))])
+	}
+	if err := RunAndRender(&sb, "bogus", testSettings()); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestSettingsTableRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := SettingsTable(Defaults()).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"number of rounds N", "theta", "omega"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("settings table missing %q", want)
+		}
+	}
+}
+
+func TestExtAggregation(t *testing.T) {
+	s := testSettings()
+	figs, err := ExtAggregation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Series) != len(PolicyNames) {
+		t.Fatalf("shape: %d figs", len(figs))
+	}
+	// Quality-aware selection yields lower statistics error than
+	// random at the largest horizon.
+	opt, _ := seriesByName(figs, "ext-aggregation", "optimal")
+	rnd, _ := seriesByName(figs, "ext-aggregation", "random")
+	if !(lastY(opt) < lastY(rnd)) {
+		t.Errorf("optimal RMSE %v should beat random %v", lastY(opt), lastY(rnd))
+	}
+	for _, ser := range figs[0].Series {
+		for _, p := range ser.Points {
+			if !(p.Y > 0) {
+				t.Fatalf("%s has non-positive RMSE %v", ser.Name, p.Y)
+			}
+		}
+	}
+}
+
+func TestExtChurn(t *testing.T) {
+	s := testSettings()
+	s.Scale = 1000
+	figs, err := ExtChurn(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("figs %d", len(figs))
+	}
+	ucb, ok := seriesByName(figs, "ext-churn", "CMAB-HS")
+	if !ok {
+		t.Fatal("missing CMAB-HS series")
+	}
+	if len(ucb.Points) != 6 {
+		t.Fatalf("churn sweep has %d points", len(ucb.Points))
+	}
+	// Which sellers depart is random, so at smoke scale the regret
+	// ordering across churn levels is noisy; assert the runs complete
+	// with sane (finite, non-negative) regret everywhere instead.
+	for _, ser := range figs[0].Series {
+		if len(ser.Points) != 6 {
+			t.Fatalf("%s has %d points", ser.Name, len(ser.Points))
+		}
+		for _, p := range ser.Points {
+			if p.Y < 0 || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				t.Fatalf("%s regret %v at churn %v", ser.Name, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestExtNonStationary(t *testing.T) {
+	s := testSettings()
+	figs, err := ExtNonStationary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Series) != 4 {
+		t.Fatalf("shape: %d figs", len(figs))
+	}
+	// Every learning policy's dynamic regret beats random at the
+	// largest horizon; all values are finite and non-negative.
+	rnd, ok := seriesByName(figs, "ext-nonstationary", "random")
+	if !ok {
+		t.Fatal("missing random series")
+	}
+	for _, name := range []string{"CMAB-HS", "sw-ucb", "d-ucb"} {
+		ser, ok := seriesByName(figs, "ext-nonstationary", name)
+		if !ok {
+			t.Fatalf("missing %s series", name)
+		}
+		if !(lastY(ser) < lastY(rnd)) {
+			t.Errorf("%s dynamic regret %v should beat random %v", name, lastY(ser), lastY(rnd))
+		}
+		for _, p := range ser.Points {
+			if p.Y < 0 || math.IsNaN(p.Y) {
+				t.Fatalf("%s regret %v at N=%v", name, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestExtAuction(t *testing.T) {
+	s := testSettings()
+	figs, err := ExtAuction(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Series) != 6 {
+		t.Fatalf("shape: %d figs", len(figs))
+	}
+	// Both mechanisms trade profitably at the largest horizon, and
+	// the Stackelberg consumer profit beats the auction's (the
+	// auction's truthfulness premium goes to sellers and the fixed
+	// unit sensing time caps the surplus).
+	pocHS, _ := seriesByName(figs, "ext-auction", "PoC CMAB-HS")
+	pocAu, _ := seriesByName(figs, "ext-auction", "PoC auction")
+	if !(lastY(pocHS) > 0 && lastY(pocAu) > 0) {
+		t.Errorf("consumer profits should be positive: HS=%v auction=%v", lastY(pocHS), lastY(pocAu))
+	}
+	if !(lastY(pocHS) > lastY(pocAu)) {
+		t.Errorf("Stackelberg PoC %v should beat auction PoC %v", lastY(pocHS), lastY(pocAu))
+	}
+	// Auction seller rents are non-negative (individual rationality).
+	posAu, _ := seriesByName(figs, "ext-auction", "PoS auction")
+	for _, p := range posAu.Points {
+		if p.Y < -1e-9 {
+			t.Errorf("auction seller rent %v at N=%v violates IR", p.Y, p.X)
+		}
+	}
+}
+
+func TestExtFamilies(t *testing.T) {
+	s := testSettings()
+	s.K = 10
+	figs, err := ExtFamilies(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("figs %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 3 {
+			t.Fatalf("%s has %d series", f.ID, len(f.Series))
+		}
+		for _, ser := range f.Series {
+			if len(ser.Points) != 5 {
+				t.Fatalf("%s/%s has %d points", f.ID, ser.Name, len(ser.Points))
+			}
+		}
+	}
+	// The paper's family trades profitably and PoC grows with omega.
+	poc, ok := seriesByName(figs, "ext-families-a", "PoC quad+log (paper)")
+	if !ok {
+		t.Fatal("missing paper-family PoC")
+	}
+	if !(poc.Points[0].Y > 0 && lastY(poc) > poc.Points[0].Y) {
+		t.Errorf("paper-family PoC should be positive and grow with omega: %v → %v",
+			poc.Points[0].Y, lastY(poc))
+	}
+	// Every variant trades at the largest omega.
+	for _, name := range []string{"PoC piecewise+log", "PoC quad+cobb-douglas"} {
+		ser, ok := seriesByName(figs, "ext-families-a", name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if !(lastY(ser) > 0) {
+			t.Errorf("%s should trade profitably at omega=1400: %v", name, lastY(ser))
+		}
+	}
+}
+
+func TestFig4To6(t *testing.T) {
+	figs, err := Fig4To6(testSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figs %d", len(figs))
+	}
+	// Round 1 selects all three sellers; later rounds exactly two.
+	sel := figs[0].Series
+	if len(sel) != 3 {
+		t.Fatalf("selection series %d", len(sel))
+	}
+	for _, ser := range sel {
+		if ser.Points[0].Y != 1 {
+			t.Errorf("%s not selected in round 1", ser.Name)
+		}
+	}
+	for round := 1; round < 10; round++ {
+		count := 0.0
+		for _, ser := range sel {
+			count += ser.Points[round].Y
+		}
+		if count != 2 {
+			t.Errorf("round %d selected %v sellers, want 2", round+1, count)
+		}
+	}
+	// Round 1 pays p_max = 5 (Fig. 4's p¹*).
+	pStar, _ := seriesByName(figs, "fig4-6b", "p*")
+	if pStar.Points[0].Y != 5 {
+		t.Errorf("round-1 collection price %v, want 5", pStar.Points[0].Y)
+	}
+	// Learned qualities land near the truth.
+	est, _ := seriesByName(figs, "fig4-6d", "learned q̄")
+	truth, _ := seriesByName(figs, "fig4-6d", "true q")
+	for i := range est.Points {
+		if math.Abs(est.Points[i].Y-truth.Points[i].Y) > 0.15 {
+			t.Errorf("seller %d estimate %v far from truth %v", i+1, est.Points[i].Y, truth.Points[i].Y)
+		}
+	}
+}
+
+// TestShippedBaselines: the baselines committed in baselines/ load
+// and compare clean against a fresh same-seed run — the repo's own
+// regression check.
+func TestShippedBaselines(t *testing.T) {
+	cases := []struct {
+		file, exp string
+		scale     int
+	}{
+		{"fig13.json", "fig13", 1},
+		{"fig15-16.json", "fig15-16", 1},
+		{"fig17-18.json", "fig17-18", 1},
+	}
+	for _, tc := range cases {
+		f, err := os.Open(filepath.Join("..", "..", "baselines", tc.file))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		baseline, err := LoadFigures(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		s := Defaults()
+		s.Scale = tc.scale
+		exp, ok := Find(tc.exp)
+		if !ok {
+			t.Fatalf("experiment %s missing", tc.exp)
+		}
+		fresh, err := exp.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := CompareFigures(baseline, fresh, CompareOptions{}); len(diffs) != 0 {
+			t.Errorf("%s: %v", tc.file, diffs)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"cmabhs/internal/stats"
+)
+
+// This file implements figure persistence and shape comparison: the
+// reproduction's regression harness. `cdt-bench -json` saves a run's
+// figures; `cdt-compare` checks a new run against that baseline the
+// same way EXPERIMENTS.md compares against the paper — by shape
+// (correlation, trend, scale), not by exact values, since every run
+// draws fresh randomness.
+
+// LoadFigures reads a JSON figure array written by cdt-bench -json.
+func LoadFigures(r io.Reader) ([]Figure, error) {
+	var figs []Figure
+	if err := json.NewDecoder(r).Decode(&figs); err != nil {
+		return nil, fmt.Errorf("figio: %w", err)
+	}
+	return figs, nil
+}
+
+// SaveFigures writes figures as indented JSON.
+func SaveFigures(w io.Writer, figs []Figure) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(figs)
+}
+
+// CompareOptions tunes the shape comparison.
+type CompareOptions struct {
+	// MinCorrelation is the minimum Pearson correlation between the
+	// baseline and candidate Y values over shared X points (default
+	// 0.8). Ignored for series with fewer than 3 shared points or
+	// (near-)constant baselines.
+	MinCorrelation float64
+	// MaxScaleRatio bounds how far the candidate's mean |Y| may move
+	// from the baseline's (default 5: anything within 5× passes).
+	MaxScaleRatio float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.MinCorrelation == 0 {
+		o.MinCorrelation = 0.8
+	}
+	if o.MaxScaleRatio == 0 {
+		o.MaxScaleRatio = 5
+	}
+	return o
+}
+
+// Diff is one detected shape disagreement.
+type Diff struct {
+	FigureID string
+	Series   string
+	Issue    string
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%s/%s: %s", d.FigureID, d.Series, d.Issue)
+}
+
+// CompareFigures checks candidate figures against a baseline and
+// returns every shape disagreement. Missing figures/series and
+// X-grid mismatches are reported too; extra candidate figures are
+// ignored (additions are fine).
+func CompareFigures(baseline, candidate []Figure, opts CompareOptions) []Diff {
+	opts = opts.withDefaults()
+	var diffs []Diff
+	candByID := make(map[string]*Figure, len(candidate))
+	for i := range candidate {
+		candByID[candidate[i].ID] = &candidate[i]
+	}
+	for bi := range baseline {
+		bf := &baseline[bi]
+		cf, ok := candByID[bf.ID]
+		if !ok {
+			diffs = append(diffs, Diff{FigureID: bf.ID, Issue: "figure missing from candidate"})
+			continue
+		}
+		candSeries := make(map[string]*stats.Series, len(cf.Series))
+		for i := range cf.Series {
+			candSeries[cf.Series[i].Name] = &cf.Series[i]
+		}
+		for si := range bf.Series {
+			bs := &bf.Series[si]
+			cs, ok := candSeries[bs.Name]
+			if !ok {
+				diffs = append(diffs, Diff{FigureID: bf.ID, Series: bs.Name, Issue: "series missing from candidate"})
+				continue
+			}
+			diffs = append(diffs, compareSeries(bf.ID, bs, cs, opts)...)
+		}
+	}
+	return diffs
+}
+
+func compareSeries(figID string, b, c *stats.Series, opts CompareOptions) []Diff {
+	var diffs []Diff
+	cByX := make(map[float64]float64, len(c.Points))
+	for _, p := range c.Points {
+		cByX[p.X] = p.Y
+	}
+	var bs, cs []float64
+	for _, p := range b.Points {
+		if y, ok := cByX[p.X]; ok {
+			bs = append(bs, p.Y)
+			cs = append(cs, y)
+		}
+	}
+	if len(bs) < len(b.Points)/2 || len(bs) == 0 {
+		// Sparse X overlap: some sweeps derive their grid from the
+		// sampled instance (e.g. Fig. 14's τ* multiples), so X values
+		// shift with the seed. When both series have the same length,
+		// fall back to ordinal alignment; otherwise report.
+		if len(b.Points) != len(c.Points) {
+			return append(diffs, Diff{FigureID: figID, Series: b.Name,
+				Issue: fmt.Sprintf("only %d/%d baseline X points present and lengths differ (%d vs %d)",
+					len(bs), len(b.Points), len(b.Points), len(c.Points))})
+		}
+		bs = bs[:0]
+		cs = cs[:0]
+		for i := range b.Points {
+			bs = append(bs, b.Points[i].Y)
+			cs = append(cs, c.Points[i].Y)
+		}
+	}
+	// Scale: compare mean magnitudes.
+	bMag, cMag := meanAbs(bs), meanAbs(cs)
+	if bMag > 1e-9 {
+		ratio := cMag / bMag
+		if ratio > opts.MaxScaleRatio || ratio < 1/opts.MaxScaleRatio {
+			diffs = append(diffs, Diff{FigureID: figID, Series: b.Name,
+				Issue: fmt.Sprintf("scale moved %.3gx (baseline mean |Y| %.4g, candidate %.4g)", ratio, bMag, cMag)})
+		}
+	}
+	// Shape: correlation over shared X, when the baseline varies.
+	if len(bs) >= 3 && relSpread(bs) > 0.05 {
+		if r := correlation(bs, cs); r < opts.MinCorrelation {
+			diffs = append(diffs, Diff{FigureID: figID, Series: b.Name,
+				Issue: fmt.Sprintf("correlation %.3f below %.3f", r, opts.MinCorrelation)})
+		}
+	}
+	return diffs
+}
+
+func meanAbs(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// relSpread returns (max−min)/mean|Y|, a cheap constancy test.
+func relSpread(xs []float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	m := meanAbs(xs)
+	if m == 0 {
+		return 0
+	}
+	return (hi - lo) / m
+}
+
+// correlation returns the Pearson correlation of two equal-length
+// samples (0 for degenerate inputs).
+func correlation(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cmabhs/internal/stats"
+)
+
+func mkFigure(id string, names []string, ys [][]float64) Figure {
+	f := Figure{ID: id, Title: id, XLabel: "x"}
+	for si, name := range names {
+		s := stats.Series{Name: name}
+		for i, y := range ys[si] {
+			s.Points = append(s.Points, stats.Point{X: float64(i), Y: y})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	figs := []Figure{mkFigure("f1", []string{"a", "b"}, [][]float64{{1, 2, 3}, {3, 2, 1}})}
+	var buf bytes.Buffer
+	if err := SaveFigures(&buf, figs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFigures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].ID != "f1" || len(back[0].Series) != 2 {
+		t.Fatalf("round trip %+v", back)
+	}
+	if back[0].Series[0].Points[2].Y != 3 {
+		t.Error("points lost")
+	}
+	if _, err := LoadFigures(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	figs := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{1, 2, 3, 4, 5}})}
+	if diffs := CompareFigures(figs, figs, CompareOptions{}); len(diffs) != 0 {
+		t.Fatalf("identical figures diff: %v", diffs)
+	}
+}
+
+func TestCompareNoisyButSameShape(t *testing.T) {
+	base := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{10, 20, 30, 40, 50}})}
+	cand := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{12, 19, 33, 38, 54}})}
+	if diffs := CompareFigures(base, cand, CompareOptions{}); len(diffs) != 0 {
+		t.Fatalf("same-shape noisy run should pass: %v", diffs)
+	}
+}
+
+func TestCompareDetectsShapeFlip(t *testing.T) {
+	base := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{10, 20, 30, 40, 50}})}
+	cand := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{50, 40, 30, 20, 10}})}
+	diffs := CompareFigures(base, cand, CompareOptions{})
+	if len(diffs) != 1 || !strings.Contains(diffs[0].Issue, "correlation") {
+		t.Fatalf("flip not detected: %v", diffs)
+	}
+}
+
+func TestCompareDetectsScaleBlowup(t *testing.T) {
+	base := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{10, 20, 30, 40, 50}})}
+	cand := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{100, 200, 300, 400, 500}})}
+	diffs := CompareFigures(base, cand, CompareOptions{})
+	if len(diffs) != 1 || !strings.Contains(diffs[0].Issue, "scale") {
+		t.Fatalf("scale blowup not detected: %v", diffs)
+	}
+	// Same comparison with a permissive ratio passes.
+	if diffs := CompareFigures(base, cand, CompareOptions{MaxScaleRatio: 20}); len(diffs) != 0 {
+		t.Fatalf("permissive scale should pass: %v", diffs)
+	}
+}
+
+func TestCompareMissingPieces(t *testing.T) {
+	base := []Figure{
+		mkFigure("f1", []string{"a", "b"}, [][]float64{{1, 2, 3}, {3, 2, 1}}),
+		mkFigure("f2", []string{"a"}, [][]float64{{1, 2, 3}}),
+	}
+	cand := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{1, 2, 3}})}
+	diffs := CompareFigures(base, cand, CompareOptions{})
+	var missFig, missSeries bool
+	for _, d := range diffs {
+		if d.FigureID == "f2" && strings.Contains(d.Issue, "figure missing") {
+			missFig = true
+		}
+		if d.FigureID == "f1" && d.Series == "b" && strings.Contains(d.Issue, "series missing") {
+			missSeries = true
+		}
+	}
+	if !missFig || !missSeries {
+		t.Fatalf("missing pieces not reported: %v", diffs)
+	}
+}
+
+func TestCompareXGridMismatch(t *testing.T) {
+	base := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{1, 2, 3, 4}})}
+	cand := []Figure{{ID: "f1", Series: []stats.Series{{
+		Name:   "a",
+		Points: []stats.Point{{X: 99, Y: 1}},
+	}}}}
+	diffs := CompareFigures(base, cand, CompareOptions{})
+	if len(diffs) != 1 || !strings.Contains(diffs[0].Issue, "baseline X points") {
+		t.Fatalf("grid mismatch not reported: %v", diffs)
+	}
+}
+
+func TestCompareConstantBaselineSkipsCorrelation(t *testing.T) {
+	// A flat baseline (e.g. optimal regret ≡ 0) cannot correlate;
+	// only scale is checked.
+	base := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{5, 5, 5, 5, 5}})}
+	cand := []Figure{mkFigure("f1", []string{"a"}, [][]float64{{5.1, 4.9, 5.2, 4.8, 5}})}
+	if diffs := CompareFigures(base, cand, CompareOptions{}); len(diffs) != 0 {
+		t.Fatalf("constant baseline should pass: %v", diffs)
+	}
+}
+
+// TestCompareEndToEndWithRealExperiment: a figure generator's output
+// compares clean against itself under a different seed (same shape),
+// exercising the full save→load→compare path.
+func TestCompareEndToEndWithRealExperiment(t *testing.T) {
+	s := testSettings()
+	s.K = 10
+	a, err := Fig13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveFigures(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFigures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := s
+	s2.Seed = 43 // different market draw, same shapes
+	b, err := Fig13(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := CompareFigures(loaded, b, CompareOptions{MinCorrelation: 0.6}); len(diffs) != 0 {
+		t.Fatalf("reseeded Fig13 should keep its shape: %v", diffs)
+	}
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"cmabhs/internal/stats"
+)
+
+// Figure is one reproduced plot: a shared X axis and one series per
+// algorithm/party, rendered as an aligned table or CSV.
+type Figure struct {
+	ID     string // e.g. "fig7a"
+	Title  string // what the paper's plot shows
+	XLabel string
+	Series []stats.Series
+}
+
+// Table renders the figure as an aligned text table.
+func (f *Figure) Table() *stats.Table {
+	return stats.SeriesTable(fmt.Sprintf("%s: %s", f.ID, f.Title), f.XLabel, f.Series...)
+}
+
+// Render writes the figure's table to w.
+func (f *Figure) Render(w io.Writer) error { return f.Table().Render(w) }
+
+// RenderCSV writes the figure as CSV to w.
+func (f *Figure) RenderCSV(w io.Writer) error { return f.Table().RenderCSV(w) }
+
+// RenderChart draws the figure as a compact ASCII line chart.
+func (f *Figure) RenderChart(w io.Writer) error {
+	return stats.Chart{}.Render(w, fmt.Sprintf("%s: %s", f.ID, f.Title), f.XLabel, f.Series...)
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines.
+// Each fn must confine its writes to its own index's data.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

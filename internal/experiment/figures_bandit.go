@@ -1,0 +1,246 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"cmabhs/internal/core"
+	"cmabhs/internal/rng"
+	"cmabhs/internal/stats"
+)
+
+// This file regenerates the online-learning figures (Figs. 7–12):
+// total revenue, regret, and per-party profit gaps across sweeps of
+// the horizon N, the population M, and the selection size K, for the
+// paper's algorithm set (optimal / CMAB-HS / ε-first / random).
+
+// Paper sweep values (Table II).
+var (
+	SweepN = []int{5_000, 40_000, 80_000, 100_000, 120_000, 160_000, 200_000}
+	SweepM = []int{50, 100, 150, 200, 250, 300}
+	SweepK = []int{10, 20, 30, 40, 50, 60}
+)
+
+// banditCell is one completed (sweep point, replication, policy) run.
+type banditCell struct {
+	x      float64
+	policy int
+	rep    int
+	res    *core.Result
+}
+
+// runBanditSweep executes the comparison set at every sweep point ×
+// replication in parallel. build must return the (M, K, horizon) of
+// sweep point x; instances are drawn with common random numbers
+// across policies for variance reduction.
+func runBanditSweep(s *Settings, xs []float64, build func(x float64) (m, k, horizon int)) ([]banditCell, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	reps := s.reps()
+	nPol := len(PolicyNames)
+	cells := make([]banditCell, len(xs)*reps*nPol)
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	parallelFor(len(cells), s.Workers, func(idx int) {
+		xi := idx / (reps * nPol)
+		rep := (idx / nPol) % reps
+		pol := idx % nPol
+		m, k, horizon := build(xs[xi])
+		src := rng.New(s.Seed).Split(int64(xi*7919 + rep))
+		inst := s.NewInstance(src, m, k, horizon)
+		policy := Policies(inst, horizon, src.Split(int64(pol)))[pol]
+		res, err := core.Run(inst.Config, policy)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sweep x=%v policy=%s: %w", xs[xi], PolicyNames[pol], err)
+			}
+			errMu.Unlock()
+			return
+		}
+		cells[idx] = banditCell{x: xs[xi], policy: pol, rep: rep, res: res}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return cells, nil
+}
+
+// revenueRegretFigures assembles the "total revenue vs X" and
+// "regret vs X" figures from a completed sweep.
+func revenueRegretFigures(idPrefix, what, xLabel string, cells []banditCell) []Figure {
+	revenue := make([]*stats.SeriesBuilder, len(PolicyNames))
+	regret := make([]*stats.SeriesBuilder, len(PolicyNames))
+	for i, name := range PolicyNames {
+		revenue[i] = stats.NewSeriesBuilder(name)
+		regret[i] = stats.NewSeriesBuilder(name)
+	}
+	for _, c := range cells {
+		if c.res == nil {
+			continue
+		}
+		revenue[c.policy].Observe(c.x, c.res.RealizedRevenue)
+		regret[c.policy].Observe(c.x, c.res.Regret)
+	}
+	revSeries := make([]stats.Series, len(revenue))
+	regSeries := make([]stats.Series, len(regret))
+	for i := range revenue {
+		revSeries[i] = revenue[i].Series()
+		regSeries[i] = regret[i].Series()
+	}
+	return []Figure{
+		{ID: idPrefix + "a", Title: "total revenue vs " + what, XLabel: xLabel, Series: revSeries},
+		{ID: idPrefix + "b", Title: "regret vs " + what, XLabel: xLabel, Series: regSeries},
+	}
+}
+
+// profitGapFigures assembles the Δ-PoC / Δ-PoP / Δ-PoS figures: the
+// average per-round profit gap between the optimal algorithm and each
+// other algorithm, per sweep point (Figs. 8 and 10).
+func profitGapFigures(idPrefix, what, xLabel string, cells []banditCell) []Figure {
+	// Index optimal runs by (x, rep) for pairing.
+	type key struct {
+		x   float64
+		rep int
+	}
+	opt := make(map[key]*core.Result)
+	for _, c := range cells {
+		if c.res != nil && PolicyNames[c.policy] == "optimal" {
+			opt[key{c.x, c.rep}] = c.res
+		}
+	}
+	metricNames := []string{"Δ-PoC", "Δ-PoP", "Δ-PoS(s)"}
+	builders := make([][]*stats.SeriesBuilder, len(metricNames))
+	for mi := range builders {
+		builders[mi] = make([]*stats.SeriesBuilder, 0, len(PolicyNames)-1)
+		for _, name := range PolicyNames {
+			if name == "optimal" {
+				continue
+			}
+			builders[mi] = append(builders[mi], stats.NewSeriesBuilder(name))
+		}
+	}
+	for _, c := range cells {
+		if c.res == nil || PolicyNames[c.policy] == "optimal" {
+			continue
+		}
+		o := opt[key{c.x, c.rep}]
+		if o == nil {
+			continue
+		}
+		rounds := float64(c.res.RoundsPlayed)
+		// The slot of this policy among non-optimal ones.
+		slot := c.policy - 1
+		builders[0][slot].Observe(c.x, (o.CumPoC-c.res.CumPoC)/rounds)
+		builders[1][slot].Observe(c.x, (o.CumPoP-c.res.CumPoP)/rounds)
+		builders[2][slot].Observe(c.x, (o.CumPoS-c.res.CumPoS)/rounds)
+	}
+	sub := []string{"a", "b", "c"}
+	figs := make([]Figure, len(metricNames))
+	for mi, metric := range metricNames {
+		series := make([]stats.Series, len(builders[mi]))
+		for i := range builders[mi] {
+			series[i] = builders[mi][i].Series()
+		}
+		figs[mi] = Figure{
+			ID:     idPrefix + sub[mi],
+			Title:  metric + " vs " + what,
+			XLabel: xLabel,
+			Series: series,
+		}
+	}
+	return figs
+}
+
+// Fig7And8 regenerates Fig. 7 (total revenue and regret vs N) and
+// Fig. 8 (Δ-profits vs N) with M and K at their defaults.
+func Fig7And8(s Settings) ([]Figure, error) {
+	xs := make([]float64, len(SweepN))
+	for i, n := range SweepN {
+		xs[i] = float64(s.scaled(n))
+	}
+	cells, err := runBanditSweep(&s, xs, func(x float64) (int, int, int) {
+		return s.M, s.K, int(x)
+	})
+	if err != nil {
+		return nil, err
+	}
+	figs := revenueRegretFigures("fig7", "total rounds N", "N", cells)
+	figs = append(figs, profitGapFigures("fig8", "total rounds N", "N", cells)...)
+	return figs, nil
+}
+
+// Fig9And10 regenerates Fig. 9 (revenue/regret vs M) and Fig. 10
+// (Δ-profits vs M) with N and K at their defaults.
+func Fig9And10(s Settings) ([]Figure, error) {
+	horizon := s.scaled(s.N)
+	xs := make([]float64, len(SweepM))
+	for i, m := range SweepM {
+		xs[i] = float64(m)
+	}
+	cells, err := runBanditSweep(&s, xs, func(x float64) (int, int, int) {
+		return int(x), s.K, horizon
+	})
+	if err != nil {
+		return nil, err
+	}
+	figs := revenueRegretFigures("fig9", "number of sellers M", "M", cells)
+	figs = append(figs, profitGapFigures("fig10", "number of sellers M", "M", cells)...)
+	return figs, nil
+}
+
+// Fig11And12 regenerates Fig. 11 (revenue/regret vs K) and Fig. 12
+// (average per-round PoC/PoP/PoS(s) vs K) with N and M at their
+// defaults.
+func Fig11And12(s Settings) ([]Figure, error) {
+	horizon := s.scaled(s.N)
+	xs := make([]float64, 0, len(SweepK))
+	for _, k := range SweepK {
+		if k <= s.M {
+			xs = append(xs, float64(k))
+		}
+	}
+	cells, err := runBanditSweep(&s, xs, func(x float64) (int, int, int) {
+		return s.M, int(x), horizon
+	})
+	if err != nil {
+		return nil, err
+	}
+	figs := revenueRegretFigures("fig11", "selected sellers K", "K", cells)
+
+	// Fig. 12: average per-round profits by party.
+	names := []string{"avg PoC", "avg PoP", "avg PoS per seller"}
+	sub := []string{"a", "b", "c"}
+	builders := make([][]*stats.SeriesBuilder, len(names))
+	for mi := range builders {
+		builders[mi] = make([]*stats.SeriesBuilder, len(PolicyNames))
+		for pi, name := range PolicyNames {
+			builders[mi][pi] = stats.NewSeriesBuilder(name)
+		}
+	}
+	for _, c := range cells {
+		if c.res == nil {
+			continue
+		}
+		k := int(c.x)
+		builders[0][c.policy].Observe(c.x, c.res.AvgPoC())
+		builders[1][c.policy].Observe(c.x, c.res.AvgPoP())
+		builders[2][c.policy].Observe(c.x, c.res.AvgPoSPerSeller(k))
+	}
+	for mi := range names {
+		series := make([]stats.Series, len(PolicyNames))
+		for pi := range PolicyNames {
+			series[pi] = builders[mi][pi].Series()
+		}
+		figs = append(figs, Figure{
+			ID:     "fig12" + sub[mi],
+			Title:  names[mi] + " vs selected sellers K",
+			XLabel: "K",
+			Series: series,
+		})
+	}
+	return figs, nil
+}

@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cmabhs/internal/economics"
+	"cmabhs/internal/game"
+	"cmabhs/internal/numutil"
+	"cmabhs/internal/rng"
+	"cmabhs/internal/stats"
+)
+
+// This file regenerates the Stackelberg-game figures (Figs. 13–18).
+// They all probe a single round's game on a fixed set of K=10 sellers
+// ("we randomly select one round"), so the generators build one
+// deterministic instance from the settings and sweep prices, a
+// seller's strategy, a seller's cost parameter a_6, and the
+// platform's cost parameter θ. Sellers are referred to 1-based as in
+// the paper (PoS-3 is p.Qualities[2] etc.).
+
+// gameInstance draws the fixed K-seller round used by Figs. 13–18.
+func gameInstance(s *Settings) *game.Params {
+	src := rng.New(s.Seed).Split(0x6a3e)
+	p := &game.Params{
+		Platform: economics.PlatformCost{Theta: s.Theta, Lambda: s.Lambda},
+		Consumer: economics.Valuation{Omega: s.Omega},
+		PJBounds: s.PJBounds,
+		PBounds:  s.PBounds,
+	}
+	for i := 0; i < s.K; i++ {
+		p.Sellers = append(p.Sellers, economics.SellerCost{
+			A: s.ARange.Draw(src),
+			B: s.BRange.Draw(src),
+		})
+		// Estimated qualities of a settled round: bounded away from 0.
+		p.Qualities = append(p.Qualities, src.Uniform(0.2, 1))
+	}
+	return p
+}
+
+// watchedSellers are the 1-based seller ids the paper plots (PoS-3,
+// PoS-6, PoS-8); trimmed if K is smaller in a scaled run.
+func watchedSellers(k int) []int {
+	var out []int
+	for _, id := range []int{3, 6, 8} {
+		if id <= k {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// Fig13 regenerates Fig. 13: (a) PoC vs the consumer's own price p^J
+// for several ω, with the platform and sellers reacting; (b) all
+// parties' profits vs p^J at ω=1000.
+func Fig13(s Settings) ([]Figure, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	base := gameInstance(&s)
+	pjGrid := numutil.Linspace(0.25, 40, 160)
+
+	// (a) PoC(p^J) for each ω.
+	omegas := []float64{600, 800, 1000, 1200, 1400}
+	seriesA := make([]stats.Series, 0, len(omegas))
+	for _, omega := range omegas {
+		p := *base
+		p.Consumer = economics.Valuation{Omega: omega}
+		co := p.Coeffs()
+		b := stats.NewSeriesBuilder(fmt.Sprintf("omega=%.0f", omega))
+		for _, pj := range pjGrid {
+			price, _ := p.PlatformBestResponse(pj, co)
+			out := p.Evaluate(pj, price, nil)
+			b.Observe(pj, out.ConsumerProfit)
+		}
+		seriesA = append(seriesA, b.Series())
+	}
+
+	// (b) PoC/PoP/PoS-i(p^J) at ω = 1000.
+	p := *base
+	p.Consumer = economics.Valuation{Omega: 1000}
+	co := p.Coeffs()
+	watched := watchedSellers(len(p.Sellers))
+	builders := []*stats.SeriesBuilder{stats.NewSeriesBuilder("PoC"), stats.NewSeriesBuilder("PoP")}
+	for _, id := range watched {
+		builders = append(builders, stats.NewSeriesBuilder(fmt.Sprintf("PoS-%d", id)))
+	}
+	for _, pj := range pjGrid {
+		price, _ := p.PlatformBestResponse(pj, co)
+		out := p.Evaluate(pj, price, nil)
+		builders[0].Observe(pj, out.ConsumerProfit)
+		builders[1].Observe(pj, out.PlatformProfit)
+		for wi, id := range watched {
+			builders[2+wi].Observe(pj, out.SellerProfits[id-1])
+		}
+	}
+	seriesB := make([]stats.Series, len(builders))
+	for i, b := range builders {
+		seriesB[i] = b.Series()
+	}
+	return []Figure{
+		{ID: "fig13a", Title: "PoC vs SoC (p^J) for different omega", XLabel: "p^J", Series: seriesA},
+		{ID: "fig13b", Title: "profits vs SoC (p^J) at omega=1000", XLabel: "p^J", Series: seriesB},
+	}, nil
+}
+
+// Fig14 regenerates Fig. 14: SoC and SoP fixed at the SE, seller 6's
+// sensing time deviates; (a) PoC and PoP, (b) PoS-3/6/8.
+func Fig14(s Settings) ([]Figure, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := gameInstance(&s)
+	eq, err := game.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if eq.NoTrade {
+		return nil, fmt.Errorf("fig14: instance does not trade")
+	}
+	watched := watchedSellers(len(p.Sellers))
+	dev := watched[len(watched)/2] // seller 6 at defaults
+	tauStar := eq.Taus[dev-1]
+	grid := numutil.Linspace(0, 3*tauStar+1, 121)
+
+	a := []*stats.SeriesBuilder{stats.NewSeriesBuilder("PoC"), stats.NewSeriesBuilder("PoP")}
+	bs := make([]*stats.SeriesBuilder, 0, len(watched))
+	for _, id := range watched {
+		bs = append(bs, stats.NewSeriesBuilder(fmt.Sprintf("PoS-%d", id)))
+	}
+	taus := append([]float64(nil), eq.Taus...)
+	for _, t6 := range grid {
+		taus[dev-1] = t6
+		out := p.Evaluate(eq.PJ, eq.P, taus)
+		a[0].Observe(t6, out.ConsumerProfit)
+		a[1].Observe(t6, out.PlatformProfit)
+		for wi, id := range watched {
+			bs[wi].Observe(t6, out.SellerProfits[id-1])
+		}
+	}
+	seriesA := []stats.Series{a[0].Series(), a[1].Series()}
+	seriesB := make([]stats.Series, len(bs))
+	for i := range bs {
+		seriesB[i] = bs[i].Series()
+	}
+	xl := fmt.Sprintf("tau_%d", dev)
+	return []Figure{
+		{ID: "fig14a", Title: "PoC and PoP vs SoS-" + fmt.Sprint(dev), XLabel: xl, Series: seriesA},
+		{ID: "fig14b", Title: "PoS(s) vs SoS-" + fmt.Sprint(dev), XLabel: xl, Series: seriesB},
+	}, nil
+}
+
+// sweepSE solves the SE across a parameter sweep and collects profits
+// and strategies; mutate applies the swept value to a copy of the
+// base game.
+func sweepSE(p *game.Params, xs []float64, mutate func(*game.Params, float64)) (profits, strategies map[string]*stats.SeriesBuilder, watched []int, err error) {
+	watched = watchedSellers(len(p.Sellers))
+	profits = map[string]*stats.SeriesBuilder{
+		"PoC": stats.NewSeriesBuilder("PoC"),
+		"PoP": stats.NewSeriesBuilder("PoP"),
+	}
+	strategies = map[string]*stats.SeriesBuilder{
+		"SoC": stats.NewSeriesBuilder("SoC (p^J)"),
+		"SoP": stats.NewSeriesBuilder("SoP (p)"),
+	}
+	for _, id := range watched {
+		profits[fmt.Sprintf("PoS-%d", id)] = stats.NewSeriesBuilder(fmt.Sprintf("PoS-%d", id))
+		strategies[fmt.Sprintf("SoS-%d", id)] = stats.NewSeriesBuilder(fmt.Sprintf("SoS-%d", id))
+	}
+	for _, x := range xs {
+		cp := *p
+		cp.Sellers = append([]economics.SellerCost(nil), p.Sellers...)
+		cp.Qualities = append([]float64(nil), p.Qualities...)
+		mutate(&cp, x)
+		out, err := game.Solve(&cp)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		profits["PoC"].Observe(x, out.ConsumerProfit)
+		profits["PoP"].Observe(x, out.PlatformProfit)
+		strategies["SoC"].Observe(x, out.PJ)
+		strategies["SoP"].Observe(x, out.P)
+		for _, id := range watched {
+			profits[fmt.Sprintf("PoS-%d", id)].Observe(x, out.SellerProfits[id-1])
+			strategies[fmt.Sprintf("SoS-%d", id)].Observe(x, out.Taus[id-1])
+		}
+	}
+	return profits, strategies, watched, nil
+}
+
+// seFigures renders the standard two-figure (profits, strategies)
+// pair shared by Figs. 15–18.
+func seFigures(profitID, strategyID, what, xLabel string, profits, strategies map[string]*stats.SeriesBuilder, watched []int) []Figure {
+	pSeries := []stats.Series{profits["PoC"].Series(), profits["PoP"].Series()}
+	sSeries := []stats.Series{strategies["SoC"].Series(), strategies["SoP"].Series()}
+	var posSeries, sosSeries []stats.Series
+	for _, id := range watched {
+		posSeries = append(posSeries, profits[fmt.Sprintf("PoS-%d", id)].Series())
+		sosSeries = append(sosSeries, strategies[fmt.Sprintf("SoS-%d", id)].Series())
+	}
+	return []Figure{
+		{ID: profitID + "a", Title: "PoC and PoP vs " + what, XLabel: xLabel, Series: pSeries},
+		{ID: profitID + "b", Title: "PoS(s) vs " + what, XLabel: xLabel, Series: posSeries},
+		{ID: strategyID + "a", Title: "SoC and SoP vs " + what, XLabel: xLabel, Series: sSeries},
+		{ID: strategyID + "b", Title: "SoS(s) vs " + what, XLabel: xLabel, Series: sosSeries},
+	}
+}
+
+// Fig15And16 regenerates Figs. 15–16: profits and strategies as
+// seller 6's cost parameter a_6 grows.
+func Fig15And16(s Settings) ([]Figure, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := gameInstance(&s)
+	watched := watchedSellers(len(p.Sellers))
+	dev := watched[len(watched)/2]
+	xs := numutil.Linspace(0.05, 5, 100)
+	profits, strategies, w, err := sweepSE(p, xs, func(cp *game.Params, x float64) {
+		cp.Sellers[dev-1].A = x
+	})
+	if err != nil {
+		return nil, err
+	}
+	what := fmt.Sprintf("cost parameter a_%d", dev)
+	return seFigures("fig15", "fig16", what, fmt.Sprintf("a_%d", dev), profits, strategies, w), nil
+}
+
+// Fig17And18 regenerates Figs. 17–18: profits and strategies as the
+// platform's cost parameter θ grows.
+func Fig17And18(s Settings) ([]Figure, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := gameInstance(&s)
+	xs := numutil.Linspace(0.1, 1, 91)
+	profits, strategies, w, err := sweepSE(p, xs, func(cp *game.Params, x float64) {
+		cp.Platform.Theta = x
+	})
+	if err != nil {
+		return nil, err
+	}
+	return seFigures("fig17", "fig18", "platform cost theta", "theta", profits, strategies, w), nil
+}

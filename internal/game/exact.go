@@ -1,0 +1,239 @@
+package game
+
+import (
+	"sort"
+
+	"cmabhs/internal/numutil"
+)
+
+// This file implements the exact solver over the kinked supply curve.
+//
+// The paper's Theorems 14–16 assume every selected seller plays an
+// interior sensing time 0 < τ_i* < T. Two boundary effects break
+// that: a seller opts out when the collection price does not clear
+// its activation threshold q̄_i·b_i, and a seller saturates at the
+// round duration T when the price exceeds q̄_i·(b_i + 2·a_i·T). The
+// true supply curve
+//
+//	S(p) = Σ clamp((p − q̄_i·b_i)/(2·q̄_i·a_i), 0, T)
+//
+// is continuous, non-decreasing, and piecewise linear with
+// breakpoints at every activation and saturation price. SolveExact
+// handles it exactly:
+//
+//   - Stage 2: on each supply segment the platform profit is a
+//     concave quadratic (or linear) in p, so the global optimum is
+//     the best of O(#segments) segment-wise closed forms and
+//     breakpoints.
+//   - Stage 1: the consumer optimum is found among the segment-wise
+//     Eq. 22 candidates, the segment-transition prices, and the
+//     PJBounds endpoints, each evaluated against the exact Stage-2
+//     response.
+//
+// Whenever the full-set solution is interior, SolveExact returns the
+// same outcome as Solve.
+
+// supply is the piecewise-linear representation of S(p): on segment
+// j — prices in (bp[j], bp[j+1]], with bp[len-1] extending to +∞ —
+// S(p) = segA[j]·p − segB[j]. Segment 0 covers p ≤ bp[0] where
+// S = 0. Built by a slope-delta sweep with B fixed by continuity.
+type supply struct {
+	bp   []float64 // sorted breakpoints (activation and saturation prices)
+	segA []float64 // slope per segment, len(bp)+1 entries... segA[j] covers (bp[j-1], bp[j]]
+	segB []float64
+	qbar float64 // mean quality of the whole selected set
+}
+
+// newSupply builds the supply curve of the selected set, honoring
+// MaxTau when positive.
+func (p *Params) newSupply() *supply {
+	type event struct {
+		price  float64
+		dSlope float64
+	}
+	events := make([]event, 0, 2*len(p.Sellers))
+	for i, c := range p.Sellers {
+		q := p.Qualities[i]
+		slope := 1 / (2 * q * c.A)
+		act := q * c.B
+		events = append(events, event{price: act, dSlope: slope})
+		if p.MaxTau > 0 {
+			sat := q * (c.B + 2*c.A*p.MaxTau)
+			events = append(events, event{price: sat, dSlope: -slope})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].price < events[b].price })
+
+	s := &supply{}
+	a, b := 0.0, 0.0 // S = a·p − b before the first breakpoint (zero)
+	s.segA = append(s.segA, a)
+	s.segB = append(s.segB, b)
+	for k := 0; k < len(events); {
+		price := events[k].price
+		dA := 0.0
+		for k < len(events) && events[k].price == price {
+			dA += events[k].dSlope
+			k++
+		}
+		// Continuity at the breakpoint: (a+dA)·price − b' = a·price − b.
+		newA := a + dA
+		b = b + dA*price
+		a = newA
+		s.bp = append(s.bp, price)
+		s.segA = append(s.segA, a)
+		s.segB = append(s.segB, b)
+	}
+	var qsum numutil.KahanSum
+	for _, qi := range p.Qualities {
+		qsum.Add(qi)
+	}
+	s.qbar = qsum.Sum() / float64(len(p.Qualities))
+	return s
+}
+
+// segment returns the index of the segment containing price p:
+// segment j covers (bp[j-1], bp[j]] for j ≥ 1, segment 0 is p ≤ bp[0].
+func (s *supply) segment(p float64) int {
+	// First breakpoint >= p; prices exactly at a breakpoint belong to
+	// the lower segment (S is continuous, so either side evaluates
+	// identically).
+	return sort.SearchFloat64s(s.bp, p)
+}
+
+// total returns S(p).
+func (s *supply) total(p float64) float64 {
+	j := s.segment(p)
+	v := s.segA[j]*p - s.segB[j]
+	if v < 0 {
+		return 0 // float guard near the first activation
+	}
+	return v
+}
+
+// platformProfitAt evaluates the platform profit at price given pJ.
+func (p *Params) platformProfitAt(pJ, price float64, s *supply) float64 {
+	S := s.total(price)
+	return (pJ-price)*S - p.Platform.Cost(S)
+}
+
+// PlatformBestResponseExact maximizes the platform profit over
+// PBounds against the exact kinked supply curve.
+func (p *Params) PlatformBestResponseExact(pJ float64, s *supply) float64 {
+	theta, lambda := p.Platform.Theta, p.Platform.Lambda
+	lo, hi := p.PBounds.Min, p.PBounds.Max
+	bestP, bestV := lo, p.platformProfitAt(pJ, lo, s)
+	consider := func(price float64) {
+		price = p.PBounds.Clamp(price)
+		if v := p.platformProfitAt(pJ, price, s); v > bestV {
+			bestP, bestV = price, v
+		}
+	}
+	consider(hi)
+	for j := 1; j < len(s.segA); j++ {
+		segLo := s.bp[j-1]
+		segHi := hi
+		if j < len(s.bp) {
+			segHi = s.bp[j]
+		}
+		if segLo > hi || segHi < lo {
+			continue
+		}
+		A, B := s.segA[j], s.segB[j]
+		if A > 0 {
+			// Ω(p) = (pJ−p)(Ap−B) − θ(Ap−B)² − λ(Ap−B): concave
+			// quadratic with the same interior form as Eq. 21.
+			interior := (pJ*A + B + 2*theta*A*B - lambda*A) / (2 * A * (1 + theta*A))
+			consider(numutil.Clamp(numutil.Clamp(interior, segLo, segHi), lo, hi))
+		}
+		// With A == 0 (all saturated) Ω is linear decreasing in p:
+		// the left breakpoint dominates, covered below.
+		consider(numutil.Clamp(segLo, lo, hi))
+	}
+	return bestP
+}
+
+// consumerProfitAt evaluates the consumer profit at pJ with the
+// platform playing its exact best response and sellers reacting.
+func (p *Params) consumerProfitAt(pJ float64, s *supply) (float64, float64) {
+	price := p.PlatformBestResponseExact(pJ, s)
+	S := s.total(price)
+	return p.Consumer.Value(S, s.qbar) - pJ*S, price
+}
+
+// SolveExact solves the three-stage game exactly over the kinked
+// supply curve (activation and saturation boundaries included). It
+// returns an error only for invalid parameters.
+func SolveExact(p *Params) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Fast path: the full-set closed form is exact when interior and
+	// nothing is clamped.
+	full, err := Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if !full.NoTrade && !full.TauClamped {
+		return full, nil
+	}
+	// Otherwise search the kinked curve — including when the full-set
+	// model reported no trade, since a smaller active set (without the
+	// sellers whose negative model-τ dragged S down) may still trade.
+	s := p.newSupply()
+	theta, lambda := p.Platform.Theta, p.Platform.Lambda
+	n := len(p.Sellers)
+
+	candidates := []float64{p.PJBounds.Min, p.PJBounds.Max}
+	for j := 1; j < len(s.segA); j++ {
+		A, B := s.segA[j], s.segB[j]
+		if A <= 0 {
+			continue
+		}
+		co := Coefficients{A: A, B: B, QBar: s.qbar}
+		if pj, _, trade := p.ConsumerBestPJ(co); trade {
+			candidates = append(candidates, pj)
+		}
+		// Transition prices: pJ at which the segment-j interior
+		// platform optimum hits each end of its segment. Beyond these
+		// the platform response pins to a breakpoint, where consumer
+		// profit is monotone in pJ — so the transition itself is the
+		// candidate.
+		ends := []float64{s.bp[j-1]}
+		if j < len(s.bp) {
+			ends = append(ends, s.bp[j])
+		} else {
+			ends = append(ends, p.PBounds.Max)
+		}
+		for _, t := range ends {
+			// interior(pJ) = t  =>  pJ = (2A(1+θA)·t − B − 2θAB + λA)/A
+			pj := (2*A*(1+theta*A)*t - B - 2*theta*A*B + lambda*A) / A
+			candidates = append(candidates, p.PJBounds.Clamp(pj))
+		}
+	}
+	bestPJ, bestPrice, bestV := p.PJBounds.Min, p.PBounds.Min, 0.0
+	found := false
+	for _, pj := range candidates {
+		if pj < p.PJBounds.Min || pj > p.PJBounds.Max {
+			continue
+		}
+		v, price := p.consumerProfitAt(pj, s)
+		if !found || v > bestV {
+			bestPJ, bestPrice, bestV = pj, price, v
+			found = true
+		}
+	}
+	if !found || s.total(bestPrice) <= 1e-15 {
+		out := &Outcome{
+			PJ:            p.PJBounds.Min,
+			P:             p.PBounds.Min,
+			Taus:          make([]float64, n),
+			SellerProfits: make([]float64, n),
+			NoTrade:       true,
+		}
+		return out, nil
+	}
+	out := p.Evaluate(bestPJ, bestPrice, nil)
+	out.PJClamped = bestPJ == p.PJBounds.Min || bestPJ == p.PJBounds.Max
+	out.PClamped = bestPrice == p.PBounds.Min || bestPrice == p.PBounds.Max
+	return out, nil
+}

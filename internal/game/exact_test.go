@@ -1,0 +1,180 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"cmabhs/internal/economics"
+	"cmabhs/internal/numutil"
+	"cmabhs/internal/rng"
+)
+
+// bruteSupply computes S(p) straight from the definition.
+func bruteSupply(p *Params, price float64) float64 {
+	var sum float64
+	for i, c := range p.Sellers {
+		tau := (price - p.Qualities[i]*c.B) / (2 * p.Qualities[i] * c.A)
+		if tau < 0 {
+			tau = 0
+		}
+		if p.MaxTau > 0 && tau > p.MaxTau {
+			tau = p.MaxTau
+		}
+		sum += tau
+	}
+	return sum
+}
+
+// TestSupplyCurveMatchesDefinition: the breakpoint-sweep
+// representation equals the direct clamp-sum at random prices, with
+// and without a sensing-time cap.
+func TestSupplyCurveMatchesDefinition(t *testing.T) {
+	src := rng.New(61)
+	for trial := 0; trial < 100; trial++ {
+		p := testParams(src, 1+src.Intn(12))
+		if trial%2 == 0 {
+			p.MaxTau = src.Uniform(0.2, 5)
+		}
+		s := p.newSupply()
+		for probe := 0; probe < 60; probe++ {
+			price := src.Uniform(0, 6)
+			want := bruteSupply(p, price)
+			got := s.total(price)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d: S(%v) = %v, want %v (MaxTau=%v)", trial, price, got, want, p.MaxTau)
+			}
+		}
+		// Exactly at every breakpoint too (tie handling).
+		for _, bp := range s.bp {
+			want := bruteSupply(p, bp)
+			if got := s.total(bp); math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d: S at breakpoint %v = %v, want %v", trial, bp, got, want)
+			}
+		}
+	}
+}
+
+// TestSupplyCurveShape: S is non-negative, non-decreasing, and fully
+// saturated at ΣT above the last breakpoint when capped.
+func TestSupplyCurveShape(t *testing.T) {
+	src := rng.New(62)
+	p := testParams(src, 8)
+	p.MaxTau = 1.5
+	s := p.newSupply()
+	if len(s.bp) != 16 { // activation + saturation per seller
+		t.Fatalf("breakpoints %d", len(s.bp))
+	}
+	prev := -1.0
+	for _, price := range numutil.Linspace(0, s.bp[len(s.bp)-1]+1, 500) {
+		v := s.total(price)
+		if v < prev-1e-12 {
+			t.Fatalf("supply decreased at p=%v", price)
+		}
+		prev = v
+	}
+	want := 8 * 1.5
+	if got := s.total(s.bp[len(s.bp)-1] + 10); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("saturated supply %v, want %v", got, want)
+	}
+}
+
+// TestPlatformBestResponseExactBeatsGrid: the segment-wise closed
+// forms must match or beat a fine grid search of the true profit.
+func TestPlatformBestResponseExactBeatsGrid(t *testing.T) {
+	src := rng.New(63)
+	for trial := 0; trial < 40; trial++ {
+		p := testParams(src, 2+src.Intn(8))
+		if trial%2 == 1 {
+			p.MaxTau = src.Uniform(0.3, 3)
+		}
+		s := p.newSupply()
+		pJ := src.Uniform(2, 40)
+		exact := p.PlatformBestResponseExact(pJ, s)
+		exactV := p.platformProfitAt(pJ, exact, s)
+		gridBest := math.Inf(-1)
+		for _, price := range numutil.Linspace(p.PBounds.Min, p.PBounds.Max, 4001) {
+			if v := p.platformProfitAt(pJ, price, s); v > gridBest {
+				gridBest = v
+			}
+		}
+		if exactV < gridBest-1e-6*(1+math.Abs(gridBest)) {
+			t.Fatalf("trial %d: exact response %v (Ω=%v) below grid best %v", trial, exact, exactV, gridBest)
+		}
+	}
+}
+
+// TestSolveExactWithCapMatchesNumeric: with a binding sensing-time
+// cap, the exact solver's consumer profit matches or beats the
+// numeric solver (which also honors the cap), up to the numeric
+// solver's kink-landing slack.
+func TestSolveExactWithCapMatchesNumeric(t *testing.T) {
+	src := rng.New(64)
+	for trial := 0; trial < 12; trial++ {
+		p := testParams(src, 2+src.Intn(6))
+		p.MaxTau = src.Uniform(0.3, 2) // tight cap: saturation binds at equilibrium prices
+		exact, err := SolveExact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numeric, err := NumericSolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.NoTrade {
+			if numeric.ConsumerProfit > 1e-6 {
+				t.Fatalf("trial %d: exact no-trade but numeric Φ=%v", trial, numeric.ConsumerProfit)
+			}
+			continue
+		}
+		slack := 2e-3 * (1 + math.Abs(numeric.ConsumerProfit))
+		if exact.ConsumerProfit < numeric.ConsumerProfit-slack {
+			t.Fatalf("trial %d: exact Φ=%v < numeric Φ=%v (cap %v)",
+				trial, exact.ConsumerProfit, numeric.ConsumerProfit, p.MaxTau)
+		}
+		// Sensing times honor the cap.
+		for i, tau := range exact.Taus {
+			if tau > p.MaxTau+1e-12 {
+				t.Fatalf("trial %d: τ_%d = %v exceeds cap %v", trial, i, tau, p.MaxTau)
+			}
+		}
+	}
+}
+
+// TestSolveExactSaturationRegime: a market where every seller
+// saturates (huge valuation, tiny cap) trades at full supply.
+func TestSolveExactSaturationRegime(t *testing.T) {
+	p := &Params{
+		Sellers: []economics.SellerCost{
+			{A: 0.2, B: 0.1}, {A: 0.3, B: 0.2}, {A: 0.25, B: 0.15},
+		},
+		Qualities: []float64{0.8, 0.9, 0.7},
+		Platform:  economics.PlatformCost{Theta: 0.1, Lambda: 1},
+		Consumer:  economics.Valuation{Omega: 5000},
+		PJBounds:  Bounds{Min: 0, Max: 500},
+		PBounds:   Bounds{Min: 0, Max: 500},
+		MaxTau:    0.5,
+	}
+	out, err := SolveExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NoTrade {
+		t.Fatal("rich consumer should trade")
+	}
+	if !numutil.AlmostEqual(out.TotalTau, 1.5, 1e-6) {
+		t.Fatalf("total sensing time %v, want full saturation 1.5", out.TotalTau)
+	}
+	for _, tau := range out.Taus {
+		if !numutil.AlmostEqual(tau, 0.5, 1e-9) {
+			t.Fatalf("τ = %v, want cap 0.5", tau)
+		}
+	}
+	// The closed-form solution would overshoot the cap badly.
+	plain, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.TauClamped {
+		t.Error("closed form should report clamping here")
+	}
+}

@@ -1,0 +1,610 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmabhs/internal/economics"
+	"cmabhs/internal/numutil"
+	"cmabhs/internal/rng"
+)
+
+// testParams builds a game with K sellers drawn from the paper's
+// parameter ranges (Table II): a∈[0.1,0.5], b∈[0.1,1], q∈[0.1,1],
+// θ∈[0.1,1], λ∈[0.5,2], ω∈[600,1400].
+func testParams(src *rng.Source, k int) *Params {
+	p := &Params{
+		Platform: economics.PlatformCost{Theta: src.Uniform(0.1, 1), Lambda: src.Uniform(0.5, 2)},
+		Consumer: economics.Valuation{Omega: src.Uniform(600, 1400)},
+		PJBounds: Bounds{Min: 0, Max: 200},
+		PBounds:  Bounds{Min: 0, Max: 200},
+	}
+	for i := 0; i < k; i++ {
+		p.Sellers = append(p.Sellers, economics.SellerCost{A: src.Uniform(0.1, 0.5), B: src.Uniform(0.1, 1)})
+		p.Qualities = append(p.Qualities, src.Uniform(0.1, 1))
+	}
+	return p
+}
+
+// defaultParams returns the paper's default configuration with fixed
+// mid-range seller parameters (deterministic). The spread of b_i
+// means the cheapest-threshold structure is exercised: at defaults
+// the last seller opts out (τ=0), as in realistic sweeps.
+func defaultParams(k int) *Params {
+	p := &Params{
+		Platform: economics.PlatformCost{Theta: 0.1, Lambda: 1},
+		Consumer: economics.Valuation{Omega: 1000},
+		PJBounds: Bounds{Min: 0, Max: 200},
+		PBounds:  Bounds{Min: 0, Max: 200},
+	}
+	for i := 0; i < k; i++ {
+		frac := float64(i) / float64(k)
+		p.Sellers = append(p.Sellers, economics.SellerCost{A: 0.1 + 0.4*frac, B: 0.1 + 0.9*frac})
+		p.Qualities = append(p.Qualities, 0.2+0.8*frac)
+	}
+	return p
+}
+
+// interiorParams is defaultParams with uniformly small b_i, so every
+// activation threshold is low and the full-set solution is interior —
+// the regime the paper's closed forms assume.
+func interiorParams(k int) *Params {
+	p := defaultParams(k)
+	for i := range p.Sellers {
+		p.Sellers[i].B = 0.1
+	}
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := defaultParams(3)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"no sellers", func(p *Params) { p.Sellers = nil; p.Qualities = nil }},
+		{"length mismatch", func(p *Params) { p.Qualities = p.Qualities[:2] }},
+		{"zero quality", func(p *Params) { p.Qualities[0] = 0 }},
+		{"quality > 1", func(p *Params) { p.Qualities[0] = 1.5 }},
+		{"bad seller cost", func(p *Params) { p.Sellers[0].A = 0 }},
+		{"bad platform cost", func(p *Params) { p.Platform.Theta = -1 }},
+		{"bad valuation", func(p *Params) { p.Consumer.Omega = 0.5 }},
+		{"bad pJ bounds", func(p *Params) { p.PJBounds = Bounds{Min: 5, Max: 1} }},
+		{"bad p bounds", func(p *Params) { p.PBounds = Bounds{Min: -1, Max: 1} }},
+	}
+	for _, tc := range cases {
+		p := defaultParams(3)
+		tc.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := Bounds{Min: 1, Max: 3}
+	if b.Clamp(0) != 1 || b.Clamp(5) != 3 || b.Clamp(2) != 2 {
+		t.Error("Clamp wrong")
+	}
+	if !b.Contains(1) || !b.Contains(3) || b.Contains(0.99) || b.Contains(3.01) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestCoeffs(t *testing.T) {
+	p := &Params{
+		Sellers:   []economics.SellerCost{{A: 0.25, B: 0.5}, {A: 0.5, B: 1}},
+		Qualities: []float64{0.5, 1},
+	}
+	co := p.Coeffs()
+	// A = 1/(2·0.5·0.25) + 1/(2·1·0.5) = 4 + 1 = 5
+	if math.Abs(co.A-5) > 1e-12 {
+		t.Errorf("A = %v", co.A)
+	}
+	// B = 0.5/(2·0.25) + 1/(2·0.5) = 1 + 1 = 2
+	if math.Abs(co.B-2) > 1e-12 {
+		t.Errorf("B = %v", co.B)
+	}
+	if math.Abs(co.QBar-0.75) > 1e-12 {
+		t.Errorf("QBar = %v", co.QBar)
+	}
+}
+
+// TestSellerBestResponseClosedFormIsArgmax: Theorem 14 — the closed
+// form must beat every sampled deviation, and must match the numeric
+// argmax, across random parameters.
+func TestSellerBestResponseClosedFormIsArgmax(t *testing.T) {
+	src := rng.New(11)
+	for trial := 0; trial < 300; trial++ {
+		cost := economics.SellerCost{A: src.Uniform(0.1, 0.5), B: src.Uniform(0.1, 1)}
+		q := src.Uniform(0.1, 1)
+		price := src.Uniform(0.05, 10)
+		tau, _ := SellerBestResponse(price, cost, q, 0)
+		best := economics.SellerProfit(price, tau, q, cost)
+		// Numeric cross-check.
+		p := &Params{Sellers: []economics.SellerCost{cost}, Qualities: []float64{q},
+			PBounds: Bounds{Max: 10}}
+		numTau := p.NumericSellerBestResponse(price, 0)
+		if !numutil.AlmostEqual(tau, numTau, 1e-4) && math.Abs(tau-numTau) > 1e-6 {
+			t.Fatalf("closed form τ=%v vs numeric %v (price=%v cost=%+v q=%v)", tau, numTau, price, cost, q)
+		}
+		// Random deviations never profit.
+		for i := 0; i < 20; i++ {
+			dev := src.Uniform(0, 4*tau+1)
+			if economics.SellerProfit(price, dev, q, cost) > best+1e-9 {
+				t.Fatalf("deviation τ=%v beats closed form τ=%v", dev, tau)
+			}
+		}
+	}
+}
+
+// TestSellerBestResponseClamping: negative interior optimum clamps to
+// zero; MaxTau caps the response.
+func TestSellerBestResponseClamping(t *testing.T) {
+	cost := economics.SellerCost{A: 0.3, B: 1}
+	// price below q̄·b: seller opts out.
+	tau, clamped := SellerBestResponse(0.1, cost, 0.9, 0)
+	if tau != 0 || !clamped {
+		t.Errorf("want opt-out, got τ=%v clamped=%v", tau, clamped)
+	}
+	// Small MaxTau binds.
+	tau, clamped = SellerBestResponse(5, cost, 0.5, 0.5)
+	if tau != 0.5 || !clamped {
+		t.Errorf("want cap at 0.5, got τ=%v clamped=%v", tau, clamped)
+	}
+	// Interior.
+	tau, clamped = SellerBestResponse(5, cost, 0.5, 100)
+	want := (5 - 0.5*1) / (2 * 0.5 * 0.3)
+	if math.Abs(tau-want) > 1e-12 || clamped {
+		t.Errorf("interior τ=%v want %v clamped=%v", tau, want, clamped)
+	}
+}
+
+// TestPlatformBestResponseMatchesNumeric validates the sign-corrected
+// Eq. 21 against the numeric argmax of the exact platform profit.
+func TestPlatformBestResponseMatchesNumeric(t *testing.T) {
+	src := rng.New(12)
+	for trial := 0; trial < 60; trial++ {
+		p := testParams(src, 2+src.Intn(10))
+		co := p.Coeffs()
+		pJ := src.Uniform(2, 50)
+		closed, clamped := p.PlatformBestResponse(pJ, co)
+		if clamped {
+			continue // compare interior solutions only
+		}
+		numeric := p.NumericPlatformBestResponse(pJ)
+		// Guard: numeric path must be interior too (sellers not opted out).
+		interior := true
+		for i, c := range p.Sellers {
+			if closed < p.Qualities[i]*c.B {
+				interior = false
+			}
+		}
+		if !interior {
+			continue
+		}
+		if math.Abs(closed-numeric) > 1e-3*(1+math.Abs(closed)) {
+			t.Fatalf("trial %d: closed p*=%v numeric %v (pJ=%v)", trial, closed, numeric, pJ)
+		}
+	}
+}
+
+// TestPlatformClosedFormBeatsPaperVariant demonstrates the Eq. 21
+// sign correction: on a concrete instance, the corrected price yields
+// strictly higher platform profit than the paper's printed formula.
+func TestPlatformClosedFormBeatsPaperVariant(t *testing.T) {
+	p := defaultParams(10)
+	co := p.Coeffs()
+	pJ := 20.0
+	theta, lambda := p.Platform.Theta, p.Platform.Lambda
+	corrected := (pJ*co.A + co.B + 2*theta*co.A*co.B - lambda*co.A) / (2 * co.A * (1 + theta*co.A))
+	paper := (pJ*co.A - (lambda*co.A - 2*theta*co.B*co.A + co.B)) / (2 * co.A * (1 + theta*co.A))
+	profit := func(price float64) float64 {
+		return p.Evaluate(pJ, price, nil).PlatformProfit
+	}
+	if !(profit(corrected) > profit(paper)) {
+		t.Fatalf("corrected form (%v -> %v) should beat paper form (%v -> %v)",
+			corrected, profit(corrected), paper, profit(paper))
+	}
+	// And the corrected form is the argmax up to solver tolerance.
+	numeric := p.NumericPlatformBestResponse(pJ)
+	if math.Abs(corrected-numeric) > 1e-3 {
+		t.Fatalf("corrected %v vs numeric argmax %v", corrected, numeric)
+	}
+}
+
+// TestConsumerBestPJMatchesNumeric validates Eq. 22 against the
+// numeric triple-nested argmax.
+func TestConsumerBestPJMatchesNumeric(t *testing.T) {
+	src := rng.New(13)
+	checked := 0
+	for trial := 0; trial < 40 && checked < 20; trial++ {
+		p := testParams(src, 2+src.Intn(8))
+		co := p.Coeffs()
+		closed, clamped, trade := p.ConsumerBestPJ(co)
+		if clamped || !trade {
+			continue
+		}
+		// Interior check at the induced platform price.
+		price, pc := p.PlatformBestResponse(closed, co)
+		if pc {
+			continue
+		}
+		interior := true
+		for i, c := range p.Sellers {
+			if price < p.Qualities[i]*c.B {
+				interior = false
+			}
+		}
+		if !interior {
+			continue
+		}
+		numeric := p.NumericConsumerBestPJ()
+		if math.Abs(closed-numeric) > 5e-3*(1+math.Abs(closed)) {
+			t.Fatalf("trial %d: closed p^J*=%v numeric %v", trial, closed, numeric)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d interior instances checked; generator too restrictive", checked)
+	}
+}
+
+// TestSolveProducesStackelbergEquilibrium probes Def. 13 with random
+// unilateral deviations (Theorem 20).
+func TestSolveProducesStackelbergEquilibrium(t *testing.T) {
+	src := rng.New(14)
+	for trial := 0; trial < 40; trial++ {
+		p := testParams(src, 2+src.Intn(10))
+		out, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NoTrade || out.TauClamped {
+			continue // closed forms are exact only for interior solutions
+		}
+		if dev := VerifySE(p, out, 400, src.Split(int64(trial)), 1e-6); dev != nil {
+			t.Fatalf("trial %d: %v", trial, dev)
+		}
+	}
+}
+
+// TestSolveSEUnderClamping: even when p^J hits its cap the clamped
+// strategy must remain unilaterally optimal within the admissible
+// space (Theorem 20, Case 2).
+func TestSolveSEUnderClamping(t *testing.T) {
+	src := rng.New(15)
+	verified := 0
+	for trial := 0; trial < 30; trial++ {
+		p := testParams(src, 2+src.Intn(10))
+		p.PJBounds = Bounds{Min: 0, Max: 8} // tight cap: most instances clamp
+		out, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NoTrade || out.TauClamped {
+			continue
+		}
+		if !out.PJClamped {
+			continue
+		}
+		if dev := VerifySE(p, out, 300, src.Split(int64(trial)), 1e-6); dev != nil {
+			t.Fatalf("trial %d: %v", trial, dev)
+		}
+		verified++
+	}
+	if verified == 0 {
+		t.Skip("no clamped interior instances generated")
+	}
+}
+
+// TestSolveExactMatchesSolveWhenInterior: on interior instances the
+// exact solver must coincide with the paper's closed form.
+func TestSolveExactMatchesSolveWhenInterior(t *testing.T) {
+	p := interiorParams(10)
+	plain, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TauClamped || plain.NoTrade {
+		t.Fatal("interiorParams should be interior")
+	}
+	exact, err := SolveExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numutil.AlmostEqual(plain.PJ, exact.PJ, 1e-12) ||
+		!numutil.AlmostEqual(plain.P, exact.P, 1e-12) ||
+		!numutil.AlmostEqual(plain.TotalTau, exact.TotalTau, 1e-12) {
+		t.Fatalf("exact (%v,%v,%v) != closed form (%v,%v,%v)",
+			exact.PJ, exact.P, exact.TotalTau, plain.PJ, plain.P, plain.TotalTau)
+	}
+}
+
+// TestSolveExactDominatesNumeric: the exact solver's consumer profit
+// must match or beat the grid-based numeric solver on random
+// instances, including ones with opted-out sellers.
+func TestSolveExactDominatesNumeric(t *testing.T) {
+	src := rng.New(21)
+	for trial := 0; trial < 25; trial++ {
+		p := testParams(src, 2+src.Intn(10))
+		exact, err := SolveExact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numeric, err := NumericSolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.NoTrade {
+			if numeric.ConsumerProfit > 1e-6 {
+				t.Fatalf("trial %d: exact says no-trade but numeric finds Φ=%v", trial, numeric.ConsumerProfit)
+			}
+			continue
+		}
+		if exact.ConsumerProfit < numeric.ConsumerProfit-1e-4*(1+math.Abs(numeric.ConsumerProfit)) {
+			t.Fatalf("trial %d: exact Φ=%v < numeric Φ=%v", trial, exact.ConsumerProfit, numeric.ConsumerProfit)
+		}
+	}
+	// And specifically on the defaults, where seller 9 opts out.
+	p := defaultParams(10)
+	exact, err := SolveExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numeric, err := NumericSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The numeric solver's *approximate* platform reaction can land
+	// just past a supply kink and accidentally favor the consumer, so
+	// compare with a relative tolerance.
+	if exact.ConsumerProfit < numeric.ConsumerProfit-1e-4*(1+math.Abs(numeric.ConsumerProfit)) {
+		t.Fatalf("defaults: exact Φ=%v < numeric Φ=%v", exact.ConsumerProfit, numeric.ConsumerProfit)
+	}
+}
+
+// TestSolveExactSE: exact-solver outcomes withstand deviation probes
+// with the exact platform reaction.
+func TestSolveExactSE(t *testing.T) {
+	src := rng.New(22)
+	for trial := 0; trial < 15; trial++ {
+		p := testParams(src, 2+src.Intn(10))
+		out, err := SolveExact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NoTrade {
+			continue
+		}
+		s := p.newSupply()
+		react := func(pj float64) float64 { return p.PlatformBestResponseExact(pj, s) }
+		if dev := VerifySEReact(p, out, react, 200, src.Split(int64(trial)), 1e-4); dev != nil {
+			t.Fatalf("trial %d: %v", trial, dev)
+		}
+	}
+}
+
+// TestSolveTotalTauIdentity: at an interior solution Στ = p·A − B and
+// equals Θ·p^J − Λ (the paper's Υ identity).
+func TestSolveTotalTauIdentity(t *testing.T) {
+	p := interiorParams(10)
+	out, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NoTrade || out.TauClamped {
+		t.Fatal("expected an interior trade for default params")
+	}
+	co := p.Coeffs()
+	if !numutil.AlmostEqual(out.TotalTau, out.P*co.A-co.B, 1e-9) {
+		t.Errorf("Στ=%v, p·A−B=%v", out.TotalTau, out.P*co.A-co.B)
+	}
+	theta := p.Platform.Theta
+	bigTheta := co.A / (2 * (1 + theta*co.A))
+	bigLambda := (p.Platform.Lambda*co.A + co.B) / (2 * (1 + theta*co.A))
+	if !numutil.AlmostEqual(out.TotalTau, bigTheta*out.PJ-bigLambda, 1e-9) {
+		t.Errorf("Στ=%v, Θp^J−Λ=%v", out.TotalTau, bigTheta*out.PJ-bigLambda)
+	}
+}
+
+// TestSolveProfitsPositiveAtDefaults: with Table II defaults the
+// trade is mutually profitable (participation is rational).
+func TestSolveProfitsPositiveAtDefaults(t *testing.T) {
+	p := defaultParams(10)
+	out, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NoTrade {
+		t.Fatal("defaults should trade")
+	}
+	if out.ConsumerProfit <= 0 {
+		t.Errorf("consumer profit %v", out.ConsumerProfit)
+	}
+	if out.PlatformProfit <= 0 {
+		t.Errorf("platform profit %v", out.PlatformProfit)
+	}
+	for i, sp := range out.SellerProfits {
+		if sp < 0 {
+			t.Errorf("seller %d profit %v", i, sp)
+		}
+	}
+	if out.TotalTau <= 0 {
+		t.Errorf("total sensing time %v", out.TotalTau)
+	}
+}
+
+// TestNoTradeWhenValuationTooSmall: with ω barely above its lower
+// bound and expensive sellers there is no profitable trade.
+func TestNoTradeWhenValuationTooSmall(t *testing.T) {
+	p := &Params{
+		Sellers:   []economics.SellerCost{{A: 50, B: 500}},
+		Qualities: []float64{0.01},
+		Platform:  economics.PlatformCost{Theta: 50, Lambda: 500},
+		Consumer:  economics.Valuation{Omega: 1.01},
+		PJBounds:  Bounds{Min: 0, Max: 1},
+		PBounds:   Bounds{Min: 0, Max: 1},
+	}
+	out, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.NoTrade {
+		t.Fatalf("expected no-trade, got %+v", out)
+	}
+	if out.TotalTau != 0 || out.ConsumerProfit != 0 || out.PlatformProfit != 0 {
+		t.Error("no-trade outcome should be all-zero")
+	}
+}
+
+// TestSolveClampsPJ: a tight price cap forces p^J to the bound and
+// sets the flag.
+func TestSolveClampsPJ(t *testing.T) {
+	p := defaultParams(10)
+	unbounded, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PJBounds = Bounds{Min: 0, Max: unbounded.PJ / 2}
+	out, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.PJClamped || out.PJ != unbounded.PJ/2 {
+		t.Fatalf("want clamped p^J=%v, got %+v", unbounded.PJ/2, out)
+	}
+	// Clamped price yields weakly less consumer profit.
+	if out.ConsumerProfit > unbounded.ConsumerProfit+1e-9 {
+		t.Error("clamping should not increase consumer profit")
+	}
+}
+
+// TestEvaluateExplicitTaus: Evaluate with explicit sensing times must
+// use them verbatim.
+func TestEvaluateExplicitTaus(t *testing.T) {
+	p := defaultParams(3)
+	taus := []float64{1, 2, 3}
+	out := p.Evaluate(10, 2, taus)
+	if out.TotalTau != 6 {
+		t.Errorf("TotalTau = %v", out.TotalTau)
+	}
+	for i := range taus {
+		if out.Taus[i] != taus[i] {
+			t.Errorf("tau[%d] = %v", i, out.Taus[i])
+		}
+	}
+	// Rewards follow Def. 5.
+	if out.TotalReward() != 60 {
+		t.Errorf("TotalReward = %v", out.TotalReward())
+	}
+	if out.SellerReward(1) != 4 {
+		t.Errorf("SellerReward(1) = %v", out.SellerReward(1))
+	}
+	// Mutating the caller's slice afterwards must not alias.
+	taus[0] = 99
+	if out.Taus[0] == 99 {
+		t.Error("Evaluate aliased the caller's slice")
+	}
+}
+
+// TestConsumerProfitSinglePeaked reproduces the Fig. 13(a) shape: the
+// consumer profit as a function of p^J (with followers reacting) has
+// a single interior maximum at the closed-form p^J*.
+func TestConsumerProfitSinglePeaked(t *testing.T) {
+	p := interiorParams(10)
+	co := p.Coeffs()
+	pjStar, _, trade := p.ConsumerBestPJ(co)
+	if !trade {
+		t.Fatal("defaults should trade")
+	}
+	profitAt := func(pJ float64) float64 {
+		price, _ := p.PlatformBestResponse(pJ, co)
+		return p.Evaluate(pJ, price, nil).ConsumerProfit
+	}
+	best := profitAt(pjStar)
+	for _, pJ := range numutil.Linspace(p.PJBounds.Min+0.01, p.PJBounds.Max, 200) {
+		if profitAt(pJ) > best+1e-6 {
+			t.Fatalf("p^J=%v beats closed-form optimum %v", pJ, pjStar)
+		}
+	}
+	// Monotone rise before, fall after (sampled coarsely).
+	left := profitAt(pjStar * 0.5)
+	right := profitAt(pjStar * 1.5)
+	if !(left < best && right < best) {
+		t.Error("profit not single-peaked around p^J*")
+	}
+}
+
+// TestDeltaAlwaysPositive: the discriminant of Eq. 28 is provably
+// positive; fuzz it.
+func TestDeltaAlwaysPositive(t *testing.T) {
+	src := rng.New(16)
+	for i := 0; i < 2000; i++ {
+		p := testParams(src, 1+src.Intn(20))
+		co := p.Coeffs()
+		theta := p.Platform.Theta
+		bigTheta := co.A / (2 * (1 + theta*co.A))
+		bigLambda := (p.Platform.Lambda*co.A + co.B) / (2 * (1 + theta*co.A))
+		q := co.QBar
+		delta := (q*bigLambda+2)*(q*bigLambda+2) - 8*q*(bigLambda-bigTheta*p.Consumer.Omega*q)
+		if !(delta > 0) {
+			t.Fatalf("Δ=%v not positive (A=%v B=%v q̄=%v)", delta, co.A, co.B, q)
+		}
+	}
+}
+
+func BenchmarkSolveClosedForm(b *testing.B) {
+	p := defaultParams(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveNumeric(b *testing.B) {
+	p := defaultParams(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NumericSolve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSEIndividualRationality (quick): at any solved equilibrium,
+// every party weakly prefers participating — seller profits are
+// non-negative (τ=0 is always available), and the consumer/platform
+// profits are non-negative whenever the round trades (they could post
+// prices inducing no trade instead).
+func TestSEIndividualRationality(t *testing.T) {
+	src := rng.New(91)
+	f := func(seed int64) bool {
+		sub := src.Split(seed)
+		p := testParams(sub, 1+sub.Intn(14))
+		for _, solveFn := range []func(*Params) (*Outcome, error){Solve, SolveExact} {
+			out, err := solveFn(p)
+			if err != nil || out.NoTrade {
+				continue
+			}
+			for _, sp := range out.SellerProfits {
+				if sp < -1e-9 {
+					return false
+				}
+			}
+			if out.ConsumerProfit < -1e-6 || out.PlatformProfit < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

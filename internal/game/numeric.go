@@ -1,0 +1,97 @@
+package game
+
+import (
+	"cmabhs/internal/economics"
+	"cmabhs/internal/numutil"
+)
+
+// This file hosts the numeric reference solver. It maximizes each
+// stage's exact profit function directly, without the closed forms,
+// and exists for three reasons: (1) the tests cross-check Theorems
+// 14–16 (including the sign correction to Eq. 21) against it, (2) the
+// ablation bench quantifies the speed/accuracy gap, and (3) it keeps
+// working when a stage's interior-solution assumption breaks (e.g.
+// sensing times clamped at T), where the closed forms are only
+// approximate.
+
+// numericTauCap returns a finite search interval for sensing times.
+func (p *Params) numericTauCap() float64 {
+	if p.MaxTau > 0 {
+		return p.MaxTau
+	}
+	// Generous data-driven cap: the seller best response at the top
+	// admissible price bounds any rational sensing time.
+	cap := 1.0
+	for i, c := range p.Sellers {
+		t := (p.PBounds.Max - p.Qualities[i]*c.B) / (2 * p.Qualities[i] * c.A)
+		if t > cap {
+			cap = t
+		}
+	}
+	return cap * 2
+}
+
+// NumericSellerBestResponse maximizes Ψ_i(τ) = p·τ − C_i(τ, q̄) over
+// τ ∈ [0, cap] by golden-section search.
+func (p *Params) NumericSellerBestResponse(price float64, i int) float64 {
+	cost, q := p.Sellers[i], p.Qualities[i]
+	cap := p.numericTauCap()
+	tau, _ := numutil.MaximizeGolden(func(t float64) float64 {
+		return economics.SellerProfit(price, t, q, cost)
+	}, 0, cap, cap*1e-12+1e-12)
+	return tau
+}
+
+// numericTotalTau returns Στ_i with every seller playing the numeric
+// best response to price.
+func (p *Params) numericTotalTau(price float64) float64 {
+	var sum numutil.KahanSum
+	for i := range p.Sellers {
+		sum.Add(p.NumericSellerBestResponse(price, i))
+	}
+	return sum.Sum()
+}
+
+// NumericPlatformBestResponse maximizes the platform's profit over
+// p ∈ PBounds with sellers playing numeric best responses.
+func (p *Params) NumericPlatformBestResponse(pJ float64) float64 {
+	f := func(price float64) float64 {
+		return economics.PlatformProfit(pJ, price, p.numericTotalTau(price), p.Platform)
+	}
+	// The profit is concave in p for the quadratic family but grid
+	// search stays robust for the pluggable alternatives.
+	price, _ := numutil.MaximizeGrid(f, p.PBounds.Min, p.PBounds.Max, 64)
+	return price
+}
+
+// NumericConsumerBestPJ maximizes the consumer's profit over
+// p^J ∈ PJBounds with the platform and sellers playing numeric best
+// responses.
+func (p *Params) NumericConsumerBestPJ() float64 {
+	var qsum numutil.KahanSum
+	for _, q := range p.Qualities {
+		qsum.Add(q)
+	}
+	qbar := qsum.Sum() / float64(len(p.Qualities))
+	f := func(pJ float64) float64 {
+		price := p.NumericPlatformBestResponse(pJ)
+		return economics.ConsumerProfit(pJ, p.numericTotalTau(price), qbar, p.Consumer)
+	}
+	pJ, _ := numutil.MaximizeGrid(f, p.PJBounds.Min, p.PJBounds.Max, 64)
+	return pJ
+}
+
+// NumericSolve runs the full backward induction numerically and
+// returns the resulting outcome.
+func NumericSolve(p *Params) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pJ := p.NumericConsumerBestPJ()
+	price := p.NumericPlatformBestResponse(pJ)
+	taus := make([]float64, len(p.Sellers))
+	for i := range p.Sellers {
+		taus[i] = p.NumericSellerBestResponse(price, i)
+	}
+	return p.Evaluate(pJ, price, taus), nil
+}

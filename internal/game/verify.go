@@ -1,0 +1,96 @@
+package game
+
+import (
+	"fmt"
+
+	"cmabhs/internal/rng"
+)
+
+// This file hosts the Stackelberg-Equilibrium verifier: it probes the
+// Def. 13 inequalities with random unilateral deviations. Tests use
+// it to certify Theorem 20 on random instances; the experiment layer
+// reuses it for the Fig. 13–14 deviation sweeps.
+//
+// In a hierarchical Stackelberg game a leader's deviation is followed
+// by the lower tiers re-solving their sub-games (that is what the τ*
+// and p* in Eqs. 14–15 denote). Concretely:
+//
+//   - consumer deviates in p^J ⇒ platform plays p*(p^J), sellers play
+//     τ*(p*(p^J));
+//   - platform deviates in p (p^J* fixed) ⇒ sellers play τ*(p);
+//   - seller i deviates in τ_i ⇒ everything else fixed (Eq. 16).
+//
+// Holding followers frozen while a leader lowers its price would
+// *always* profit the leader (profit is linear in own price at fixed
+// quantities), which is why the naive reading of Eqs. 14–15 is not
+// the equilibrium condition the theorems establish.
+
+// Deviation describes one profitable unilateral deviation found by
+// VerifySE; a nil result means none was found.
+type Deviation struct {
+	Party string  // "consumer", "platform", or "seller i"
+	From  float64 // equilibrium strategy value
+	To    float64 // deviating strategy value
+	Gain  float64 // profit improvement achieved by deviating
+}
+
+func (d *Deviation) String() string {
+	return fmt.Sprintf("%s improves profit by %.6g deviating %.6g -> %.6g", d.Party, d.Gain, d.From, d.To)
+}
+
+// VerifySE checks the hierarchical SE conditions (Def. 13, Eqs.
+// 14–16) for outcome out on game p by sampling trials random
+// unilateral deviations per party within the strategy spaces. tol
+// absorbs float noise: a deviation must improve the deviating party's
+// profit by more than tol to count. It returns the first profitable
+// deviation found, or nil if the outcome withstands all probes.
+func VerifySE(p *Params, out *Outcome, trials int, src *rng.Source, tol float64) *Deviation {
+	co := p.Coeffs()
+	react := func(pj float64) float64 {
+		price, _ := p.PlatformBestResponse(pj, co)
+		return price
+	}
+	return VerifySEReact(p, out, react, trials, src, tol)
+}
+
+// VerifySEReact is VerifySE with an explicit platform reaction
+// function (how the platform re-prices when the consumer deviates).
+// Pass a closed-form reaction for Solve outcomes and an exact-curve
+// reaction (see PlatformBestResponseExact) for SolveExact outcomes.
+func VerifySEReact(p *Params, out *Outcome, react func(pJ float64) float64, trials int, src *rng.Source, tol float64) *Deviation {
+	if out.NoTrade {
+		return nil // nothing to deviate from; no-trade is handled upstream
+	}
+	for trial := 0; trial < trials; trial++ {
+		// Consumer deviation in p^J; lower tiers re-solve.
+		pj := src.Uniform(p.PJBounds.Min, p.PJBounds.Max)
+		price := react(pj)
+		dev := p.Evaluate(pj, price, nil)
+		if dev.ConsumerProfit > out.ConsumerProfit+tol {
+			return &Deviation{Party: "consumer", From: out.PJ, To: pj, Gain: dev.ConsumerProfit - out.ConsumerProfit}
+		}
+		// Platform deviation in p; sellers re-solve.
+		price = src.Uniform(p.PBounds.Min, p.PBounds.Max)
+		dev = p.Evaluate(out.PJ, price, nil)
+		if dev.PlatformProfit > out.PlatformProfit+tol {
+			return &Deviation{Party: "platform", From: out.P, To: price, Gain: dev.PlatformProfit - out.PlatformProfit}
+		}
+		// Per-seller deviation in τ_i; everything else fixed.
+		i := src.Intn(len(p.Sellers))
+		cap := p.MaxTau
+		if cap <= 0 {
+			cap = 4*out.Taus[i] + 1
+		}
+		taus := append([]float64(nil), out.Taus...)
+		taus[i] = src.Uniform(0, cap)
+		dev = p.Evaluate(out.PJ, out.P, taus)
+		if dev.SellerProfits[i] > out.SellerProfits[i]+tol {
+			return &Deviation{
+				Party: fmt.Sprintf("seller %d", i),
+				From:  out.Taus[i], To: taus[i],
+				Gain: dev.SellerProfits[i] - out.SellerProfits[i],
+			}
+		}
+	}
+	return nil
+}

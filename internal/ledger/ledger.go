@@ -1,0 +1,149 @@
+// Package ledger implements the payment-settlement substrate of the
+// CDT incentive mechanism (Definition 5): once a round's incentive
+// strategy ⟨p^J, p, τ⟩ is fixed, the consumer pays the platform
+// p^J·Στ_i and the platform pays each selected seller p·τ_i; the
+// difference is the platform's commission. The ledger double-books
+// every transfer, so conservation (Σ balances = 0 for accounts that
+// start empty) is an enforced invariant rather than an assumption.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Account identifies a trading party.
+type Account string
+
+// Well-known accounts of a CDT market; sellers get Seller(i).
+const (
+	Consumer Account = "consumer"
+	Platform Account = "platform"
+)
+
+// Seller returns the account of seller i.
+func Seller(i int) Account { return Account(fmt.Sprintf("seller-%d", i)) }
+
+// Errors returned by Ledger operations.
+var (
+	ErrNegativeAmount = errors.New("ledger: negative transfer amount")
+	ErrBadAmount      = errors.New("ledger: amount must be finite")
+)
+
+// Entry is one journaled transfer.
+type Entry struct {
+	Round  int     // trading round the transfer settles
+	From   Account // payer
+	To     Account // payee
+	Amount float64 // non-negative
+	Memo   string  // human-readable reason ("service reward", ...)
+}
+
+// Ledger tracks balances and the full journal. The zero value is
+// ready to use. Balances may go negative: parties fund payments from
+// external wealth, and a negative balance is exactly their net spend.
+type Ledger struct {
+	balances map[Account]float64
+	journal  []Entry
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{balances: make(map[Account]float64)}
+}
+
+// Transfer moves amount from one account to another in round r.
+// Zero-amount transfers are journaled too (they document a no-trade
+// round); negative or non-finite amounts are rejected.
+func (l *Ledger) Transfer(round int, from, to Account, amount float64, memo string) error {
+	if math.IsNaN(amount) || math.IsInf(amount, 0) {
+		return fmt.Errorf("%w (got %v)", ErrBadAmount, amount)
+	}
+	if amount < 0 {
+		return fmt.Errorf("%w (got %v)", ErrNegativeAmount, amount)
+	}
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	l.journal = append(l.journal, Entry{Round: round, From: from, To: to, Amount: amount, Memo: memo})
+	return nil
+}
+
+// Balance returns the account's current net position.
+func (l *Ledger) Balance(a Account) float64 { return l.balances[a] }
+
+// TotalImbalance returns Σ balances, which must stay ~0: transfers
+// only move money, never create it. Callers assert this invariant.
+func (l *Ledger) TotalImbalance() float64 {
+	var sum float64
+	for _, v := range l.balances {
+		sum += v
+	}
+	return sum
+}
+
+// Entries returns a copy of the journal.
+func (l *Ledger) Entries() []Entry {
+	return append([]Entry(nil), l.journal...)
+}
+
+// EntriesForRound returns the journal entries of one round.
+func (l *Ledger) EntriesForRound(round int) []Entry {
+	var out []Entry
+	for _, e := range l.journal {
+		if e.Round == round {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Accounts returns all accounts touched so far, sorted.
+func (l *Ledger) Accounts() []Account {
+	out := make([]Account, 0, len(l.balances))
+	for a := range l.balances {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SettleRound books one round's CDT payments: the consumer pays the
+// platform reward·1 (p^J·Στ) and the platform pays seller i
+// sellerPay[i] (p·τ_i). Seller indices map to Seller(i) accounts
+// offset by idOffset, letting callers use global seller ids.
+func (l *Ledger) SettleRound(round int, reward float64, sellerPay map[int]float64) error {
+	if err := l.Transfer(round, Consumer, Platform, reward, "data service reward"); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(sellerPay))
+	for id := range sellerPay {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := l.Transfer(round, Platform, Seller(id), sellerPay[id], "data collection reward"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commission returns the platform's net take for a round: reward in
+// minus seller payments out.
+func (l *Ledger) Commission(round int) float64 {
+	var in, out float64
+	for _, e := range l.journal {
+		if e.Round != round {
+			continue
+		}
+		if e.To == Platform {
+			in += e.Amount
+		}
+		if e.From == Platform {
+			out += e.Amount
+		}
+	}
+	return in - out
+}

@@ -1,0 +1,151 @@
+package ledger
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferBasics(t *testing.T) {
+	l := New()
+	if err := l.Transfer(1, Consumer, Platform, 10, "reward"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(Consumer) != -10 || l.Balance(Platform) != 10 {
+		t.Errorf("balances %v / %v", l.Balance(Consumer), l.Balance(Platform))
+	}
+	if err := l.Transfer(1, Platform, Seller(0), 4, "pay"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(Platform) != 6 || l.Balance(Seller(0)) != 4 {
+		t.Errorf("balances %v / %v", l.Balance(Platform), l.Balance(Seller(0)))
+	}
+	if len(l.Entries()) != 2 {
+		t.Errorf("journal size %d", len(l.Entries()))
+	}
+}
+
+func TestTransferRejectsBadAmounts(t *testing.T) {
+	l := New()
+	for _, amt := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := l.Transfer(1, Consumer, Platform, amt, ""); err == nil {
+			t.Errorf("amount %v should be rejected", amt)
+		}
+	}
+	// A rejected transfer must not touch balances or the journal.
+	if l.Balance(Consumer) != 0 || len(l.Entries()) != 0 {
+		t.Error("rejected transfer had side effects")
+	}
+}
+
+func TestZeroTransferJournaled(t *testing.T) {
+	l := New()
+	if err := l.Transfer(3, Consumer, Platform, 0, "no-trade round"); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.EntriesForRound(3)) != 1 {
+		t.Error("zero transfer should be journaled")
+	}
+}
+
+// TestConservationProperty: any sequence of valid transfers keeps the
+// total imbalance at (numerical) zero.
+func TestConservationProperty(t *testing.T) {
+	f := func(ops []struct {
+		From, To uint8
+		Amt      float64
+	}) bool {
+		l := New()
+		accounts := []Account{Consumer, Platform, Seller(0), Seller(1), Seller(2)}
+		for i, op := range ops {
+			amt := math.Abs(op.Amt)
+			if math.IsNaN(amt) || math.IsInf(amt, 0) || amt > 1e12 {
+				continue
+			}
+			from := accounts[int(op.From)%len(accounts)]
+			to := accounts[int(op.To)%len(accounts)]
+			if err := l.Transfer(i, from, to, amt, ""); err != nil {
+				return false
+			}
+		}
+		return math.Abs(l.TotalImbalance()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSettleRound(t *testing.T) {
+	l := New()
+	err := l.SettleRound(5, 100, map[int]float64{2: 30, 7: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(Consumer) != -100 {
+		t.Errorf("consumer %v", l.Balance(Consumer))
+	}
+	if l.Balance(Platform) != 50 {
+		t.Errorf("platform %v", l.Balance(Platform))
+	}
+	if l.Balance(Seller(2)) != 30 || l.Balance(Seller(7)) != 20 {
+		t.Error("seller balances wrong")
+	}
+	if got := l.Commission(5); got != 50 {
+		t.Errorf("commission %v", got)
+	}
+	if got := l.Commission(99); got != 0 {
+		t.Errorf("commission of untouched round %v", got)
+	}
+	if imbalance := l.TotalImbalance(); math.Abs(imbalance) > 1e-12 {
+		t.Errorf("imbalance %v", imbalance)
+	}
+	entries := l.EntriesForRound(5)
+	if len(entries) != 3 {
+		t.Fatalf("entries %d", len(entries))
+	}
+	// Seller payments are journaled in id order for determinism.
+	if entries[1].To != Seller(2) || entries[2].To != Seller(7) {
+		t.Errorf("entry order: %+v", entries)
+	}
+}
+
+func TestSettleRoundPropagatesErrors(t *testing.T) {
+	l := New()
+	if err := l.SettleRound(1, -5, nil); err == nil {
+		t.Error("negative reward should fail")
+	}
+	if err := l.SettleRound(1, 5, map[int]float64{0: math.NaN()}); err == nil {
+		t.Error("NaN seller payment should fail")
+	}
+}
+
+func TestAccountsSorted(t *testing.T) {
+	l := New()
+	_ = l.Transfer(1, Seller(2), Seller(10), 1, "")
+	_ = l.Transfer(1, Consumer, Platform, 1, "")
+	got := l.Accounts()
+	if len(got) != 4 {
+		t.Fatalf("accounts %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("accounts not sorted: %v", got)
+		}
+	}
+}
+
+func TestEntriesIsCopy(t *testing.T) {
+	l := New()
+	_ = l.Transfer(1, Consumer, Platform, 1, "")
+	e := l.Entries()
+	e[0].Amount = 999
+	if l.Entries()[0].Amount != 1 {
+		t.Error("Entries leaked internal state")
+	}
+}
+
+func TestSellerAccountNames(t *testing.T) {
+	if Seller(0) != "seller-0" || Seller(42) != "seller-42" {
+		t.Error("unexpected seller account format")
+	}
+}

@@ -1,0 +1,268 @@
+// Package market implements the CDT environment: the long-term data
+// collection job (Definition 1), the three trading parties, the
+// per-round workflow of Fig. 2 (select → play game → collect →
+// aggregate → settle), and the payment settlement against the ledger.
+// The learning/decision logic itself (bandit policy + Stackelberg
+// game) lives in internal/core; this package owns the world the
+// mechanism acts on.
+package market
+
+import (
+	"errors"
+	"fmt"
+
+	"cmabhs/internal/aggregate"
+	"cmabhs/internal/economics"
+	"cmabhs/internal/game"
+	"cmabhs/internal/ledger"
+	"cmabhs/internal/quality"
+	"cmabhs/internal/rng"
+)
+
+// Job is the consumer's data collection job ⟨L, N, T, Des⟩.
+type Job struct {
+	L           int     // number of PoIs
+	N           int     // number of trading rounds
+	T           float64 // duration of one round (caps each τ_i; <= 0 means uncapped)
+	Description string  // free-form requirements (Des)
+}
+
+// Validate checks the job's structural constraints.
+func (j Job) Validate() error {
+	if j.L <= 0 {
+		return errors.New("market: job needs at least one PoI")
+	}
+	if j.N <= 0 {
+		return errors.New("market: job needs at least one round")
+	}
+	return nil
+}
+
+// SellerSpec describes one candidate data seller: its private cost
+// parameters. Its expected sensing quality lives in the quality
+// model and is unknown to the mechanism.
+type SellerSpec struct {
+	Cost economics.SellerCost
+}
+
+// DataLayer optionally models the raw sensed data behind the
+// qualities: a ground-truth signal per PoI, a sensor model mapping a
+// seller's true quality to reading noise, and the aggregation
+// operator the platform applies (Definition 2's aggregation service).
+type DataLayer struct {
+	Signal     aggregate.Signal
+	Sensor     *aggregate.Sensor
+	Aggregator aggregate.Aggregator
+}
+
+// Validate checks the layer is fully specified.
+func (d *DataLayer) Validate() error {
+	if d.Signal == nil || d.Sensor == nil || d.Aggregator == nil {
+		return errors.New("market: data layer needs signal, sensor, and aggregator")
+	}
+	return nil
+}
+
+// Config assembles a CDT market.
+type Config struct {
+	Job      Job
+	Sellers  []SellerSpec
+	Platform economics.PlatformCost
+	Consumer economics.Valuation
+	PJBounds game.Bounds // consumer price space [p^J_min, p^J_max]
+	PBounds  game.Bounds // platform price space [p_min, p_max]
+	Quality  quality.Model
+	Data     *DataLayer // optional raw-data layer
+
+	// Departures optionally injects seller churn: Departures[i] = r
+	// means seller i permanently leaves the market at the START of
+	// round r (it can no longer be selected from round r on). Zero or
+	// out-of-range means the seller never departs.
+	Departures []int
+
+	// DeliveryRate optionally injects transient failures: each
+	// selected seller delivers its round's data with this probability
+	// (default 1 when zero). A failing seller returns nothing, learns
+	// nothing, is not paid, and incurs no cost that round. Must lie
+	// in (0, 1] when set.
+	DeliveryRate float64
+	// DeliverySeed seeds the failure draws (only used when
+	// DeliveryRate < 1).
+	DeliverySeed int64
+}
+
+// Validate checks the whole configuration.
+func (c *Config) Validate() error {
+	if err := c.Job.Validate(); err != nil {
+		return err
+	}
+	if len(c.Sellers) == 0 {
+		return errors.New("market: no sellers")
+	}
+	for i, s := range c.Sellers {
+		if err := s.Cost.Validate(); err != nil {
+			return fmt.Errorf("market: seller %d: %w", i, err)
+		}
+	}
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := c.Consumer.Validate(); err != nil {
+		return err
+	}
+	if err := c.PJBounds.Validate(); err != nil {
+		return fmt.Errorf("market: p^J bounds: %w", err)
+	}
+	if err := c.PBounds.Validate(); err != nil {
+		return fmt.Errorf("market: p bounds: %w", err)
+	}
+	if c.Quality == nil {
+		return errors.New("market: nil quality model")
+	}
+	if c.Quality.Sellers() != len(c.Sellers) {
+		return fmt.Errorf("market: quality model covers %d sellers, config has %d",
+			c.Quality.Sellers(), len(c.Sellers))
+	}
+	if c.Data != nil {
+		if err := c.Data.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(c.Departures) != 0 && len(c.Departures) != len(c.Sellers) {
+		return fmt.Errorf("market: %d departures for %d sellers", len(c.Departures), len(c.Sellers))
+	}
+	if c.DeliveryRate < 0 || c.DeliveryRate > 1 {
+		return fmt.Errorf("market: delivery rate %v outside [0, 1]", c.DeliveryRate)
+	}
+	return nil
+}
+
+// deliveryRate returns the effective delivery probability.
+func (c *Config) deliveryRate() float64 {
+	if c.DeliveryRate == 0 {
+		return 1
+	}
+	return c.DeliveryRate
+}
+
+// Departed reports whether seller i has left the market by round t.
+func (c *Config) Departed(i, t int) bool {
+	if len(c.Departures) == 0 {
+		return false
+	}
+	d := c.Departures[i]
+	return d > 0 && t >= d
+}
+
+// M returns the seller population size.
+func (c *Config) M() int { return len(c.Sellers) }
+
+// Market is a live CDT environment.
+type Market struct {
+	cfg      Config
+	ledger   *ledger.Ledger
+	delivery *rng.Source // nil when delivery is certain
+}
+
+// New builds a market from a validated configuration.
+func New(cfg Config) (*Market, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Market{cfg: cfg, ledger: ledger.New()}
+	if cfg.deliveryRate() < 1 {
+		m.delivery = rng.New(cfg.DeliverySeed)
+	}
+	return m, nil
+}
+
+// Config returns the market's configuration.
+func (m *Market) Config() *Config { return &m.cfg }
+
+// Ledger exposes the settlement ledger (for inspection and
+// invariant checks).
+func (m *Market) Ledger() *ledger.Ledger { return m.ledger }
+
+// GameParams assembles the Stackelberg game of one round for the
+// selected sellers with their current estimated qualities. Estimates
+// are floored at minQ (degenerate all-zero estimates would otherwise
+// break the model's q̄ > 0 requirement); pass 0 to keep raw values.
+func (m *Market) GameParams(selected []int, estimates []float64, minQ float64) *game.Params {
+	p := &game.Params{
+		Sellers:   make([]economics.SellerCost, len(selected)),
+		Qualities: make([]float64, len(selected)),
+		Platform:  m.cfg.Platform,
+		Consumer:  m.cfg.Consumer,
+		PJBounds:  m.cfg.PJBounds,
+		PBounds:   m.cfg.PBounds,
+		MaxTau:    m.cfg.Job.T,
+	}
+	for j, i := range selected {
+		p.Sellers[j] = m.cfg.Sellers[i].Cost
+		q := estimates[i]
+		if q < minQ {
+			q = minQ
+		}
+		if q > 1 {
+			q = 1
+		}
+		p.Qualities[j] = q
+	}
+	return p
+}
+
+// Collect runs the data collection of round t: every selected seller
+// senses at all L PoIs, producing L quality observations each
+// (Definition 3). The returned slice is indexed like selected. With
+// DeliveryRate < 1, a seller that fails to deliver has a nil row.
+func (m *Market) Collect(round int, selected []int) [][]float64 {
+	obs := make([][]float64, len(selected))
+	for j, i := range selected {
+		if m.delivery != nil && m.delivery.Float64() > m.cfg.deliveryRate() {
+			continue // transient failure: nil row
+		}
+		row := make([]float64, m.cfg.Job.L)
+		for l := range row {
+			row[l] = m.cfg.Quality.Observe(i, l, round)
+		}
+		obs[j] = row
+	}
+	return obs
+}
+
+// CollectReadings produces the raw-data readings of a round when the
+// data layer is configured: every selected seller reads every PoI
+// with noise set by its TRUE quality, weighted for aggregation by its
+// ESTIMATED quality. It then fuses them into per-PoI reports. Returns
+// nil when no data layer is configured.
+func (m *Market) CollectReadings(round int, selected []int, estimates []float64) []aggregate.Report {
+	d := m.cfg.Data
+	if d == nil {
+		return nil
+	}
+	readings := make([]aggregate.Reading, 0, len(selected)*m.cfg.Job.L)
+	for _, i := range selected {
+		trueQ := m.cfg.Quality.Expected(i)
+		w := estimates[i]
+		for l := 0; l < m.cfg.Job.L; l++ {
+			readings = append(readings, aggregate.Reading{
+				Seller: i,
+				PoI:    l,
+				Value:  d.Sensor.Read(d.Signal, l, round, trueQ),
+				Weight: w,
+			})
+		}
+	}
+	return aggregate.AggregateRound(d.Aggregator, d.Signal, round, m.cfg.Job.L, readings)
+}
+
+// Settle books the round's payments from the game outcome: the
+// consumer pays p^J·Στ to the platform, the platform pays p·τ_i to
+// seller i (Definition 5).
+func (m *Market) Settle(round int, selected []int, out *game.Outcome) error {
+	pay := make(map[int]float64, len(selected))
+	for j, i := range selected {
+		pay[i] = out.SellerReward(j)
+	}
+	return m.ledger.SettleRound(round, out.TotalReward(), pay)
+}

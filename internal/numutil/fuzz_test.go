@@ -1,0 +1,41 @@
+package numutil
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuadraticRoots checks that any returned roots satisfy the
+// polynomial and come out ordered, for arbitrary coefficients.
+func FuzzQuadraticRoots(f *testing.F) {
+	f.Add(1.0, -3.0, 2.0)
+	f.Add(0.0, 2.0, -4.0)
+	f.Add(1.0, 0.0, 1.0)
+	f.Add(1e-300, 1e300, 1.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) {
+			return
+		}
+		if math.Abs(a) > 1e100 || math.Abs(b) > 1e100 || math.Abs(c) > 1e100 {
+			return // avoid overflow artifacts in the residual check
+		}
+		x1, x2, err := QuadraticRoots(a, b, c)
+		if err != nil {
+			return
+		}
+		if x1 > x2 {
+			t.Fatalf("roots out of order: %v > %v", x1, x2)
+		}
+		for _, x := range []float64{x1, x2} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("non-finite root %v for (%v, %v, %v)", x, a, b, c)
+			}
+			res := a*x*x + b*x + c
+			scale := math.Abs(a*x*x) + math.Abs(b*x) + math.Abs(c) + 1
+			if math.Abs(res)/scale > 1e-7 {
+				t.Fatalf("root %v residual %v for (%v, %v, %v)", x, res, a, b, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package quality
+
+import (
+	"errors"
+	"math"
+
+	"cmabhs/internal/rng"
+)
+
+// NonStationary is implemented by models whose expected qualities
+// change over rounds. The mechanism uses ExpectedAt for dynamic-
+// oracle regret accounting; Expected still returns the long-run
+// level.
+type NonStationary interface {
+	Model
+	// ExpectedAt returns seller i's expected quality in round t.
+	ExpectedAt(seller, round int) float64
+}
+
+// Drifting models smooth quality drift: seller i's expectation
+// oscillates around its base level with per-seller amplitude and
+// phase, clamped to [0, 1]:
+//
+//	q_i(t) = clamp(base_i + amp_i·sin(2π·t/period + phase_i), 0, 1)
+//
+// Observations are truncated-Gaussian around q_i(t). This violates
+// the paper's fixed-quality assumption in the mildest way — the
+// long-run mean stays base_i.
+type Drifting struct {
+	base   []float64
+	amp    []float64
+	period float64
+	sd     float64
+	src    *rng.Source
+}
+
+// NewDrifting builds the model. amps must match means; period must
+// be positive.
+func NewDrifting(means, amps []float64, period, sd float64, src *rng.Source) (*Drifting, error) {
+	if err := validateExpectations(means); err != nil {
+		return nil, err
+	}
+	if len(amps) != len(means) {
+		return nil, errors.New("quality: amps and means length mismatch")
+	}
+	for _, a := range amps {
+		if a < 0 || a > 1 {
+			return nil, errors.New("quality: amplitude must lie in [0, 1]")
+		}
+	}
+	if period <= 0 {
+		return nil, errors.New("quality: period must be positive")
+	}
+	if sd < 0 {
+		return nil, errors.New("quality: negative standard deviation")
+	}
+	return &Drifting{
+		base:   append([]float64(nil), means...),
+		amp:    append([]float64(nil), amps...),
+		period: period,
+		sd:     sd,
+		src:    src,
+	}, nil
+}
+
+// Sellers returns M.
+func (m *Drifting) Sellers() int { return len(m.base) }
+
+// Expected returns the long-run level base_i.
+func (m *Drifting) Expected(seller int) float64 { return m.base[seller] }
+
+// ExpectedAt implements NonStationary.
+func (m *Drifting) ExpectedAt(seller, round int) float64 {
+	phase := float64(seller) * math.Phi
+	q := m.base[seller] + m.amp[seller]*math.Sin(2*math.Pi*float64(round)/m.period+phase)
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// Observe draws a truncated-Gaussian observation around q_i(t).
+func (m *Drifting) Observe(seller, poi, round int) float64 {
+	checkIndices(seller, len(m.base), poi, round)
+	return m.src.TruncNormal(m.ExpectedAt(seller, round), m.sd, 0, 1)
+}
+
+// Shifting models abrupt quality change: the market cycles through
+// phases of fixed expectations, switching every SwitchEvery rounds.
+// It is the adversarial end of non-stationarity (a seller's device
+// breaks, another upgrades).
+type Shifting struct {
+	phases      [][]float64 // phases[p][i]: expectation of seller i in phase p
+	switchEvery int
+	sd          float64
+	src         *rng.Source
+}
+
+// NewShifting builds the model. Every phase must cover the same
+// sellers with valid expectations.
+func NewShifting(phases [][]float64, switchEvery int, sd float64, src *rng.Source) (*Shifting, error) {
+	if len(phases) == 0 || len(phases[0]) == 0 {
+		return nil, errors.New("quality: need at least one non-empty phase")
+	}
+	for _, ph := range phases {
+		if len(ph) != len(phases[0]) {
+			return nil, errors.New("quality: phases cover different seller counts")
+		}
+		if err := validateExpectations(ph); err != nil {
+			return nil, err
+		}
+	}
+	if switchEvery <= 0 {
+		return nil, errors.New("quality: switchEvery must be positive")
+	}
+	if sd < 0 {
+		return nil, errors.New("quality: negative standard deviation")
+	}
+	cp := make([][]float64, len(phases))
+	for i, ph := range phases {
+		cp[i] = append([]float64(nil), ph...)
+	}
+	return &Shifting{phases: cp, switchEvery: switchEvery, sd: sd, src: src}, nil
+}
+
+// Sellers returns M.
+func (m *Shifting) Sellers() int { return len(m.phases[0]) }
+
+// Expected returns the across-phase mean for seller i.
+func (m *Shifting) Expected(seller int) float64 {
+	var sum float64
+	for _, ph := range m.phases {
+		sum += ph[seller]
+	}
+	return sum / float64(len(m.phases))
+}
+
+// ExpectedAt implements NonStationary.
+func (m *Shifting) ExpectedAt(seller, round int) float64 {
+	if round < 1 {
+		round = 1
+	}
+	p := ((round - 1) / m.switchEvery) % len(m.phases)
+	return m.phases[p][seller]
+}
+
+// Observe draws a truncated-Gaussian observation around the phase
+// expectation.
+func (m *Shifting) Observe(seller, poi, round int) float64 {
+	checkIndices(seller, len(m.phases[0]), poi, round)
+	return m.src.TruncNormal(m.ExpectedAt(seller, round), m.sd, 0, 1)
+}
+
+var (
+	_ NonStationary = (*Drifting)(nil)
+	_ NonStationary = (*Shifting)(nil)
+)

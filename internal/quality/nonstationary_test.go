@@ -1,0 +1,114 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"cmabhs/internal/rng"
+)
+
+func TestDriftingValidation(t *testing.T) {
+	src := rng.New(1)
+	cases := []struct {
+		means, amps []float64
+		period, sd  float64
+	}{
+		{[]float64{1.5}, []float64{0.1}, 10, 0.1},      // bad mean
+		{[]float64{0.5}, []float64{0.1, 0.2}, 10, 0.1}, // length mismatch
+		{[]float64{0.5}, []float64{-0.1}, 10, 0.1},     // negative amp
+		{[]float64{0.5}, []float64{0.1}, 0, 0.1},       // bad period
+		{[]float64{0.5}, []float64{0.1}, 10, -1},       // bad sd
+	}
+	for i, tc := range cases {
+		if _, err := NewDrifting(tc.means, tc.amps, tc.period, tc.sd, src); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDriftingExpectations(t *testing.T) {
+	m, err := NewDrifting([]float64{0.5, 0.9}, []float64{0.3, 0.3}, 100, 0.05, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sellers() != 2 || m.Expected(0) != 0.5 {
+		t.Fatal("accessors wrong")
+	}
+	lo, hi := 1.0, 0.0
+	for round := 1; round <= 200; round++ {
+		q := m.ExpectedAt(0, round)
+		if q < 0 || q > 1 {
+			t.Fatalf("expectation %v out of range", q)
+		}
+		lo, hi = math.Min(lo, q), math.Max(hi, q)
+	}
+	// Oscillation covers roughly base ± amp.
+	if hi-lo < 0.4 {
+		t.Errorf("drift range [%v, %v] too narrow", lo, hi)
+	}
+	// Seller 1 clamps at 1 near its peak.
+	peak := 0.0
+	for round := 1; round <= 200; round++ {
+		peak = math.Max(peak, m.ExpectedAt(1, round))
+	}
+	if peak > 1 {
+		t.Errorf("expectation should clamp at 1, got %v", peak)
+	}
+	// Observations follow the drifting mean.
+	var sum float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		sum += m.Observe(0, 0, 25) // fixed round: fixed expectation
+	}
+	want := m.ExpectedAt(0, 25)
+	if math.Abs(sum/float64(n)-want) > 0.02 {
+		t.Errorf("observed mean %v, want ≈%v", sum/float64(n), want)
+	}
+}
+
+func TestShiftingValidation(t *testing.T) {
+	src := rng.New(3)
+	if _, err := NewShifting(nil, 5, 0.1, src); err == nil {
+		t.Error("empty phases should fail")
+	}
+	if _, err := NewShifting([][]float64{{0.5}, {0.1, 0.2}}, 5, 0.1, src); err == nil {
+		t.Error("ragged phases should fail")
+	}
+	if _, err := NewShifting([][]float64{{1.5}}, 5, 0.1, src); err == nil {
+		t.Error("invalid expectation should fail")
+	}
+	if _, err := NewShifting([][]float64{{0.5}}, 0, 0.1, src); err == nil {
+		t.Error("bad switchEvery should fail")
+	}
+}
+
+func TestShiftingPhases(t *testing.T) {
+	phases := [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	m, err := NewShifting(phases, 10, 0.05, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sellers() != 2 {
+		t.Fatal("Sellers wrong")
+	}
+	// Rounds 1-10: phase 0; rounds 11-20: phase 1; cycles.
+	if m.ExpectedAt(0, 1) != 0.9 || m.ExpectedAt(0, 10) != 0.9 {
+		t.Error("phase 0 expectations wrong")
+	}
+	if m.ExpectedAt(0, 11) != 0.1 || m.ExpectedAt(1, 15) != 0.9 {
+		t.Error("phase 1 expectations wrong")
+	}
+	if m.ExpectedAt(0, 21) != 0.9 {
+		t.Error("phases should cycle")
+	}
+	// Across-phase mean.
+	if m.Expected(0) != 0.5 {
+		t.Errorf("Expected = %v", m.Expected(0))
+	}
+	// Observations stay in [0,1].
+	for i := 0; i < 1000; i++ {
+		if v := m.Observe(0, 0, i+1); v < 0 || v > 1 {
+			t.Fatalf("observation %v", v)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package quality implements the sensing-quality models of the CDT
+// system (Definition 3): each seller i has a fixed but unknown
+// expected quality q_i ∈ [0, 1] determined by its device, and every
+// observation q_{i,l}^t at a PoI is a noisy draw around q_i caused by
+// exogenous factors (angle, distance, context). The paper's
+// simulations use a truncated Gaussian on [0, 1]; Bernoulli and Beta
+// observation models are provided for robustness studies.
+package quality
+
+import (
+	"errors"
+	"fmt"
+
+	"cmabhs/internal/rng"
+)
+
+// ErrBadExpectation is returned when an expected quality lies outside
+// [0, 1].
+var ErrBadExpectation = errors.New("quality: expected quality must lie in [0, 1]")
+
+// Model generates the noisy per-PoI quality observations for a fixed
+// population of sellers. Implementations must be deterministic given
+// the Source passed at construction.
+type Model interface {
+	// Expected returns seller i's expected quality q_i.
+	Expected(seller int) float64
+	// Observe returns one observation q_{i,l}^t ∈ [0, 1] for seller i
+	// at PoI l in round t.
+	Observe(seller, poi, round int) float64
+	// Sellers returns the population size M.
+	Sellers() int
+}
+
+// validateExpectations checks all means lie in [0, 1].
+func validateExpectations(means []float64) error {
+	for i, m := range means {
+		if m < 0 || m > 1 {
+			return fmt.Errorf("%w (seller %d has q=%v)", ErrBadExpectation, i, m)
+		}
+	}
+	return nil
+}
+
+// TruncGaussian is the paper's observation model: observations are
+// Gaussian around q_i with standard deviation SD, truncated to [0, 1].
+type TruncGaussian struct {
+	means []float64
+	sd    float64
+	src   *rng.Source
+}
+
+// NewTruncGaussian builds the model. sd must be non-negative.
+func NewTruncGaussian(means []float64, sd float64, src *rng.Source) (*TruncGaussian, error) {
+	if err := validateExpectations(means); err != nil {
+		return nil, err
+	}
+	if sd < 0 {
+		return nil, errors.New("quality: negative standard deviation")
+	}
+	return &TruncGaussian{means: append([]float64(nil), means...), sd: sd, src: src}, nil
+}
+
+// Expected returns q_i.
+func (m *TruncGaussian) Expected(seller int) float64 { return m.means[seller] }
+
+// Sellers returns M.
+func (m *TruncGaussian) Sellers() int { return len(m.means) }
+
+// Observe draws a truncated-Gaussian observation. The (poi, round)
+// arguments only assert the caller's indices are sane; draws are
+// consumed from the stream in call order, which keeps full runs
+// reproducible under a fixed seed.
+func (m *TruncGaussian) Observe(seller, poi, round int) float64 {
+	checkIndices(seller, len(m.means), poi, round)
+	return m.src.TruncNormal(m.means[seller], m.sd, 0, 1)
+}
+
+// Bernoulli observes 1 with probability q_i and 0 otherwise — the
+// classic bandit feedback model, with the same mean but maximal
+// variance.
+type Bernoulli struct {
+	means []float64
+	src   *rng.Source
+}
+
+// NewBernoulli builds the model.
+func NewBernoulli(means []float64, src *rng.Source) (*Bernoulli, error) {
+	if err := validateExpectations(means); err != nil {
+		return nil, err
+	}
+	return &Bernoulli{means: append([]float64(nil), means...), src: src}, nil
+}
+
+// Expected returns q_i.
+func (m *Bernoulli) Expected(seller int) float64 { return m.means[seller] }
+
+// Sellers returns M.
+func (m *Bernoulli) Sellers() int { return len(m.means) }
+
+// Observe draws a Bernoulli observation.
+func (m *Bernoulli) Observe(seller, poi, round int) float64 {
+	checkIndices(seller, len(m.means), poi, round)
+	return m.src.Bernoulli(m.means[seller])
+}
+
+// Beta observes Beta-distributed qualities with mean q_i and a
+// concentration parameter: alpha = q·c, beta = (1−q)·c. Larger c
+// means tighter observations.
+type Beta struct {
+	means []float64
+	conc  float64
+	src   *rng.Source
+}
+
+// NewBeta builds the model. conc must be positive.
+func NewBeta(means []float64, conc float64, src *rng.Source) (*Beta, error) {
+	if err := validateExpectations(means); err != nil {
+		return nil, err
+	}
+	if conc <= 0 {
+		return nil, errors.New("quality: concentration must be positive")
+	}
+	return &Beta{means: append([]float64(nil), means...), conc: conc, src: src}, nil
+}
+
+// Expected returns q_i.
+func (m *Beta) Expected(seller int) float64 { return m.means[seller] }
+
+// Sellers returns M.
+func (m *Beta) Sellers() int { return len(m.means) }
+
+// Observe draws a Beta observation; degenerate means (0 or 1) return
+// the mean itself.
+func (m *Beta) Observe(seller, poi, round int) float64 {
+	checkIndices(seller, len(m.means), poi, round)
+	q := m.means[seller]
+	if q <= 0 || q >= 1 {
+		return q
+	}
+	return m.src.Beta(q*m.conc, (1-q)*m.conc)
+}
+
+// Deterministic always observes exactly q_i — useful for tests that
+// need noise-free estimators.
+type Deterministic struct {
+	means []float64
+}
+
+// NewDeterministic builds the model.
+func NewDeterministic(means []float64) (*Deterministic, error) {
+	if err := validateExpectations(means); err != nil {
+		return nil, err
+	}
+	return &Deterministic{means: append([]float64(nil), means...)}, nil
+}
+
+// Expected returns q_i.
+func (m *Deterministic) Expected(seller int) float64 { return m.means[seller] }
+
+// Sellers returns M.
+func (m *Deterministic) Sellers() int { return len(m.means) }
+
+// Observe returns q_i exactly.
+func (m *Deterministic) Observe(seller, poi, round int) float64 {
+	checkIndices(seller, len(m.means), poi, round)
+	return m.means[seller]
+}
+
+func checkIndices(seller, m, poi, round int) {
+	if seller < 0 || seller >= m {
+		panic(fmt.Sprintf("quality: seller index %d out of range [0,%d)", seller, m))
+	}
+	if poi < 0 {
+		panic("quality: negative PoI index")
+	}
+	if round < 0 {
+		panic("quality: negative round index")
+	}
+}
+
+// RandomMeans draws M expected qualities uniformly from [lo, hi] —
+// the paper generates them uniformly from [0, 1].
+func RandomMeans(m int, lo, hi float64, src *rng.Source) []float64 {
+	means := make([]float64, m)
+	for i := range means {
+		means[i] = src.Uniform(lo, hi)
+	}
+	return means
+}
+
+var (
+	_ Model = (*TruncGaussian)(nil)
+	_ Model = (*Bernoulli)(nil)
+	_ Model = (*Beta)(nil)
+	_ Model = (*Deterministic)(nil)
+)
+
+// PoIBiased refines the paper's Remark on Def. 3: the actual quality
+// q_{i,l} differs per PoI (distance, angle, context) even with the
+// same device, while the per-seller mean stays q_i. Each (seller,
+// PoI) pair carries a fixed bias drawn from ±BiasSpread that averages
+// (approximately) to zero across PoIs, and observations add truncated
+// Gaussian noise on top.
+type PoIBiased struct {
+	means []float64
+	bias  [][]float64 // [seller][poi] offsets
+	sd    float64
+	src   *rng.Source
+}
+
+// NewPoIBiased builds the model with pois fixed per-PoI biases per
+// seller, each uniform in [−biasSpread, +biasSpread] and recentred to
+// mean zero across the seller's PoIs.
+func NewPoIBiased(means []float64, pois int, biasSpread, sd float64, src *rng.Source) (*PoIBiased, error) {
+	if err := validateExpectations(means); err != nil {
+		return nil, err
+	}
+	if pois <= 0 {
+		return nil, errors.New("quality: need at least one PoI")
+	}
+	if biasSpread < 0 || sd < 0 {
+		return nil, errors.New("quality: negative spread or sd")
+	}
+	m := &PoIBiased{
+		means: append([]float64(nil), means...),
+		bias:  make([][]float64, len(means)),
+		sd:    sd,
+		src:   src,
+	}
+	for i := range m.bias {
+		row := make([]float64, pois)
+		var sum float64
+		for l := range row {
+			row[l] = src.Uniform(-biasSpread, biasSpread)
+			sum += row[l]
+		}
+		center := sum / float64(pois)
+		for l := range row {
+			row[l] -= center // per-seller mean bias is exactly zero
+		}
+		m.bias[i] = row
+	}
+	return m, nil
+}
+
+// Expected returns q_i (the across-PoI mean, by construction).
+func (m *PoIBiased) Expected(seller int) float64 { return m.means[seller] }
+
+// Sellers returns M.
+func (m *PoIBiased) Sellers() int { return len(m.means) }
+
+// ExpectedAtPoI returns the (seller, poi) mean q_{i,l} clamped to
+// [0, 1].
+func (m *PoIBiased) ExpectedAtPoI(seller, poi int) float64 {
+	q := m.means[seller] + m.bias[seller][poi%len(m.bias[seller])]
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// Observe draws a truncated-Gaussian observation around q_{i,l}.
+func (m *PoIBiased) Observe(seller, poi, round int) float64 {
+	checkIndices(seller, len(m.means), poi, round)
+	return m.src.TruncNormal(m.ExpectedAtPoI(seller, poi), m.sd, 0, 1)
+}

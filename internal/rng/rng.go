@@ -1,0 +1,192 @@
+// Package rng provides the deterministic random sources the simulator
+// is built on: truncated Gaussian observations (the paper's quality
+// noise model), Beta and Bernoulli variates, bounded uniforms, and
+// splittable seeding so parallel parameter sweeps stay reproducible.
+//
+// Every source wraps math/rand with an explicit seed; nothing in the
+// repository draws from the global generator.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic pseudo-random stream. It is not safe for
+// concurrent use; derive independent streams with Split instead of
+// sharing one across goroutines.
+type Source struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Split derives an independent deterministic sub-stream identified by
+// key. Two Sources with the same (seed, key) produce identical
+// streams; distinct keys produce decorrelated streams. This is what
+// lets a parameter sweep run its replications on separate goroutines
+// without losing reproducibility.
+func (s *Source) Split(key int64) *Source {
+	return New(mix(s.seed, key))
+}
+
+// mix combines a seed and a key with a splitmix64-style finalizer.
+func mix(seed, key int64) int64 {
+	z := uint64(seed) ^ (uint64(key) * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform variate in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + s.r.Float64()*(hi-lo)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Normal returns a Gaussian variate with the given mean and standard
+// deviation.
+func (s *Source) Normal(mean, sd float64) float64 {
+	return mean + sd*s.r.NormFloat64()
+}
+
+// TruncNormal returns a Gaussian(mean, sd) variate truncated to
+// [lo, hi] by rejection sampling, falling back to clipping if the
+// acceptance region is so improbable that rejection stalls. This is
+// the observation model the paper uses for sensing qualities
+// ("truncated Gaussian distribution" on [0, 1]).
+func (s *Source) TruncNormal(mean, sd, lo, hi float64) float64 {
+	if lo > hi {
+		panic("rng: TruncNormal with lo > hi")
+	}
+	if sd <= 0 {
+		return clamp(mean, lo, hi)
+	}
+	for i := 0; i < 64; i++ {
+		x := s.Normal(mean, sd)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return clamp(s.Normal(mean, sd), lo, hi)
+}
+
+// Bernoulli returns 1 with probability p, else 0. p is clamped to
+// [0, 1].
+func (s *Source) Bernoulli(p float64) float64 {
+	if s.r.Float64() < clamp(p, 0, 1) {
+		return 1
+	}
+	return 0
+}
+
+// Exponential returns an exponential variate with the given rate.
+func (s *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	return s.r.ExpFloat64() / rate
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia–Tsang
+// method (with Ahrens–Dieter boosting for shape < 1).
+func (s *Source) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: X ~ Gamma(a+1), U^(1/a) scaling.
+		u := s.r.Float64()
+		for u == 0 {
+			u = s.r.Float64()
+		}
+		return s.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a Beta(alpha, beta) variate. Used by the
+// Thompson-sampling bandit extension.
+func (s *Source) Beta(alpha, beta float64) float64 {
+	x := s.Gamma(alpha)
+	y := s.Gamma(beta)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Poisson returns a Poisson variate with the given mean (Knuth's
+// algorithm for small means, normal approximation above 500).
+func (s *Source) Poisson(mean float64) int {
+	if mean < 0 {
+		panic("rng: Poisson with negative mean")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := s.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,251 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	if a.Seed() != 42 {
+		t.Errorf("Seed() = %d", a.Seed())
+	}
+}
+
+func TestSplitDeterminismAndIndependence(t *testing.T) {
+	root := New(7)
+	s1 := root.Split(1)
+	s2 := root.Split(2)
+	s1b := New(7).Split(1)
+	same, diff := 0, 0
+	for i := 0; i < 1000; i++ {
+		v1, v2, v1b := s1.Float64(), s2.Float64(), s1b.Float64()
+		if v1 == v1b {
+			same++
+		}
+		if v1 != v2 {
+			diff++
+		}
+	}
+	if same != 1000 {
+		t.Errorf("Split not deterministic: %d/1000 matched", same)
+	}
+	if diff < 990 {
+		t.Errorf("Split streams look correlated: only %d/1000 differ", diff)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) produced %v", v)
+		}
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 50000; i++ {
+		v := s.TruncNormal(0.5, 0.2, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("TruncNormal escaped [0,1]: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalMean(t *testing.T) {
+	s := New(4)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.TruncNormal(0.5, 0.1, 0, 1)
+	}
+	mean := sum / float64(n)
+	// Symmetric truncation around an interior mean keeps the mean.
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("truncated mean %v, want ≈0.5", mean)
+	}
+}
+
+func TestTruncNormalExtremeMeanStillBounded(t *testing.T) {
+	s := New(5)
+	// Mean far outside the interval: rejection will stall, the
+	// clipping fallback must still respect bounds.
+	for i := 0; i < 1000; i++ {
+		v := s.TruncNormal(50, 0.01, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("fallback escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalZeroSD(t *testing.T) {
+	s := New(6)
+	if v := s.TruncNormal(0.7, 0, 0, 1); v != 0.7 {
+		t.Errorf("sd=0 should return the mean, got %v", v)
+	}
+	if v := s.TruncNormal(7, 0, 0, 1); v != 1 {
+		t.Errorf("sd=0 out-of-range mean should clamp, got %v", v)
+	}
+}
+
+func TestTruncNormalPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).TruncNormal(0, 1, 1, 0)
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(8)
+	n := 100000
+	var ones float64
+	for i := 0; i < n; i++ {
+		v := s.Bernoulli(0.3)
+		if v != 0 && v != 1 {
+			t.Fatalf("Bernoulli produced %v", v)
+		}
+		ones += v
+	}
+	p := ones / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("empirical p = %v, want ≈0.3", p)
+	}
+	if s.Bernoulli(-1) != 0 {
+		t.Error("p<0 must always give 0")
+	}
+	if s.Bernoulli(2) != 1 {
+		t.Error("p>1 must always give 1")
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	s := New(9)
+	for _, shape := range []float64{0.5, 1, 2.5, 10} {
+		n := 100000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := s.Gamma(shape)
+			if v < 0 {
+				t.Fatalf("Gamma(%v) produced negative %v", shape, v)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		if math.Abs(mean-shape)/shape > 0.05 {
+			t.Errorf("Gamma(%v) mean %v, want ≈%v", shape, mean, shape)
+		}
+		if math.Abs(variance-shape)/shape > 0.1 {
+			t.Errorf("Gamma(%v) variance %v, want ≈%v", shape, variance, shape)
+		}
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	s := New(10)
+	alpha, beta := 2.0, 5.0
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Beta(alpha, beta)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta produced %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	want := alpha / (alpha + beta)
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("Beta mean %v, want ≈%v", mean, want)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(11)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(2)
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exponential(2) mean %v, want ≈0.5", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate <= 0")
+		}
+	}()
+	s.Exponential(0)
+}
+
+func TestPoisson(t *testing.T) {
+	s := New(12)
+	for _, mean := range []float64{0, 0.5, 4, 600} {
+		n := 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			k := s.Poisson(mean)
+			if k < 0 {
+				t.Fatalf("Poisson(%v) produced %d", mean, k)
+			}
+			sum += float64(k)
+		}
+		got := sum / float64(n)
+		tol := 0.05*mean + 0.05
+		if math.Abs(got-mean) > tol {
+			t.Errorf("Poisson(%v) empirical mean %v", mean, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative mean")
+		}
+	}()
+	s.Poisson(-1)
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	s := New(13)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}
+
+func BenchmarkTruncNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.TruncNormal(0.5, 0.1, 0, 1)
+	}
+}
+
+func BenchmarkBeta(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Beta(2, 5)
+	}
+}

@@ -1,0 +1,194 @@
+// Package roundlog implements the durable trade log of a CDT market:
+// an append-only, line-delimited JSON journal of per-round records,
+// with a schema header, a reader, and a replay routine that recomputes
+// the run's cumulative metrics from the log alone. The log is the
+// audit trail — any party can re-derive revenues, profits, and
+// payments from it and check them against the reported result.
+package roundlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"cmabhs/internal/core"
+	"cmabhs/internal/numutil"
+)
+
+// Version identifies the journal schema.
+const Version = 1
+
+// header is the first line of every journal.
+type header struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Policy  string `json:"policy,omitempty"`
+}
+
+// entry is one journaled round. Field names are kept short: a 1e5
+// round journal is written once per run.
+type entry struct {
+	T   int       `json:"t"`
+	Sel []int     `json:"sel"`
+	PJ  float64   `json:"pj"`
+	P   float64   `json:"p"`
+	Tau []float64 `json:"tau"`
+	PoC float64   `json:"poc"`
+	PoP float64   `json:"pop"`
+	PoS []float64 `json:"pos"`
+	NT  bool      `json:"nt,omitempty"`
+	Rev float64   `json:"rev"`
+}
+
+// Writer appends rounds to a journal.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter starts a journal on w with the schema header.
+func NewWriter(w io.Writer, policy string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Schema: "cdt-roundlog", Version: Version, Policy: policy}); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, enc: enc}, nil
+}
+
+// Append journals one round record.
+func (w *Writer) Append(rec *core.RoundRecord) error {
+	return w.enc.Encode(entry{
+		T:   rec.Round,
+		Sel: rec.Selected,
+		PJ:  rec.PJ,
+		P:   rec.P,
+		Tau: rec.Taus,
+		PoC: rec.PoC,
+		PoP: rec.PoP,
+		PoS: rec.SellerProfits,
+		NT:  rec.NoTrade,
+		Rev: rec.Realized,
+	})
+}
+
+// Flush writes any buffered entries through to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Errors returned by Read.
+var (
+	ErrBadHeader = errors.New("roundlog: missing or invalid journal header")
+	ErrVersion   = errors.New("roundlog: unsupported journal version")
+)
+
+// Read parses a whole journal, returning the policy name and the
+// rounds in order.
+func Read(r io.Reader) (policy string, rounds []core.RoundRecord, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", nil, err
+		}
+		return "", nil, ErrBadHeader
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Schema != "cdt-roundlog" {
+		return "", nil, ErrBadHeader
+	}
+	if h.Version != Version {
+		return "", nil, fmt.Errorf("%w (%d)", ErrVersion, h.Version)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return "", nil, fmt.Errorf("roundlog: line %d: %w", line, err)
+		}
+		rounds = append(rounds, core.RoundRecord{
+			Round:         e.T,
+			Selected:      e.Sel,
+			PJ:            e.PJ,
+			P:             e.P,
+			Taus:          e.Tau,
+			PoC:           e.PoC,
+			PoP:           e.PoP,
+			SellerProfits: e.PoS,
+			NoTrade:       e.NT,
+			Realized:      e.Rev,
+			TotalTau:      numutil.SumSlice(e.Tau),
+			AggRMSE:       math.NaN(),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, err
+	}
+	return h.Policy, rounds, nil
+}
+
+// Replay recomputes the cumulative metrics from a journal's rounds.
+type Replay struct {
+	Rounds          int
+	RealizedRevenue float64
+	CumPoC, CumPoP  float64
+	CumPoS          float64
+	ConsumerSpend   float64 // Σ p^J·Στ
+	SellerPayout    float64 // Σ p·τ_i over all sellers and rounds
+}
+
+// Summarize folds the journal's rounds into a Replay.
+func Summarize(rounds []core.RoundRecord) *Replay {
+	var rev, poc, pop, pos, spend, payout numutil.KahanSum
+	for i := range rounds {
+		r := &rounds[i]
+		rev.Add(r.Realized)
+		poc.Add(r.PoC)
+		pop.Add(r.PoP)
+		for _, sp := range r.SellerProfits {
+			pos.Add(sp)
+		}
+		spend.Add(r.PJ * r.TotalTau)
+		for _, tau := range r.Taus {
+			payout.Add(r.P * tau)
+		}
+	}
+	return &Replay{
+		Rounds:          len(rounds),
+		RealizedRevenue: rev.Sum(),
+		CumPoC:          poc.Sum(),
+		CumPoP:          pop.Sum(),
+		CumPoS:          pos.Sum(),
+		ConsumerSpend:   spend.Sum(),
+		SellerPayout:    payout.Sum(),
+	}
+}
+
+// Verify checks a replayed journal against a reported result,
+// returning a descriptive error on the first mismatch. tol is the
+// relative tolerance (floats accumulate differently across orderings).
+func Verify(rep *Replay, res *core.Result, tol float64) error {
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"rounds", float64(rep.Rounds), float64(res.RoundsPlayed)},
+		{"realized revenue", rep.RealizedRevenue, res.RealizedRevenue},
+		{"consumer profit", rep.CumPoC, res.CumPoC},
+		{"platform profit", rep.CumPoP, res.CumPoP},
+		{"seller profit", rep.CumPoS, res.CumPoS},
+		{"consumer spend", rep.ConsumerSpend, res.ConsumerSpend},
+	}
+	for _, c := range checks {
+		if !numutil.AlmostEqual(c.got, c.want, tol) {
+			return fmt.Errorf("roundlog: %s mismatch: journal %v vs result %v", c.name, c.got, c.want)
+		}
+	}
+	return nil
+}

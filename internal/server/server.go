@@ -1,0 +1,393 @@
+// Package server implements the CDT broker as an HTTP/JSON service:
+// consumers publish data collection jobs, advance them round by
+// round, and read back strategies, profits, and learning state. It
+// is the "platform as a service" face of the library — everything it
+// does goes through the public cmabhs API, so the service guarantees
+// exactly what the library guarantees.
+//
+// Endpoints (all JSON):
+//
+//	GET    /v1/healthz            liveness probe
+//	POST   /v1/jobs               create a job from a JobRequest
+//	GET    /v1/jobs               list job summaries
+//	GET    /v1/jobs/{id}          one job's status + cumulative result
+//	POST   /v1/jobs/{id}/advance  play up to {"rounds": n} rounds
+//	GET    /v1/jobs/{id}/estimates current quality estimates
+//	DELETE /v1/jobs/{id}          drop the job
+//	POST   /v1/game/solve         stateless single-round game solve
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cmabhs"
+)
+
+// JobRequest is the wire form of a market configuration.
+type JobRequest struct {
+	Sellers []SellerSpec `json:"sellers"`
+	// RandomSellers, if positive and Sellers is empty, draws that
+	// many sellers from the paper's parameter ranges using Seed.
+	RandomSellers int `json:"random_sellers,omitempty"`
+
+	K      int `json:"k"`
+	PoIs   int `json:"pois,omitempty"`
+	Rounds int `json:"rounds"`
+
+	Theta  float64 `json:"theta,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+	Omega  float64 `json:"omega,omitempty"`
+
+	PJMax float64 `json:"pj_max,omitempty"`
+	PMax  float64 `json:"p_max,omitempty"`
+
+	ObservationSD float64 `json:"observation_sd,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Policy        string  `json:"policy,omitempty"`
+	Epsilon       float64 `json:"epsilon,omitempty"`
+	Solver        string  `json:"solver,omitempty"`
+	Budget        float64 `json:"budget,omitempty"`
+	CollectData   bool    `json:"collect_data,omitempty"`
+}
+
+// SellerSpec is one seller on the wire.
+type SellerSpec struct {
+	CostQuadratic   float64 `json:"a"`
+	CostLinear      float64 `json:"b"`
+	ExpectedQuality float64 `json:"q"`
+}
+
+// config converts the wire request to a library configuration.
+func (r *JobRequest) config() (cmabhs.Config, error) {
+	var cfg cmabhs.Config
+	switch {
+	case len(r.Sellers) > 0:
+		cfg = cmabhs.Config{}
+		for _, s := range r.Sellers {
+			cfg.Sellers = append(cfg.Sellers, cmabhs.Seller{
+				CostQuadratic:   s.CostQuadratic,
+				CostLinear:      s.CostLinear,
+				ExpectedQuality: s.ExpectedQuality,
+			})
+		}
+	case r.RandomSellers > 0:
+		cfg = cmabhs.RandomConfig(r.RandomSellers, 0, 0, r.Seed)
+	default:
+		return cfg, errors.New("need sellers or random_sellers")
+	}
+	cfg.K = r.K
+	cfg.PoIs = r.PoIs
+	cfg.Rounds = r.Rounds
+	cfg.Theta = r.Theta
+	cfg.Lambda = r.Lambda
+	cfg.Omega = r.Omega
+	cfg.PJMax = r.PJMax
+	cfg.PMax = r.PMax
+	cfg.ObservationSD = r.ObservationSD
+	cfg.Seed = r.Seed
+	cfg.Policy = cmabhs.Policy(r.Policy)
+	cfg.Epsilon = r.Epsilon
+	cfg.Solver = cmabhs.Solver(r.Solver)
+	cfg.Budget = r.Budget
+	cfg.CollectData = r.CollectData
+	return cfg, nil
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID        string         `json:"id"`
+	Sellers   int            `json:"sellers"`
+	K         int            `json:"k"`
+	Rounds    int            `json:"rounds"`
+	NextRound int            `json:"next_round"`
+	Done      bool           `json:"done"`
+	Stopped   string         `json:"stopped,omitempty"`
+	Result    *cmabhs.Result `json:"result"`
+}
+
+// AdvanceRequest asks to play up to Rounds more rounds.
+type AdvanceRequest struct {
+	Rounds int `json:"rounds"`
+}
+
+// AdvanceResponse returns the rounds just played plus the updated
+// status.
+type AdvanceResponse struct {
+	Played []cmabhs.Round `json:"played"`
+	Status JobStatus      `json:"status"`
+}
+
+// job is one live trading session.
+type job struct {
+	mu      sync.Mutex
+	id      string
+	m       int
+	k       int
+	horizon int
+	sess    *cmabhs.Session
+}
+
+func (j *job) status() JobStatus {
+	res := j.sess.Result()
+	// encoding/json rejects NaN; the RMSE is NaN when the data layer
+	// is off. 0 on the wire means "not collected".
+	if math.IsNaN(res.AggregationRMSE) {
+		res.AggregationRMSE = 0
+	}
+	if math.IsNaN(res.DynamicRegret) {
+		res.DynamicRegret = 0
+	}
+	return JobStatus{
+		ID:        j.id,
+		Sellers:   j.m,
+		K:         j.k,
+		Rounds:    j.horizon,
+		NextRound: j.sess.NextRound(),
+		Done:      j.sess.Done(),
+		Stopped:   j.sess.Stopped(),
+		Result:    res,
+	}
+}
+
+// Server is the broker service. Create with New and mount Handler.
+type Server struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+
+	// MaxJobs bounds concurrently live jobs (default 64).
+	MaxJobs int
+	// MaxAdvance bounds rounds per advance call (default 100000).
+	MaxAdvance int
+
+	// Service counters (atomic), exposed at GET /v1/stats.
+	statJobsCreated    atomic.Int64
+	statRoundsAdvanced atomic.Int64
+	statGamesSolved    atomic.Int64
+}
+
+// New returns an empty broker.
+func New() *Server {
+	return &Server{jobs: make(map[string]*job), MaxJobs: 64, MaxAdvance: 100_000}
+}
+
+// Handler returns the HTTP handler for the broker API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/game/solve", s.handleSolveGame)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// handleStats reports service counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	live := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"jobs_live":       int64(live),
+		"jobs_created":    s.statJobsCreated.Load(),
+		"rounds_advanced": s.statRoundsAdvanced.Load(),
+		"games_solved":    s.statGamesSolved.Load(),
+	})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+		cfg, err := req.config()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if req.K <= 0 || req.Rounds <= 0 {
+			httpError(w, http.StatusBadRequest, "k and rounds must be positive")
+			return
+		}
+		sess, err := cmabhs.NewSession(cfg)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		if len(s.jobs) >= s.MaxJobs {
+			s.mu.Unlock()
+			httpError(w, http.StatusTooManyRequests, "job limit (%d) reached", s.MaxJobs)
+			return
+		}
+		s.nextID++
+		j := &job{
+			id:      fmt.Sprintf("job-%d", s.nextID),
+			m:       len(cfg.Sellers),
+			k:       req.K,
+			horizon: req.Rounds,
+			sess:    sess,
+		}
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		s.statJobsCreated.Add(1)
+		// The job is published: take its lock before reading state, a
+		// concurrent advance may already be running.
+		j.mu.Lock()
+		st := j.status()
+		j.mu.Unlock()
+		writeJSON(w, http.StatusCreated, st)
+
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]JobStatus, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			out = append(out, j.status())
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		// Stable order for clients.
+		for i := 1; i < len(out); i++ {
+			for k := i; k > 0 && out[k-1].ID > out[k].ID; k-- {
+				out[k-1], out[k] = out[k], out[k-1]
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	action := ""
+	if len(parts) > 1 {
+		action = parts[1]
+	}
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		j.mu.Lock()
+		st := j.status()
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+
+	case action == "" && r.Method == http.MethodDelete:
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+
+	case action == "advance" && r.Method == http.MethodPost:
+		var req AdvanceRequest
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+				return
+			}
+		}
+		if req.Rounds <= 0 {
+			req.Rounds = 1
+		}
+		if req.Rounds > s.MaxAdvance {
+			req.Rounds = s.MaxAdvance
+		}
+		j.mu.Lock()
+		played, err := j.sess.StepN(req.Rounds)
+		st := j.status()
+		j.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.statRoundsAdvanced.Add(int64(len(played)))
+		writeJSON(w, http.StatusOK, AdvanceResponse{Played: played, Status: st})
+
+	case action == "estimates" && r.Method == http.MethodGet:
+		j.mu.Lock()
+		est := j.sess.Estimates()
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"estimates": est})
+
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "unsupported %s on %q", r.Method, r.URL.Path)
+	}
+}
+
+// SolveGameRequest is the wire form of a one-round game.
+type SolveGameRequest struct {
+	Sellers []SellerSpec `json:"sellers"` // q is the ESTIMATED quality here
+	Theta   float64      `json:"theta,omitempty"`
+	Lambda  float64      `json:"lambda,omitempty"`
+	Omega   float64      `json:"omega,omitempty"`
+	PJMax   float64      `json:"pj_max,omitempty"`
+	PMax    float64      `json:"p_max,omitempty"`
+	Solver  string       `json:"solver,omitempty"`
+}
+
+func (s *Server) handleSolveGame(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req SolveGameRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	gc := cmabhs.GameConfig{
+		Theta: req.Theta, Lambda: req.Lambda, Omega: req.Omega,
+		PJMax: req.PJMax, PMax: req.PMax,
+		Solver: cmabhs.Solver(req.Solver),
+	}
+	for _, sp := range req.Sellers {
+		gc.Sellers = append(gc.Sellers, cmabhs.GameSeller{
+			CostQuadratic: sp.CostQuadratic,
+			CostLinear:    sp.CostLinear,
+			Quality:       sp.ExpectedQuality,
+		})
+	}
+	out, err := cmabhs.SolveGame(gc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.statGamesSolved.Add(1)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// do issues a JSON request against the test server and decodes the
+// response into out (if non-nil), returning the status code.
+func do(t *testing.T, ts *httptest.Server, method, path string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	var out map[string]string
+	if code := do(t, ts, http.MethodGet, "/v1/healthz", nil, &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out["status"] != "ok" {
+		t.Errorf("body %v", out)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Create.
+	var st JobStatus
+	code := do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{
+		RandomSellers: 20, K: 4, Rounds: 100, Seed: 7,
+	}, &st)
+	if code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+	if st.ID == "" || st.Sellers != 20 || st.NextRound != 1 || st.Done {
+		t.Fatalf("created status %+v", st)
+	}
+
+	// Advance 10 rounds.
+	var adv AdvanceResponse
+	code = do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance", AdvanceRequest{Rounds: 10}, &adv)
+	if code != http.StatusOK {
+		t.Fatalf("advance status %d", code)
+	}
+	if len(adv.Played) != 10 || adv.Status.NextRound != 11 {
+		t.Fatalf("advance %d rounds, next %d", len(adv.Played), adv.Status.NextRound)
+	}
+	// Round 1 is the initial exploration (all sellers selected).
+	if len(adv.Played[0].Selected) != 20 {
+		t.Errorf("round 1 selected %d", len(adv.Played[0].Selected))
+	}
+	if len(adv.Played[5].Selected) != 4 {
+		t.Errorf("later rounds should select K=4, got %d", len(adv.Played[5].Selected))
+	}
+
+	// Status reflects progress.
+	code = do(t, ts, http.MethodGet, "/v1/jobs/"+st.ID, nil, &st)
+	if code != http.StatusOK || st.Result.Rounds != 10 {
+		t.Fatalf("status %d, rounds %d", code, st.Result.Rounds)
+	}
+	if st.Result.RealizedRevenue <= 0 {
+		t.Error("revenue should accumulate")
+	}
+
+	// Estimates.
+	var est struct {
+		Estimates []float64 `json:"estimates"`
+	}
+	code = do(t, ts, http.MethodGet, "/v1/jobs/"+st.ID+"/estimates", nil, &est)
+	if code != http.StatusOK || len(est.Estimates) != 20 {
+		t.Fatalf("estimates %d (code %d)", len(est.Estimates), code)
+	}
+
+	// Run to completion.
+	code = do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance", AdvanceRequest{Rounds: 1000}, &adv)
+	if code != http.StatusOK || !adv.Status.Done {
+		t.Fatalf("final advance code %d, done=%v", code, adv.Status.Done)
+	}
+	if len(adv.Played) != 90 {
+		t.Errorf("remaining rounds %d, want 90", len(adv.Played))
+	}
+
+	// List contains the job.
+	var list []JobStatus
+	if code := do(t, ts, http.MethodGet, "/v1/jobs", nil, &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list code %d len %d", code, len(list))
+	}
+
+	// Delete.
+	if code := do(t, ts, http.MethodDelete, "/v1/jobs/"+st.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete status %d", code)
+	}
+	if code := do(t, ts, http.MethodGet, "/v1/jobs/"+st.ID, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted job should 404, got %d", code)
+	}
+}
+
+func TestJobCreationErrors(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		req  any
+		want int
+	}{
+		{"no sellers", JobRequest{K: 2, Rounds: 10}, http.StatusBadRequest},
+		{"no k", JobRequest{RandomSellers: 5, Rounds: 10}, http.StatusBadRequest},
+		{"no rounds", JobRequest{RandomSellers: 5, K: 2}, http.StatusBadRequest},
+		{"k > m", JobRequest{RandomSellers: 3, K: 5, Rounds: 10}, http.StatusBadRequest},
+		{"bad policy", JobRequest{RandomSellers: 5, K: 2, Rounds: 10, Policy: "wat"}, http.StatusBadRequest},
+		{"not json", "}{", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var out map[string]string
+		if code := do(t, ts, http.MethodPost, "/v1/jobs", tc.req, &out); code != tc.want {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, code, tc.want, out)
+		}
+	}
+}
+
+func TestExplicitSellersAndBudget(t *testing.T) {
+	ts := newTestServer(t)
+	req := JobRequest{
+		Sellers: []SellerSpec{
+			{CostQuadratic: 0.2, CostLinear: 0.1, ExpectedQuality: 0.9},
+			{CostQuadratic: 0.3, CostLinear: 0.2, ExpectedQuality: 0.5},
+			{CostQuadratic: 0.4, CostLinear: 0.3, ExpectedQuality: 0.7},
+		},
+		K: 2, Rounds: 10_000, Budget: 500, Seed: 3,
+	}
+	var st JobStatus
+	if code := do(t, ts, http.MethodPost, "/v1/jobs", req, &st); code != http.StatusCreated {
+		t.Fatalf("create %d", code)
+	}
+	var adv AdvanceResponse
+	if code := do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance", AdvanceRequest{Rounds: 10_000}, &adv); code != http.StatusOK {
+		t.Fatalf("advance %d", code)
+	}
+	if !adv.Status.Done || adv.Status.Stopped != "budget exhausted" {
+		t.Fatalf("status %+v", adv.Status)
+	}
+	if adv.Status.Result.ConsumerSpend < 500 {
+		t.Errorf("spend %v below budget", adv.Status.Result.ConsumerSpend)
+	}
+}
+
+func TestAdvanceDefaultsAndCap(t *testing.T) {
+	srv := New()
+	srv.MaxAdvance = 5
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var st JobStatus
+	do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{RandomSellers: 5, K: 2, Rounds: 50}, &st)
+	// Empty body => one round.
+	var adv AdvanceResponse
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs/"+st.ID+"/advance", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&adv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(adv.Played) != 1 {
+		t.Fatalf("default advance played %d", len(adv.Played))
+	}
+	// Over-cap request clamps to MaxAdvance.
+	do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance", AdvanceRequest{Rounds: 100}, &adv)
+	if len(adv.Played) != 5 {
+		t.Fatalf("capped advance played %d", len(adv.Played))
+	}
+}
+
+func TestJobLimit(t *testing.T) {
+	srv := New()
+	srv.MaxJobs = 2
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		if code := do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{RandomSellers: 5, K: 2, Rounds: 10}, nil); code != http.StatusCreated {
+			t.Fatalf("create %d failed: %d", i, code)
+		}
+	}
+	if code := do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{RandomSellers: 5, K: 2, Rounds: 10}, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("limit not enforced: %d", code)
+	}
+}
+
+func TestSolveGameEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	req := SolveGameRequest{
+		Sellers: []SellerSpec{
+			{CostQuadratic: 0.2, CostLinear: 0.1, ExpectedQuality: 0.8},
+			{CostQuadratic: 0.3, CostLinear: 0.2, ExpectedQuality: 0.6},
+		},
+	}
+	var out struct {
+		ConsumerPrice  float64   `json:"ConsumerPrice"`
+		PlatformPrice  float64   `json:"PlatformPrice"`
+		SensingTimes   []float64 `json:"SensingTimes"`
+		ConsumerProfit float64   `json:"ConsumerProfit"`
+		NoTrade        bool      `json:"NoTrade"`
+	}
+	if code := do(t, ts, http.MethodPost, "/v1/game/solve", req, &out); code != http.StatusOK {
+		t.Fatalf("solve status %d", code)
+	}
+	if out.NoTrade || out.ConsumerPrice <= 0 || len(out.SensingTimes) != 2 {
+		t.Fatalf("outcome %+v", out)
+	}
+	// Errors propagate as 400.
+	if code := do(t, ts, http.MethodPost, "/v1/game/solve", SolveGameRequest{}, nil); code != http.StatusBadRequest {
+		t.Error("empty game should 400")
+	}
+	if code := do(t, ts, http.MethodGet, "/v1/game/solve", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Error("GET should be rejected")
+	}
+}
+
+// TestConcurrentAdvances hammers one job from several goroutines; the
+// job mutex must serialize them and every round must be played
+// exactly once.
+func TestConcurrentAdvances(t *testing.T) {
+	ts := newTestServer(t)
+	var st JobStatus
+	do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{RandomSellers: 10, K: 3, Rounds: 200, Seed: 5}, &st)
+	var wg sync.WaitGroup
+	played := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				var adv AdvanceResponse
+				var buf bytes.Buffer
+				fmt.Fprintf(&buf, `{"rounds": 7}`)
+				resp, err := ts.Client().Post(ts.URL+"/v1/jobs/"+st.ID+"/advance", "application/json", &buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&adv)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				played[w] += len(adv.Played)
+				if adv.Status.Done {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range played {
+		total += p
+	}
+	if total != 200 {
+		t.Fatalf("played %d rounds across workers, want exactly 200", total)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var st JobStatus
+	do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{RandomSellers: 5, K: 2, Rounds: 20}, &st)
+	var adv AdvanceResponse
+	do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance", AdvanceRequest{Rounds: 7}, &adv)
+	do(t, ts, http.MethodPost, "/v1/game/solve", SolveGameRequest{
+		Sellers: []SellerSpec{{CostQuadratic: 0.2, CostLinear: 0.1, ExpectedQuality: 0.5}},
+	}, nil)
+	var stats map[string]int64
+	if code := do(t, ts, http.MethodGet, "/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats["jobs_created"] != 1 || stats["jobs_live"] != 1 {
+		t.Errorf("job counters %v", stats)
+	}
+	if stats["rounds_advanced"] != 7 {
+		t.Errorf("rounds_advanced = %d", stats["rounds_advanced"])
+	}
+	if stats["games_solved"] != 1 {
+		t.Errorf("games_solved = %d", stats["games_solved"])
+	}
+	if code := do(t, ts, http.MethodPost, "/v1/stats", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Error("POST /v1/stats should be rejected")
+	}
+}

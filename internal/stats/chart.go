@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders series as a compact ASCII line chart — cdt-bench uses
+// it so the reproduced figures can be eyeballed in a terminal next to
+// the paper's plots. Each series gets a glyph; overlapping points
+// show the later series' glyph.
+type Chart struct {
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+}
+
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto w. Series share the axes; X is scaled
+// per the union of X ranges, Y per the union of finite Y values.
+func (c Chart) Render(w io.Writer, title, xLabel string, series ...Series) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if xmin > xmax || ymin > ymax {
+		_, err := fmt.Fprintf(w, "%s\n(no finite points)\n", title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(float64(width-1) * (x - xmin) / (xmax - xmin))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(float64(height-1) * (ymax - y) / (ymax - ymin))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := chartGlyphs[si%len(chartGlyphs)]
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			grid[row(p.Y)][col(p.X)] = g
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	yTop := FormatFloat(ymax)
+	yBot := FormatFloat(ymin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", pad))
+	sb.WriteString(" +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat(" ", pad+2))
+	left := FormatFloat(xmin)
+	right := FormatFloat(xmax)
+	gap := width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	sb.WriteString(left)
+	sb.WriteString(strings.Repeat(" ", gap))
+	sb.WriteString(right)
+	if xLabel != "" {
+		sb.WriteString("  (")
+		sb.WriteString(xLabel)
+		sb.WriteByte(')')
+	}
+	sb.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", chartGlyphs[si%len(chartGlyphs)], s.Name)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	up := Series{Name: "up", Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}}}
+	down := Series{Name: "down", Points: []Point{{X: 0, Y: 2}, {X: 1, Y: 1}, {X: 2, Y: 0}}}
+	var sb strings.Builder
+	if err := (Chart{Width: 20, Height: 5}).Render(&sb, "demo", "x", up, down); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "up", "down", "(x)", "*", "o", "+----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 5 rows + axis + labels + 2 legend + trailing.
+	if len(lines) != 11 {
+		t.Errorf("line count %d:\n%s", len(lines), out)
+	}
+	// The increasing series' glyph appears top-right and bottom-left.
+	var plot []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plot = append(plot, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(plot) != 5 {
+		t.Fatalf("plot rows %d", len(plot))
+	}
+	if !strings.Contains(plot[0], "*") || strings.Index(plot[0], "*") < 10 {
+		t.Errorf("up-series peak not top-right: %q", plot[0])
+	}
+	if !strings.Contains(plot[0], "o") || strings.Index(plot[0], "o") > 5 {
+		t.Errorf("down-series peak not top-left: %q", plot[0])
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	var sb strings.Builder
+	// No finite points.
+	err := Chart{}.Render(&sb, "t", "x", Series{Name: "nan", Points: []Point{{X: 0, Y: math.NaN()}}})
+	if err != nil || !strings.Contains(sb.String(), "no finite points") {
+		t.Errorf("NaN-only series: %v / %q", err, sb.String())
+	}
+	// Single point (zero X and Y ranges) must not divide by zero.
+	sb.Reset()
+	if err := (Chart{}).Render(&sb, "t", "x", Series{Name: "one", Points: []Point{{X: 3, Y: 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("single point not plotted")
+	}
+	// Defaults kick in for zero dimensions.
+	sb.Reset()
+	if err := (Chart{}).Render(&sb, "", "", Series{Name: "s", Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(sb.String(), "\n")) < 17 {
+		t.Error("default height not applied")
+	}
+}
+
+func TestChartGlyphCycling(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: "s", Points: []Point{{X: float64(i), Y: float64(i)}}}
+	}
+	var sb strings.Builder
+	if err := (Chart{Width: 30, Height: 6}).Render(&sb, "", "", series...); err != nil {
+		t.Fatal(err)
+	}
+	// 10 series with 8 glyphs: the legend shows cycled glyphs.
+	if strings.Count(sb.String(), "\n  ") < 10 {
+		t.Error("legend incomplete")
+	}
+}

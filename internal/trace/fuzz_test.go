@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV checks the parser never panics and that anything it
+// accepts survives a write→parse round trip unchanged.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\nx,2021-01-01 00:00:00,2021-01-01 00:10:00,1.5,1,2\n")
+	f.Add("taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Add("taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\nx,2021-01-01 00:00:00,2020-01-01 00:00:00,1,1,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ParseCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteCSV(&sb, recs); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		back, err := ParseCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(back))
+		}
+		for i := range recs {
+			if back[i] != recs[i] {
+				t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package trace implements the mobility-trace substrate the paper's
+// evaluation is driven by. The paper uses a 27,465-record extract of
+// the public "Chicago Taxi Trips" dataset; that file is not shipped
+// here, so the package provides both (a) a parser/writer for the
+// relevant subset of the public schema, and (b) a synthetic generator
+// that reproduces the structure the CDT evaluation depends on: a few
+// hundred taxis with heterogeneous activity moving between community
+// areas, from which the L busiest areas become PoIs and the taxis
+// that serve them become the M candidate data sellers.
+//
+// The bandit/game layers consume only (seller set, PoI set); sensing
+// qualities are randomly generated in [0, 1] exactly as in the paper
+// ("there is no record about the qualities"), so the substitution
+// preserves the behaviour that matters. See DESIGN.md §5.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmabhs/internal/rng"
+)
+
+// Record is one taxi trip, mirroring the fields of the public
+// Chicago schema the paper's evaluation relies on.
+type Record struct {
+	TaxiID      string    // anonymized taxi identifier
+	Start       time.Time // trip start timestamp
+	End         time.Time // trip end timestamp
+	TripMiles   float64   // trip length
+	PickupArea  int       // pickup community area (1-based)
+	DropoffArea int       // dropoff community area (1-based)
+}
+
+// Validate reports structural problems with the record.
+func (r *Record) Validate() error {
+	switch {
+	case r.TaxiID == "":
+		return errors.New("trace: empty taxi id")
+	case r.End.Before(r.Start):
+		return fmt.Errorf("trace: trip ends (%v) before it starts (%v)", r.End, r.Start)
+	case r.TripMiles < 0:
+		return fmt.Errorf("trace: negative trip miles %v", r.TripMiles)
+	case r.PickupArea <= 0 || r.DropoffArea <= 0:
+		return fmt.Errorf("trace: non-positive community area (%d, %d)", r.PickupArea, r.DropoffArea)
+	}
+	return nil
+}
+
+const timeLayout = "2006-01-02 15:04:05"
+
+var csvHeader = []string{"taxi_id", "trip_start", "trip_end", "trip_miles", "pickup_area", "dropoff_area"}
+
+// WriteCSV writes records in the package's canonical CSV layout.
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(strings.Join(csvHeader, ",") + "\n"); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%s,%d,%d\n",
+			r.TaxiID,
+			r.Start.UTC().Format(timeLayout),
+			r.End.UTC().Format(timeLayout),
+			strconv.FormatFloat(r.TripMiles, 'f', -1, 64),
+			r.PickupArea, r.DropoffArea)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseCSV reads records written by WriteCSV (or hand-converted from
+// the public dataset into the same six columns). Unknown extra
+// columns are rejected to surface schema drift early.
+func ParseCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("trace: empty input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("trace: unexpected header %q", got)
+	}
+	var recs []Record
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != len(csvHeader) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(fields), len(csvHeader))
+		}
+		start, err := time.Parse(timeLayout, fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d start: %w", line, err)
+		}
+		end, err := time.Parse(timeLayout, fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d end: %w", line, err)
+		}
+		miles, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d miles: %w", line, err)
+		}
+		pick, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d pickup: %w", line, err)
+		}
+		drop, err := strconv.Atoi(fields[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d dropoff: %w", line, err)
+		}
+		rec := Record{TaxiID: fields[0], Start: start, End: end, TripMiles: miles, PickupArea: pick, DropoffArea: drop}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Dataset wraps a trip collection with the PoI/seller extraction the
+// CDT pipeline needs.
+type Dataset struct {
+	Records []Record
+}
+
+// visitCounts returns per-area visit counts (pickups + dropoffs).
+func (d *Dataset) visitCounts() map[int]int {
+	counts := make(map[int]int)
+	for i := range d.Records {
+		counts[d.Records[i].PickupArea]++
+		counts[d.Records[i].DropoffArea]++
+	}
+	return counts
+}
+
+// TopPoIs returns the l busiest community areas (most pickups +
+// dropoffs), ties broken by lower area id. Fewer than l areas in the
+// data means fewer PoIs returned.
+func (d *Dataset) TopPoIs(l int) []int {
+	counts := d.visitCounts()
+	areas := make([]int, 0, len(counts))
+	for a := range counts {
+		areas = append(areas, a)
+	}
+	sort.Slice(areas, func(i, j int) bool {
+		if counts[areas[i]] != counts[areas[j]] {
+			return counts[areas[i]] > counts[areas[j]]
+		}
+		return areas[i] < areas[j]
+	})
+	if l > len(areas) {
+		l = len(areas)
+	}
+	return areas[:l]
+}
+
+// SellerCandidates returns the taxi ids that visit at least one of
+// the given PoIs, ordered by descending PoI visit count (ties by id).
+// These are the M candidate data sellers of the evaluation.
+func (d *Dataset) SellerCandidates(pois []int) []string {
+	inPoI := make(map[int]bool, len(pois))
+	for _, p := range pois {
+		inPoI[p] = true
+	}
+	visits := make(map[string]int)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if inPoI[r.PickupArea] {
+			visits[r.TaxiID]++
+		}
+		if inPoI[r.DropoffArea] {
+			visits[r.TaxiID]++
+		}
+	}
+	ids := make([]string, 0, len(visits))
+	for id := range visits {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if visits[ids[i]] != visits[ids[j]] {
+			return visits[ids[i]] > visits[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// GenConfig parameterizes the synthetic generator. The defaults
+// mirror the scale of the paper's extract: ~300 taxis, 77 community
+// areas (Chicago's count), ~27k trips.
+type GenConfig struct {
+	Taxis    int           // number of distinct taxis (default 300)
+	Areas    int           // number of community areas (default 77)
+	Trips    int           // number of trip records (default 27465)
+	Start    time.Time     // window start (default 2021-01-01)
+	Duration time.Duration // window length (default 30 days)
+	Seed     int64         // generator seed
+}
+
+func (c *GenConfig) withDefaults() GenConfig {
+	out := *c
+	if out.Taxis <= 0 {
+		out.Taxis = 300
+	}
+	if out.Areas <= 0 {
+		out.Areas = 77
+	}
+	if out.Trips <= 0 {
+		out.Trips = 27465
+	}
+	if out.Start.IsZero() {
+		out.Start = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if out.Duration <= 0 {
+		out.Duration = 30 * 24 * time.Hour
+	}
+	return out
+}
+
+// Generate produces a synthetic trip trace with heterogeneous taxi
+// activity (Gamma-distributed weights) and Zipf-like area popularity,
+// the two structural properties the PoI/seller extraction depends on.
+func Generate(cfg GenConfig) []Record {
+	c := cfg.withDefaults()
+	src := rng.New(c.Seed)
+
+	taxiW := make([]float64, c.Taxis)
+	var taxiTotal float64
+	for i := range taxiW {
+		taxiW[i] = src.Gamma(0.8) + 0.05
+		taxiTotal += taxiW[i]
+	}
+	areaW := make([]float64, c.Areas)
+	var areaTotal float64
+	for i := range areaW {
+		areaW[i] = 1 / float64(i+1) // Zipf: area 1 is the loop, busiest
+		areaTotal += areaW[i]
+	}
+	pick := func(w []float64, total float64) int {
+		x := src.Uniform(0, total)
+		for i, v := range w {
+			x -= v
+			if x <= 0 {
+				return i
+			}
+		}
+		return len(w) - 1
+	}
+
+	recs := make([]Record, c.Trips)
+	for t := range recs {
+		taxi := pick(taxiW, taxiTotal)
+		start := c.Start.Add(time.Duration(src.Float64() * float64(c.Duration)))
+		dur := time.Duration((2 + src.Exponential(0.15)) * float64(time.Minute))
+		miles := 0.3 + src.Exponential(0.35)
+		recs[t] = Record{
+			TaxiID:      fmt.Sprintf("taxi-%04d", taxi),
+			Start:       start.Truncate(time.Second),
+			End:         start.Add(dur).Truncate(time.Second),
+			TripMiles:   miles,
+			PickupArea:  pick(areaW, areaTotal) + 1,
+			DropoffArea: pick(areaW, areaTotal) + 1,
+		}
+	}
+	return recs
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecords() []Record {
+	t0 := time.Date(2021, 3, 1, 8, 0, 0, 0, time.UTC)
+	return []Record{
+		{TaxiID: "taxi-0001", Start: t0, End: t0.Add(10 * time.Minute), TripMiles: 2.5, PickupArea: 8, DropoffArea: 32},
+		{TaxiID: "taxi-0002", Start: t0.Add(time.Hour), End: t0.Add(time.Hour + 5*time.Minute), TripMiles: 1.25, PickupArea: 8, DropoffArea: 8},
+		{TaxiID: "taxi-0001", Start: t0.Add(2 * time.Hour), End: t0.Add(2*time.Hour + 20*time.Minute), TripMiles: 7, PickupArea: 32, DropoffArea: 3},
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	t0 := time.Now()
+	good := Record{TaxiID: "x", Start: t0, End: t0, TripMiles: 0, PickupArea: 1, DropoffArea: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	bad := []Record{
+		{TaxiID: "", Start: t0, End: t0, PickupArea: 1, DropoffArea: 1},
+		{TaxiID: "x", Start: t0, End: t0.Add(-time.Second), PickupArea: 1, DropoffArea: 1},
+		{TaxiID: "x", Start: t0, End: t0, TripMiles: -1, PickupArea: 1, DropoffArea: 1},
+		{TaxiID: "x", Start: t0, End: t0, PickupArea: 0, DropoffArea: 1},
+		{TaxiID: "x", Start: t0, End: t0, PickupArea: 1, DropoffArea: -2},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var sb strings.Builder
+	if err := WriteCSV(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "foo,bar\n"},
+		{"wrong field count", "taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\nonly,three,fields\n"},
+		{"bad time", "taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\nx,not-a-time,2021-01-01 00:00:00,1,1,1\n"},
+		{"bad miles", "taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\nx,2021-01-01 00:00:00,2021-01-01 00:10:00,abc,1,1\n"},
+		{"bad area", "taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\nx,2021-01-01 00:00:00,2021-01-01 00:10:00,1,zero,1\n"},
+		{"invalid record", "taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\nx,2021-01-01 00:00:00,2021-01-01 00:10:00,1,0,1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseCSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestParseCSVSkipsBlankLines(t *testing.T) {
+	in := "taxi_id,trip_start,trip_end,trip_miles,pickup_area,dropoff_area\n\nx,2021-01-01 00:00:00,2021-01-01 00:10:00,1,1,2\n\n"
+	recs, err := ParseCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestTopPoIs(t *testing.T) {
+	d := &Dataset{Records: sampleRecords()}
+	// Area 8 has 3 visits, 32 has 2, 3 has 1.
+	pois := d.TopPoIs(2)
+	if len(pois) != 2 || pois[0] != 8 || pois[1] != 32 {
+		t.Fatalf("TopPoIs = %v", pois)
+	}
+	// Asking for more PoIs than areas returns all.
+	if got := d.TopPoIs(10); len(got) != 3 {
+		t.Errorf("TopPoIs(10) = %v", got)
+	}
+}
+
+func TestSellerCandidates(t *testing.T) {
+	d := &Dataset{Records: sampleRecords()}
+	// PoI {8}: taxi-0001 visits once (pickup), taxi-0002 twice.
+	got := d.SellerCandidates([]int{8})
+	if len(got) != 2 || got[0] != "taxi-0002" || got[1] != "taxi-0001" {
+		t.Fatalf("SellerCandidates = %v", got)
+	}
+	// PoI {3}: only taxi-0001.
+	got = d.SellerCandidates([]int{3})
+	if len(got) != 1 || got[0] != "taxi-0001" {
+		t.Fatalf("SellerCandidates = %v", got)
+	}
+	// No PoIs: nobody.
+	if got := d.SellerCandidates(nil); len(got) != 0 {
+		t.Fatalf("SellerCandidates(nil) = %v", got)
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	recs := Generate(GenConfig{Seed: 1, Trips: 5000})
+	if len(recs) != 5000 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	taxis := map[string]bool{}
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+		if recs[i].PickupArea > 77 || recs[i].DropoffArea > 77 {
+			t.Fatalf("area out of range: %+v", recs[i])
+		}
+		taxis[recs[i].TaxiID] = true
+	}
+	// With 5000 trips over 300 heterogeneous taxis, most taxis appear.
+	if len(taxis) < 200 {
+		t.Errorf("only %d distinct taxis", len(taxis))
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a := Generate(GenConfig{Seed: 7, Trips: 200})
+	b := Generate(GenConfig{Seed: 7, Trips: 200})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must generate identical traces")
+		}
+	}
+	c := Generate(GenConfig{Seed: 8, Trips: 200})
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestGenerateStructure: the busiest areas follow the Zipf weights
+// (area 1 busiest), and taxi activity is heterogeneous.
+func TestGenerateStructure(t *testing.T) {
+	recs := Generate(GenConfig{Seed: 3, Trips: 20000})
+	d := &Dataset{Records: recs}
+	pois := d.TopPoIs(10)
+	if pois[0] != 1 {
+		t.Errorf("area 1 should be the busiest, got %v", pois)
+	}
+	// All top PoIs should be low-numbered under Zipf popularity.
+	for _, p := range pois {
+		if p > 25 {
+			t.Errorf("unexpectedly high-numbered busy area %d in %v", p, pois)
+		}
+	}
+	// The full pipeline: candidates at the top 10 PoIs form the seller
+	// population of the evaluation.
+	sellers := d.SellerCandidates(pois)
+	if len(sellers) < 250 {
+		t.Errorf("only %d seller candidates", len(sellers))
+	}
+	// Heterogeneity: the busiest taxi serves far more PoI visits than
+	// the median taxi.
+	visits := map[string]int{}
+	inPoI := map[int]bool{}
+	for _, p := range pois {
+		inPoI[p] = true
+	}
+	for i := range recs {
+		if inPoI[recs[i].PickupArea] {
+			visits[recs[i].TaxiID]++
+		}
+		if inPoI[recs[i].DropoffArea] {
+			visits[recs[i].TaxiID]++
+		}
+	}
+	top := visits[sellers[0]]
+	median := visits[sellers[len(sellers)/2]]
+	if !(top >= 3*median) {
+		t.Errorf("taxi activity not heterogeneous: top=%d median=%d", top, median)
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []Record{{TaxiID: ""}})
+	if err == nil {
+		t.Fatal("invalid record should fail WriteCSV")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(GenConfig{Seed: int64(i), Trips: 27465})
+	}
+}
+
+func BenchmarkParseCSV(b *testing.B) {
+	recs := Generate(GenConfig{Seed: 1, Trips: 10000})
+	var sb strings.Builder
+	if err := WriteCSV(&sb, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseCSV(strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

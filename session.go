@@ -1,0 +1,97 @@
+package cmabhs
+
+import (
+	"fmt"
+
+	"cmabhs/internal/core"
+)
+
+// Session is a live, stepwise market run: the same mechanism as Run,
+// advanced one round at a time. It powers interactive uses — the
+// broker HTTP service advances a Session as consumers poll — and
+// lets callers inspect learning state mid-run. Not safe for
+// concurrent use; guard it with a mutex when sharing.
+type Session struct {
+	mech *core.Mechanism
+}
+
+// NewSession validates the configuration and prepares a run without
+// playing any rounds.
+func NewSession(c Config) (*Session, error) {
+	cfg, policy, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	mech, err := core.NewMechanism(cfg, policy)
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: %w", err)
+	}
+	return &Session{mech: mech}, nil
+}
+
+// Done reports whether the run has finished.
+func (s *Session) Done() bool { return s.mech.Done() }
+
+// NextRound returns the 1-based index of the next round to play.
+func (s *Session) NextRound() int { return s.mech.Round() }
+
+// Stopped returns the early-halt reason, or "".
+func (s *Session) Stopped() string { return s.mech.Stopped() }
+
+// Step plays one trading round and returns its record; (nil, nil)
+// when the run is already done.
+func (s *Session) Step() (*Round, error) {
+	rec, err := s.mech.Step()
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: %w", err)
+	}
+	if rec == nil {
+		return nil, nil
+	}
+	r := publicRound(rec)
+	return &r, nil
+}
+
+// StepN plays up to n rounds (fewer if the run finishes) and returns
+// the records.
+func (s *Session) StepN(n int) ([]Round, error) {
+	var out []Round
+	for i := 0; i < n && !s.Done(); i++ {
+		r, err := s.Step()
+		if err != nil {
+			return out, err
+		}
+		if r == nil {
+			break
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// Estimates returns the current quality estimates q̄_i.
+func (s *Session) Estimates() []float64 { return s.mech.Arms().Means() }
+
+// Result snapshots the cumulative metrics so far; after Done it is
+// the final result.
+func (s *Session) Result() *Result {
+	res := s.mech.Result()
+	out := &Result{
+		Policy:          res.Policy,
+		RealizedRevenue: res.RealizedRevenue,
+		ExpectedRevenue: res.ExpectedRevenue,
+		Regret:          res.Regret,
+		RegretBound:     res.RegretBound,
+		ConsumerProfit:  res.CumPoC,
+		PlatformProfit:  res.CumPoP,
+		SellerProfit:    res.CumPoS,
+		Rounds:          res.RoundsPlayed,
+		ConsumerSpend:   res.ConsumerSpend,
+		AggregationRMSE: res.MeanAggRMSE,
+		DynamicRegret:   res.DynamicRegret,
+		Stopped:         res.Stopped,
+		Estimates:       res.Estimates,
+		PerSellerProfit: res.SellerTotals,
+	}
+	return out
+}

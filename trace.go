@@ -1,0 +1,70 @@
+package cmabhs
+
+import (
+	"io"
+	"time"
+
+	"cmabhs/internal/trace"
+)
+
+// TripRecord is one taxi trip of a mobility trace, mirroring the
+// fields of the public Chicago Taxi Trips schema the paper evaluates
+// on.
+type TripRecord = trace.Record
+
+// TraceConfig parameterizes the synthetic mobility-trace generator.
+// Zero values default to the scale of the paper's extract: 300
+// taxis, 77 community areas, 27,465 trips over 30 days.
+type TraceConfig struct {
+	Taxis    int
+	Areas    int
+	Trips    int
+	Start    time.Time
+	Duration time.Duration
+	Seed     int64
+}
+
+// GenerateTrace produces a synthetic taxi trace with heterogeneous
+// taxi activity and Zipf-like area popularity — a stand-in for the
+// paper's Chicago Taxi Trips extract (see DESIGN.md §5).
+func GenerateTrace(c TraceConfig) []TripRecord {
+	return trace.Generate(trace.GenConfig{
+		Taxis:    c.Taxis,
+		Areas:    c.Areas,
+		Trips:    c.Trips,
+		Start:    c.Start,
+		Duration: c.Duration,
+		Seed:     c.Seed,
+	})
+}
+
+// WriteTraceCSV writes trip records in the canonical CSV layout.
+func WriteTraceCSV(w io.Writer, recs []TripRecord) error {
+	return trace.WriteCSV(w, recs)
+}
+
+// ParseTraceCSV reads trip records written by WriteTraceCSV (or
+// hand-converted from the public dataset).
+func ParseTraceCSV(r io.Reader) ([]TripRecord, error) {
+	return trace.ParseCSV(r)
+}
+
+// TraceMarket derives a CDT market population from a mobility trace,
+// exactly as the paper's evaluation does: the l busiest community
+// areas become the PoIs and the taxis serving them become the seller
+// candidates (capped at maxSellers, most active first). Seller cost
+// parameters and expected qualities are drawn from the Table II
+// ranges with the given seed, since the trace records no qualities.
+// It returns the PoI area ids, the taxi ids in seller order, and a
+// ready-to-run Config (K and Rounds still to be set by the caller).
+func TraceMarket(recs []TripRecord, l, maxSellers int, seed int64) (pois []int, taxis []string, cfg Config) {
+	ds := &trace.Dataset{Records: recs}
+	pois = ds.TopPoIs(l)
+	taxis = ds.SellerCandidates(pois)
+	if maxSellers > 0 && len(taxis) > maxSellers {
+		taxis = taxis[:maxSellers]
+	}
+	cfg = RandomConfig(len(taxis), 0, 0, seed)
+	cfg.PoIs = len(pois)
+	return pois, taxis, cfg
+}
