@@ -7,10 +7,14 @@
 package cmabhs_test
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"cmabhs"
+	"cmabhs/internal/engine"
 	"cmabhs/internal/experiment"
 )
 
@@ -29,7 +33,7 @@ func runExperiment(b *testing.B, id string, s experiment.Settings) {
 		b.Fatalf("experiment %q not registered", id)
 	}
 	for i := 0; i < b.N; i++ {
-		figs, err := exp.Run(s)
+		figs, err := exp.Run(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,3 +148,40 @@ func BenchmarkExtFamilies(b *testing.B) { runExperiment(b, "ext-families", bench
 
 // BenchmarkFig4To6 regenerates the Sec. III-D illustrative example.
 func BenchmarkFig4To6(b *testing.B) { runExperiment(b, "fig4-6", benchSettings(1)) }
+
+// BenchmarkEngineReplications compares running R independent
+// replications of the mechanism sequentially against fanning them out
+// through the shared batch executor at increasing worker counts. It
+// is the sizing benchmark for Settings.Workers and the server's
+// advance pool: one iteration = 16 replications of an M=60, K=5,
+// N=200 market.
+func BenchmarkEngineReplications(b *testing.B) {
+	const reps = 16
+	run := func(i int) error {
+		cfg := cmabhs.RandomConfig(60, 5, 200, int64(i+1))
+		_, err := cmabhs.Run(cfg)
+		return err
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < reps; r++ {
+				if err := run(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("engine-workers=%d", workers), func(b *testing.B) {
+			opts := engine.Options{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				err := engine.ForEach(context.Background(), reps, opts, func(_ context.Context, r int) error {
+					return run(r)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

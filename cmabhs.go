@@ -1,6 +1,7 @@
 package cmabhs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -372,13 +373,26 @@ func (r *Result) AvgSellerProfit(k int) float64 {
 	return r.SellerProfit / float64(r.Rounds) / float64(k)
 }
 
+// StoppedCanceled is the Result.Stopped / Advance.Stopped value
+// reported when a context cancels execution between trading rounds.
+const StoppedCanceled = core.StoppedCanceled
+
 // Run executes the configured simulation.
 func Run(c Config) (*Result, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext is Run with cancellation: the mechanism checks ctx at
+// every round boundary. When ctx is done the PARTIAL result — all
+// rounds traded so far, with Result.Stopped set to StoppedCanceled —
+// is returned with a nil error, so interrupted simulations can still
+// flush what they learned. Real failures return a non-nil error.
+func RunContext(ctx context.Context, c Config) (*Result, error) {
 	cfg, policy, err := c.build()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(cfg, policy)
+	res, err := core.RunContext(ctx, cfg, policy)
 	if err != nil {
 		return nil, fmt.Errorf("cmabhs: %w", err)
 	}

@@ -1,6 +1,7 @@
 package cmabhs
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -448,6 +449,50 @@ func TestSessionStepping(t *testing.T) {
 	}
 	if len(sess.Estimates()) != 8 {
 		t.Error("estimates length")
+	}
+}
+
+func TestSessionAdvanceContext(t *testing.T) {
+	cfg := RandomConfig(8, 2, 30, 13)
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	adv, err := sess.AdvanceContext(dead, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Played) != 0 || adv.Stopped != StoppedCanceled {
+		t.Fatalf("dead-ctx advance: played %d, stopped %q", len(adv.Played), adv.Stopped)
+	}
+	if sess.Done() || sess.NextRound() != 1 {
+		t.Fatal("cancelled advance must leave the session resumable")
+	}
+	adv, err = sess.AdvanceContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Played) != 30 || adv.Stopped != "" || !sess.Done() {
+		t.Fatalf("live advance: played %d, stopped %q, done %v", len(adv.Played), adv.Stopped, sess.Done())
+	}
+
+	// RunContext with a dead context reports a partial (empty) result.
+	res, err := RunContext(dead, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Stopped != StoppedCanceled {
+		t.Fatalf("dead-ctx run: rounds %d, stopped %q", res.Rounds, res.Stopped)
+	}
+	// And a live RunContext matches Run exactly.
+	whole, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.RealizedRevenue != sess.Result().RealizedRevenue {
+		t.Error("RunContext and session should agree exactly")
 	}
 }
 

@@ -14,10 +14,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cmabhs/internal/experiment"
 )
@@ -35,6 +39,9 @@ func main() {
 		chart    = flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -76,13 +83,14 @@ func main() {
 		csvOut = f
 	}
 	var allFigs []experiment.Figure
+	interrupted := false
 
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
 		}
 		if id == "settings" {
-			if err := experiment.RunAndRender(os.Stdout, id, s); err != nil {
+			if err := experiment.RunAndRender(ctx, os.Stdout, id, s); err != nil {
 				fmt.Fprintln(os.Stderr, "cdt-bench:", err)
 				os.Exit(1)
 			}
@@ -93,7 +101,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cdt-bench: unknown experiment %q (try -list)\n", id)
 			os.Exit(1)
 		}
-		figs, err := e.Run(s)
+		figs, err := e.Run(ctx, s)
+		if errors.Is(err, context.Canceled) {
+			// Interrupted mid-experiment: drop this experiment's
+			// partial sweep, but still flush everything completed so
+			// far to the -csv/-json outputs before exiting non-zero.
+			fmt.Fprintf(os.Stderr, "cdt-bench: interrupted during %s; flushing completed experiments\n", id)
+			interrupted = true
+			break
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
 			os.Exit(1)
@@ -126,12 +142,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(allFigs); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
 			os.Exit(1)
 		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if interrupted {
+		if csvOut != nil {
+			csvOut.Close()
+		}
+		os.Exit(130)
 	}
 }

@@ -27,15 +27,17 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		maxJobs    = flag.Int("max-jobs", 64, "maximum concurrently live jobs")
-		maxAdvance = flag.Int("max-advance", 100_000, "maximum rounds per advance call")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxJobs     = flag.Int("max-jobs", 64, "maximum concurrently live jobs")
+		maxAdvance  = flag.Int("max-advance", 100_000, "maximum rounds per advance call")
+		maxInflight = flag.Int("max-concurrent-advances", 16, "maximum advance calls executing at once")
 	)
 	flag.Parse()
 
 	srv := server.New()
 	srv.MaxJobs = *maxJobs
 	srv.MaxAdvance = *maxAdvance
+	srv.MaxConcurrentAdvances = *maxInflight
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -44,8 +46,11 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
+		log.Print("cdt-server draining")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
@@ -56,5 +61,8 @@ func main() {
 	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	// ListenAndServe returns as soon as Shutdown closes the listener;
+	// in-flight requests (e.g. a long advance) are still draining.
+	<-drained
 	log.Print("cdt-server stopped")
 }

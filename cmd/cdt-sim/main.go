@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cmabhs"
 	"cmabhs/internal/core"
@@ -40,6 +43,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels the run at the next round boundary;
+	// whatever completed by then is still summarized (and journaled)
+	// below as a partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var cfg cmabhs.Config
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
@@ -63,7 +72,7 @@ func main() {
 		cfg.PoIs = *l
 	}
 	if *compare {
-		comparePolicies(cfg, *k, *epsilon, *solver, *omega, *theta, *lambda, *sd)
+		comparePolicies(ctx, cfg, *k, *epsilon, *solver, *omega, *theta, *lambda, *sd)
 		return
 	}
 	cfg.Policy = cmabhs.Policy(*policy)
@@ -75,10 +84,13 @@ func main() {
 	cfg.ObservationSD = *sd
 	cfg.KeepRounds = *verbose > 0 || *logPath != ""
 
-	res, err := cmabhs.Run(cfg)
+	res, err := cmabhs.RunContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
 		os.Exit(1)
+	}
+	if res.Stopped == cmabhs.StoppedCanceled {
+		fmt.Printf("interrupted       partial results for %d of %d rounds\n", res.Rounds, *n)
 	}
 	if *logPath != "" {
 		if err := writeJournal(*logPath, res); err != nil {
@@ -116,7 +128,7 @@ func main() {
 
 // comparePolicies runs the full policy set on identically drawn
 // markets and prints one row per policy.
-func comparePolicies(base cmabhs.Config, k int, epsilon float64, solver string, omega, theta, lambda, sd float64) {
+func comparePolicies(ctx context.Context, base cmabhs.Config, k int, epsilon float64, solver string, omega, theta, lambda, sd float64) {
 	policies := []cmabhs.Policy{
 		cmabhs.PolicyOptimal, cmabhs.PolicyCMABHS, cmabhs.PolicyEpsilonFirst,
 		cmabhs.PolicyEpsilonGreedy, cmabhs.PolicyThompson, cmabhs.PolicyUCB1,
@@ -133,10 +145,14 @@ func comparePolicies(base cmabhs.Config, k int, epsilon float64, solver string, 
 		cfg.Theta = theta
 		cfg.Lambda = lambda
 		cfg.ObservationSD = sd
-		res, err := cmabhs.Run(cfg)
+		res, err := cmabhs.RunContext(ctx, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
 			os.Exit(1)
+		}
+		if res.Stopped == cmabhs.StoppedCanceled {
+			fmt.Fprintln(os.Stderr, "cdt-sim: interrupted; comparison table is incomplete")
+			os.Exit(130)
 		}
 		fmt.Printf("%-14s %14.0f %14.0f %12.2f %12.2f %12.3f\n",
 			res.Policy, res.RealizedRevenue, res.Regret,

@@ -23,6 +23,14 @@
 //	res, err := cmabhs.Run(cfg)
 //	// res.Regret, res.RealizedRevenue, res.AvgConsumerProfit(), ...
 //
+// Long runs are cancellable: RunContext and Session.AdvanceContext
+// accept a context.Context and check it between rounds. A cancelled
+// run is not an error — it returns the rounds completed so far with
+// Result.Stopped (or the Advance.Stopped reason) set to
+// StoppedCanceled, and a Session stays resumable afterwards. Run,
+// Session.Step, and Session.StepN are the background-context
+// wrappers.
+//
 // Single rounds of the pricing game can be solved directly with
 // SolveGame, and synthetic mobility traces in the style of the
 // paper's Chicago-taxi evaluation are generated with GenerateTrace.

@@ -17,12 +17,16 @@
 // the same loop with a different bandit policy, which is exactly how
 // the paper's comparison is defined.
 //
-// The loop is exposed two ways: Run executes a whole configured
-// horizon, and Mechanism steps round by round (what the broker
-// service uses to advance a live trading job incrementally).
+// The loop is exposed two ways: Run/RunContext execute a whole
+// configured horizon, and Mechanism steps round by round (what the
+// broker service uses to advance a live trading job incrementally).
+// Both check context cancellation at round boundaries — a cancelled
+// run keeps its partial progress and reports StoppedCanceled rather
+// than discarding the rounds already traded.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -486,6 +490,41 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 	return rec, nil
 }
 
+// StoppedCanceled is the stop reason reported when a context cancels
+// execution between rounds. Unlike the mechanism's own early halts
+// (budget, churn) it is a property of one advance, not of the run:
+// the mechanism stays resumable and a later advance with a live
+// context picks up at the same round.
+const StoppedCanceled = "canceled"
+
+// AdvanceContext plays up to max rounds (max <= 0 means to
+// completion), checking ctx before every round. It returns the
+// records of the rounds played plus the reason the batch ended early:
+// "" when it played max rounds or the run finished, StoppedCanceled
+// when ctx was done at a round boundary. Cancellation keeps all
+// partial progress — the mechanism is NOT marked done and can be
+// advanced again.
+func (m *Mechanism) AdvanceContext(ctx context.Context, max int) ([]RoundRecord, string, error) {
+	var out []RoundRecord
+	for played := 0; max <= 0 || played < max; played++ {
+		if m.Done() {
+			return out, "", nil
+		}
+		if ctx.Err() != nil {
+			return out, StoppedCanceled, nil
+		}
+		rec, err := m.Step()
+		if err != nil {
+			return out, "", err
+		}
+		if rec == nil { // halted (e.g. no active sellers)
+			return out, "", nil
+		}
+		out = append(out, *rec)
+	}
+	return out, "", nil
+}
+
 // Result snapshots the cumulative metrics. It may be called at any
 // time; after Done it is the final result.
 func (m *Mechanism) Result() *Result {
@@ -519,16 +558,27 @@ func (m *Mechanism) Result() *Result {
 // Run executes the mechanism with the given bandit policy over the
 // full configured horizon.
 func Run(cfg *Config, policy bandit.Policy) (*Result, error) {
+	return RunContext(context.Background(), cfg, policy)
+}
+
+// RunContext is Run with cancellation: it checks ctx between rounds
+// and, when ctx is done, returns the PARTIAL result accumulated so
+// far with Result.Stopped set to StoppedCanceled and a nil error.
+// Real mechanism failures still return a non-nil error.
+func RunContext(ctx context.Context, cfg *Config, policy bandit.Policy) (*Result, error) {
 	m, err := NewMechanism(cfg, policy)
 	if err != nil {
 		return nil, err
 	}
-	for !m.Done() {
-		if _, err := m.Step(); err != nil {
-			return nil, err
-		}
+	_, reason, err := m.AdvanceContext(ctx, 0)
+	if err != nil {
+		return nil, err
 	}
-	return m.Result(), nil
+	res := m.Result()
+	if reason != "" && res.Stopped == "" {
+		res.Stopped = reason
+	}
+	return res, nil
 }
 
 // solve dispatches to the configured game solver.

@@ -1,11 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"cmabhs/internal/bandit"
-	"cmabhs/internal/core"
 	"cmabhs/internal/economics"
 	"cmabhs/internal/game"
 	"cmabhs/internal/numutil"
@@ -22,7 +21,7 @@ import (
 // AblationUCB compares bandit indices/policies on regret over the N
 // sweep: extended UCB (Eq. 19), classic UCB1, Thompson sampling, and
 // ε-greedy, plus the oracle floor.
-func AblationUCB(s Settings) ([]Figure, error) {
+func AblationUCB(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,30 +52,22 @@ func AblationUCB(s Settings) ([]Figure, error) {
 		ok     bool
 	}
 	cells := make([]cell, len(xs)*reps*len(names))
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	parallelFor(len(cells), s.Workers, func(idx int) {
+	err := s.forEachCell(ctx, len(cells), func(ctx context.Context, idx int) error {
 		xi := idx / (reps * len(names))
 		rep := (idx / len(names)) % reps
 		pol := idx % len(names)
 		horizon := int(xs[xi])
 		src := rng.New(s.Seed).Split(int64(xi*104729 + rep))
 		inst := s.NewInstance(src, s.M, s.K, horizon)
-		res, err := core.Run(inst.Config, mk(inst, src, pol))
+		res, err := runMech(ctx, inst.Config, mk(inst, src, pol))
 		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("ablation-ucb x=%v policy=%s: %w", xs[xi], names[pol], err)
-			}
-			errMu.Unlock()
-			return
+			return fmt.Errorf("ablation-ucb x=%v policy=%s: %w", xs[xi], names[pol], err)
 		}
 		cells[idx] = cell{x: xs[xi], policy: pol, regret: res.Regret, ok: true}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	builders := make([]*stats.SeriesBuilder, len(names))
 	for i, n := range names {
@@ -101,7 +92,7 @@ func AblationUCB(s Settings) ([]Figure, error) {
 
 // AblationExplore compares the mechanism with and without Algorithm
 // 1's initial full-exploration round.
-func AblationExplore(s Settings) ([]Figure, error) {
+func AblationExplore(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,9 +103,13 @@ func AblationExplore(s Settings) ([]Figure, error) {
 	names := []string{"with initial exploration", "cold start"}
 	reps := s.reps()
 	builders := []*stats.SeriesBuilder{stats.NewSeriesBuilder(names[0]), stats.NewSeriesBuilder(names[1])}
-	var mu sync.Mutex
-	var firstErr error
-	parallelFor(len(xs)*reps*2, s.Workers, func(idx int) {
+	type cell struct {
+		x      float64
+		regret float64
+		ok     bool
+	}
+	cells := make([]cell, len(xs)*reps*2)
+	err := s.forEachCell(ctx, len(cells), func(ctx context.Context, idx int) error {
 		xi := idx / (reps * 2)
 		rep := (idx / 2) % reps
 		cold := idx%2 == 1
@@ -122,19 +117,20 @@ func AblationExplore(s Settings) ([]Figure, error) {
 		src := rng.New(s.Seed).Split(int64(xi*31337 + rep))
 		inst := s.NewInstance(src, s.M, s.K, horizon)
 		inst.Config.ColdStart = cold
-		res, err := core.Run(inst.Config, bandit.UCBGreedy{})
-		mu.Lock()
-		defer mu.Unlock()
+		res, err := runMech(ctx, inst.Config, bandit.UCBGreedy{})
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
+			return err
 		}
-		builders[idx%2].Observe(xs[xi], res.Regret)
+		cells[idx] = cell{x: xs[xi], regret: res.Regret, ok: true}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
+	}
+	for idx, c := range cells {
+		if c.ok {
+			builders[idx%2].Observe(c.x, c.regret)
+		}
 	}
 	return []Figure{{
 		ID:     "ablation-explore",
@@ -148,7 +144,7 @@ func AblationExplore(s Settings) ([]Figure, error) {
 // exact kinked-curve solver across the K sweep: per-round consumer
 // and platform profit at equilibrium, on the fixed game instance
 // family of Figs. 13–18.
-func AblationSolver(s Settings) ([]Figure, error) {
+func AblationSolver(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,6 +158,9 @@ func AblationSolver(s Settings) ([]Figure, error) {
 			continue
 		}
 		for rep := 0; rep < s.reps()*8; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sub := src.Split(int64(k*1000 + rep))
 			p := &game.Params{
 				Platform: economics.PlatformCost{Theta: s.Theta, Lambda: s.Lambda},

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -70,7 +71,7 @@ func TestScaledFloorsAtTwo(t *testing.T) {
 
 func TestFig7And8ShapesAndOrdering(t *testing.T) {
 	s := testSettings()
-	figs, err := Fig7And8(s)
+	figs, err := Fig7And8(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFig7And8ShapesAndOrdering(t *testing.T) {
 func TestFig9And10Shapes(t *testing.T) {
 	s := testSettings()
 	s.Scale = 2000 // horizon 50
-	figs, err := Fig9And10(s)
+	figs, err := Fig9And10(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFig11And12Shapes(t *testing.T) {
 	s := testSettings()
 	s.M = 80 // allow K ∈ {10..60}
 	s.Scale = 2000
-	figs, err := Fig11And12(s)
+	figs, err := Fig11And12(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestFig11And12Shapes(t *testing.T) {
 func TestFig13Shapes(t *testing.T) {
 	s := testSettings()
 	s.K = 10
-	figs, err := Fig13(s)
+	figs, err := Fig13(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestFig13Shapes(t *testing.T) {
 func TestFig14Shapes(t *testing.T) {
 	s := testSettings()
 	s.K = 10
-	figs, err := Fig14(s)
+	figs, err := Fig14(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestFig14Shapes(t *testing.T) {
 func TestFig15And16Shapes(t *testing.T) {
 	s := testSettings()
 	s.K = 10
-	figs, err := Fig15And16(s)
+	figs, err := Fig15And16(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestFig15And16Shapes(t *testing.T) {
 func TestFig17And18Shapes(t *testing.T) {
 	s := testSettings()
 	s.K = 10
-	figs, err := Fig17And18(s)
+	figs, err := Fig17And18(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestFig17And18Shapes(t *testing.T) {
 
 func TestAblationUCB(t *testing.T) {
 	s := testSettings()
-	figs, err := AblationUCB(s)
+	figs, err := AblationUCB(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestAblationUCB(t *testing.T) {
 
 func TestAblationExplore(t *testing.T) {
 	s := testSettings()
-	figs, err := AblationExplore(s)
+	figs, err := AblationExplore(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +353,7 @@ func TestAblationExplore(t *testing.T) {
 func TestAblationSolver(t *testing.T) {
 	s := testSettings()
 	s.M = 80
-	figs, err := AblationSolver(s)
+	figs, err := AblationSolver(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +391,7 @@ func TestRegistry(t *testing.T) {
 
 func TestRunAndRender(t *testing.T) {
 	var sb strings.Builder
-	if err := RunAndRender(&sb, "settings", testSettings()); err != nil {
+	if err := RunAndRender(context.Background(), &sb, "settings", testSettings()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Table II") {
@@ -399,14 +400,14 @@ func TestRunAndRender(t *testing.T) {
 	sb.Reset()
 	s := testSettings()
 	s.K = 10
-	if err := RunAndRender(&sb, "fig13", s); err != nil {
+	if err := RunAndRender(context.Background(), &sb, "fig13", s); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "fig13a") || !strings.Contains(out, "fig13b") {
 		t.Errorf("rendered output missing figures:\n%s", out[:min(400, len(out))])
 	}
-	if err := RunAndRender(&sb, "bogus", testSettings()); err == nil {
+	if err := RunAndRender(context.Background(), &sb, "bogus", testSettings()); err == nil {
 		t.Error("unknown id should error")
 	}
 }
@@ -425,7 +426,7 @@ func TestSettingsTableRenders(t *testing.T) {
 
 func TestExtAggregation(t *testing.T) {
 	s := testSettings()
-	figs, err := ExtAggregation(s)
+	figs, err := ExtAggregation(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +452,7 @@ func TestExtAggregation(t *testing.T) {
 func TestExtChurn(t *testing.T) {
 	s := testSettings()
 	s.Scale = 1000
-	figs, err := ExtChurn(s)
+	figs, err := ExtChurn(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +483,7 @@ func TestExtChurn(t *testing.T) {
 
 func TestExtNonStationary(t *testing.T) {
 	s := testSettings()
-	figs, err := ExtNonStationary(s)
+	figs, err := ExtNonStationary(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -513,7 +514,7 @@ func TestExtNonStationary(t *testing.T) {
 
 func TestExtAuction(t *testing.T) {
 	s := testSettings()
-	figs, err := ExtAuction(s)
+	figs, err := ExtAuction(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,7 +545,7 @@ func TestExtAuction(t *testing.T) {
 func TestExtFamilies(t *testing.T) {
 	s := testSettings()
 	s.K = 10
-	figs, err := ExtFamilies(s)
+	figs, err := ExtFamilies(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -583,7 +584,7 @@ func TestExtFamilies(t *testing.T) {
 }
 
 func TestFig4To6(t *testing.T) {
-	figs, err := Fig4To6(testSettings())
+	figs, err := Fig4To6(context.Background(), testSettings())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -652,7 +653,7 @@ func TestShippedBaselines(t *testing.T) {
 		if !ok {
 			t.Fatalf("experiment %s missing", tc.exp)
 		}
-		fresh, err := exp.Run(s)
+		fresh, err := exp.Run(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,9 @@
 package experiment
 
 import (
-	"sync"
+	"context"
 
 	"cmabhs/internal/aggregate"
-	"cmabhs/internal/core"
 	"cmabhs/internal/market"
 	"cmabhs/internal/rng"
 	"cmabhs/internal/stats"
@@ -19,7 +18,7 @@ import (
 // per-round aggregation RMSE across the N sweep for the comparison
 // policies — quality-aware selection translates directly into better
 // statistics.
-func ExtAggregation(s Settings) ([]Figure, error) {
+func ExtAggregation(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,11 +35,7 @@ func ExtAggregation(s Settings) ([]Figure, error) {
 		ok     bool
 	}
 	cells := make([]cell, len(xs)*reps*nPol)
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	parallelFor(len(cells), s.Workers, func(idx int) {
+	err := s.forEachCell(ctx, len(cells), func(ctx context.Context, idx int) error {
 		xi := idx / (reps * nPol)
 		rep := (idx / nPol) % reps
 		pol := idx % nPol
@@ -48,27 +43,23 @@ func ExtAggregation(s Settings) ([]Figure, error) {
 		src := rng.New(s.Seed).Split(int64(xi*6151 + rep))
 		inst := s.NewInstance(src, s.M, s.K, horizon)
 		sensor, err := aggregate.NewSensor(0.05, 2, src.Split(0xd1))
-		if err == nil {
-			inst.Config.Market.Data = &market.DataLayer{
-				Signal:     aggregate.SineSignal{Base: 50, Amp: 10, Period: 288},
-				Sensor:     sensor,
-				Aggregator: aggregate.WeightedMean{},
-			}
-			var res *core.Result
-			res, err = core.Run(inst.Config, Policies(inst, horizon, src.Split(int64(pol)))[pol])
-			if err == nil {
-				cells[idx] = cell{x: xs[xi], policy: pol, rmse: res.MeanAggRMSE, ok: true}
-				return
-			}
+		if err != nil {
+			return err
 		}
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
+		inst.Config.Market.Data = &market.DataLayer{
+			Signal:     aggregate.SineSignal{Base: 50, Amp: 10, Period: 288},
+			Sensor:     sensor,
+			Aggregator: aggregate.WeightedMean{},
 		}
-		errMu.Unlock()
+		res, err := runMech(ctx, inst.Config, Policies(inst, horizon, src.Split(int64(pol)))[pol])
+		if err != nil {
+			return err
+		}
+		cells[idx] = cell{x: xs[xi], policy: pol, rmse: res.MeanAggRMSE, ok: true}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	builders := make([]*stats.SeriesBuilder, nPol)
 	for i, name := range PolicyNames {
@@ -95,7 +86,7 @@ func ExtAggregation(s Settings) ([]Figure, error) {
 // churn. A fraction of the population departs uniformly over the
 // run; the figure compares regret with and without churn across the
 // comparison policies at the default horizon.
-func ExtChurn(s Settings) ([]Figure, error) {
+func ExtChurn(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,11 +101,7 @@ func ExtChurn(s Settings) ([]Figure, error) {
 		ok     bool
 	}
 	cells := make([]cell, len(churnFracs)*reps*nPol)
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	parallelFor(len(cells), s.Workers, func(idx int) {
+	err := s.forEachCell(ctx, len(cells), func(ctx context.Context, idx int) error {
 		xi := idx / (reps * nPol)
 		rep := (idx / nPol) % reps
 		pol := idx % nPol
@@ -132,19 +119,15 @@ func ExtChurn(s Settings) ([]Figure, error) {
 			}
 			inst.Config.Market.Departures = dep
 		}
-		res, err := core.Run(inst.Config, Policies(inst, horizon, src.Split(int64(pol)))[pol])
+		res, err := runMech(ctx, inst.Config, Policies(inst, horizon, src.Split(int64(pol)))[pol])
 		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-			return
+			return err
 		}
 		cells[idx] = cell{x: frac, policy: pol, regret: res.Regret, ok: true}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	builders := make([]*stats.SeriesBuilder, nPol)
 	for i, name := range PolicyNames {

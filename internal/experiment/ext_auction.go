@@ -1,11 +1,10 @@
 package experiment
 
 import (
-	"sync"
+	"context"
 
 	"cmabhs/internal/auction"
 	"cmabhs/internal/bandit"
-	"cmabhs/internal/core"
 	"cmabhs/internal/numutil"
 	"cmabhs/internal/rng"
 	"cmabhs/internal/stats"
@@ -24,7 +23,7 @@ import (
 // profits (higher PoC), while the auction holds seller payments to
 // critical values (truthfulness premium shows up as seller rent and
 // a thinner consumer margin).
-func ExtAuction(s Settings) ([]Figure, error) {
+func ExtAuction(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,34 +37,20 @@ func ExtAuction(s Settings) ([]Figure, error) {
 		stackel, auctioned auctionMetrics
 	}
 	cells := make([]cell, len(xs)*reps)
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	parallelFor(len(cells), s.Workers, func(idx int) {
+	err := s.forEachCell(ctx, len(cells), func(ctx context.Context, idx int) error {
 		xi := idx / reps
 		rep := idx % reps
 		horizon := int(xs[xi])
 		src := rng.New(s.Seed).Split(int64(xi*27644437 + rep))
 		inst := s.NewInstance(src, s.M, s.K, horizon)
 
-		res, err := core.Run(inst.Config, bandit.UCBGreedy{})
+		res, err := runMech(ctx, inst.Config, bandit.UCBGreedy{})
 		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-			return
+			return err
 		}
 		a, err := runAuctionMarket(inst, s.K, horizon)
 		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-			return
+			return err
 		}
 		cells[idx] = cell{
 			x: xs[xi],
@@ -74,9 +59,10 @@ func ExtAuction(s Settings) ([]Figure, error) {
 			},
 			auctioned: *a,
 		}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	names := []string{
 		"PoC CMAB-HS", "PoC auction",

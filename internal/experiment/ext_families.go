@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"cmabhs/internal/economics"
 	"cmabhs/internal/game"
 	"cmabhs/internal/rng"
@@ -20,7 +22,7 @@ import (
 // smooth interior equilibria; piecewise-linear costs produce
 // bang-bang supply (sellers sit at kinks or the cap), which makes
 // total sensing time jumpy while profits stay comparable.
-func ExtFamilies(s Settings) ([]Figure, error) {
+func ExtFamilies(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,6 +74,9 @@ func ExtFamilies(s Settings) ([]Figure, error) {
 	}
 	for vi, v := range variants {
 		for _, w := range omegas {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			f := &game.FlexParams{
 				Costs:     v.costs,
 				Qualities: quals,

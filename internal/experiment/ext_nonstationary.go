@@ -1,10 +1,9 @@
 package experiment
 
 import (
-	"sync"
+	"context"
 
 	"cmabhs/internal/bandit"
-	"cmabhs/internal/core"
 	"cmabhs/internal/quality"
 	"cmabhs/internal/rng"
 	"cmabhs/internal/stats"
@@ -22,7 +21,7 @@ import (
 // result for the specialist policies at CDT scales: the paper's wide
 // (K+1)·ln(Σn) confidence makes cumulative UCB re-explore
 // aggressively enough to track regime shifts on its own.
-func ExtNonStationary(s Settings) ([]Figure, error) {
+func ExtNonStationary(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -39,11 +38,7 @@ func ExtNonStationary(s Settings) ([]Figure, error) {
 		ok     bool
 	}
 	cells := make([]cell, len(xs)*reps*len(names))
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	parallelFor(len(cells), s.Workers, func(idx int) {
+	err := s.forEachCell(ctx, len(cells), func(ctx context.Context, idx int) error {
 		xi := idx / (reps * len(names))
 		rep := (idx / len(names)) % reps
 		pol := idx % len(names)
@@ -68,38 +63,34 @@ func ExtNonStationary(s Settings) ([]Figure, error) {
 			switchEvery = 2
 		}
 		model, err := quality.NewShifting([][]float64{up, down}, switchEvery, s.SD, src.Split(0x5f))
-		if err == nil {
-			inst.Config.Market.Quality = model
-			var policy bandit.Policy
-			switch pol {
-			case 0:
-				policy = bandit.UCBGreedy{}
-			case 1:
-				w := switchEvery / 2
-				if w < 10 {
-					w = 10
-				}
-				policy = bandit.NewSlidingWindowUCB(w)
-			case 2:
-				policy = bandit.NewDiscountedUCB(0.998)
-			default:
-				policy = bandit.NewRandom(src.Split(0xaa))
-			}
-			var res *core.Result
-			res, err = core.Run(inst.Config, policy)
-			if err == nil {
-				cells[idx] = cell{x: xs[xi], policy: pol, regret: res.DynamicRegret, ok: true}
-				return
-			}
+		if err != nil {
+			return err
 		}
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
+		inst.Config.Market.Quality = model
+		var policy bandit.Policy
+		switch pol {
+		case 0:
+			policy = bandit.UCBGreedy{}
+		case 1:
+			w := switchEvery / 2
+			if w < 10 {
+				w = 10
+			}
+			policy = bandit.NewSlidingWindowUCB(w)
+		case 2:
+			policy = bandit.NewDiscountedUCB(0.998)
+		default:
+			policy = bandit.NewRandom(src.Split(0xaa))
 		}
-		errMu.Unlock()
+		res, err := runMech(ctx, inst.Config, policy)
+		if err != nil {
+			return err
+		}
+		cells[idx] = cell{x: xs[xi], policy: pol, regret: res.DynamicRegret, ok: true}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	builders := make([]*stats.SeriesBuilder, len(names))
 	for i, n := range names {

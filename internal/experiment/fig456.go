@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"cmabhs/internal/bandit"
@@ -21,7 +22,7 @@ import (
 // (its Fig. 4 parameters are not fully printed), but the structure is
 // the same: an all-seller exploration round at p_max, then
 // UCB-alternating pairs with Stackelberg pricing.
-func Fig4To6(s Settings) ([]Figure, error) {
+func Fig4To6(ctx context.Context, s Settings) ([]Figure, error) {
 	means := []float64{0.64, 0.66, 0.57} // the example's expected qualities
 	model, err := quality.NewTruncGaussian(means, 0.15, rng.New(s.Seed).Split(0x456))
 	if err != nil {
@@ -44,7 +45,7 @@ func Fig4To6(s Settings) ([]Figure, error) {
 		K:          2,
 		KeepRounds: true,
 	}
-	res, err := core.Run(cfg, bandit.UCBGreedy{})
+	res, err := runMech(ctx, cfg, bandit.UCBGreedy{})
 	if err != nil {
 		return nil, err
 	}

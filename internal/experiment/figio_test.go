@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -127,7 +128,7 @@ func TestCompareConstantBaselineSkipsCorrelation(t *testing.T) {
 func TestCompareEndToEndWithRealExperiment(t *testing.T) {
 	s := testSettings()
 	s.K = 10
-	a, err := Fig13(s)
+	a, err := Fig13(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCompareEndToEndWithRealExperiment(t *testing.T) {
 	}
 	s2 := s
 	s2.Seed = 43 // different market draw, same shapes
-	b, err := Fig13(s2)
+	b, err := Fig13(context.Background(), s2)
 	if err != nil {
 		t.Fatal(err)
 	}

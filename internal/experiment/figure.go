@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 
+	"cmabhs/internal/bandit"
+	"cmabhs/internal/core"
+	"cmabhs/internal/engine"
 	"cmabhs/internal/stats"
 )
 
@@ -33,35 +36,25 @@ func (f *Figure) RenderChart(w io.Writer) error {
 	return stats.Chart{}.Render(w, fmt.Sprintf("%s: %s", f.ID, f.Title), f.XLabel, f.Series...)
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines.
-// Each fn must confine its writes to its own index's data.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = 4
+// forEachCell runs fn(ctx, i) for every cell index of a sweep on the
+// shared execution engine, bounded by the settings' worker count
+// (GOMAXPROCS when unset). Each fn must confine its writes to its own
+// index's data. The first task error cancels the remaining cells and
+// is returned; cancelling ctx aborts the sweep at a cell boundary.
+func (s *Settings) forEachCell(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return engine.ForEach(ctx, n, engine.Options{Workers: s.Workers}, fn)
+}
+
+// runMech executes one mechanism run under ctx. A run the context cut
+// short is converted into ctx's error rather than returned as a
+// truncated result, so sweep cells never record partial runs.
+func runMech(ctx context.Context, cfg *core.Config, policy bandit.Policy) (*core.Result, error) {
+	res, err := core.RunContext(ctx, cfg, policy)
+	if err != nil {
+		return nil, err
 	}
-	if workers > n {
-		workers = n
+	if res.Stopped == core.StoppedCanceled {
+		return nil, ctx.Err()
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	return res, nil
 }

@@ -1,8 +1,8 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"cmabhs/internal/core"
 	"cmabhs/internal/rng"
@@ -30,21 +30,17 @@ type banditCell struct {
 }
 
 // runBanditSweep executes the comparison set at every sweep point ×
-// replication in parallel. build must return the (M, K, horizon) of
-// sweep point x; instances are drawn with common random numbers
-// across policies for variance reduction.
-func runBanditSweep(s *Settings, xs []float64, build func(x float64) (m, k, horizon int)) ([]banditCell, error) {
+// replication on the execution engine. build must return the (M, K,
+// horizon) of sweep point x; instances are drawn with common random
+// numbers across policies for variance reduction.
+func runBanditSweep(ctx context.Context, s *Settings, xs []float64, build func(x float64) (m, k, horizon int)) ([]banditCell, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	reps := s.reps()
 	nPol := len(PolicyNames)
 	cells := make([]banditCell, len(xs)*reps*nPol)
-	var (
-		errMu    sync.Mutex
-		firstErr error
-	)
-	parallelFor(len(cells), s.Workers, func(idx int) {
+	err := s.forEachCell(ctx, len(cells), func(ctx context.Context, idx int) error {
 		xi := idx / (reps * nPol)
 		rep := (idx / nPol) % reps
 		pol := idx % nPol
@@ -52,19 +48,15 @@ func runBanditSweep(s *Settings, xs []float64, build func(x float64) (m, k, hori
 		src := rng.New(s.Seed).Split(int64(xi*7919 + rep))
 		inst := s.NewInstance(src, m, k, horizon)
 		policy := Policies(inst, horizon, src.Split(int64(pol)))[pol]
-		res, err := core.Run(inst.Config, policy)
+		res, err := runMech(ctx, inst.Config, policy)
 		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("sweep x=%v policy=%s: %w", xs[xi], PolicyNames[pol], err)
-			}
-			errMu.Unlock()
-			return
+			return fmt.Errorf("sweep x=%v policy=%s: %w", xs[xi], PolicyNames[pol], err)
 		}
 		cells[idx] = banditCell{x: xs[xi], policy: pol, rep: rep, res: res}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }
@@ -157,12 +149,12 @@ func profitGapFigures(idPrefix, what, xLabel string, cells []banditCell) []Figur
 
 // Fig7And8 regenerates Fig. 7 (total revenue and regret vs N) and
 // Fig. 8 (Δ-profits vs N) with M and K at their defaults.
-func Fig7And8(s Settings) ([]Figure, error) {
+func Fig7And8(ctx context.Context, s Settings) ([]Figure, error) {
 	xs := make([]float64, len(SweepN))
 	for i, n := range SweepN {
 		xs[i] = float64(s.scaled(n))
 	}
-	cells, err := runBanditSweep(&s, xs, func(x float64) (int, int, int) {
+	cells, err := runBanditSweep(ctx, &s, xs, func(x float64) (int, int, int) {
 		return s.M, s.K, int(x)
 	})
 	if err != nil {
@@ -175,13 +167,13 @@ func Fig7And8(s Settings) ([]Figure, error) {
 
 // Fig9And10 regenerates Fig. 9 (revenue/regret vs M) and Fig. 10
 // (Δ-profits vs M) with N and K at their defaults.
-func Fig9And10(s Settings) ([]Figure, error) {
+func Fig9And10(ctx context.Context, s Settings) ([]Figure, error) {
 	horizon := s.scaled(s.N)
 	xs := make([]float64, len(SweepM))
 	for i, m := range SweepM {
 		xs[i] = float64(m)
 	}
-	cells, err := runBanditSweep(&s, xs, func(x float64) (int, int, int) {
+	cells, err := runBanditSweep(ctx, &s, xs, func(x float64) (int, int, int) {
 		return int(x), s.K, horizon
 	})
 	if err != nil {
@@ -195,7 +187,7 @@ func Fig9And10(s Settings) ([]Figure, error) {
 // Fig11And12 regenerates Fig. 11 (revenue/regret vs K) and Fig. 12
 // (average per-round PoC/PoP/PoS(s) vs K) with N and M at their
 // defaults.
-func Fig11And12(s Settings) ([]Figure, error) {
+func Fig11And12(ctx context.Context, s Settings) ([]Figure, error) {
 	horizon := s.scaled(s.N)
 	xs := make([]float64, 0, len(SweepK))
 	for _, k := range SweepK {
@@ -203,7 +195,7 @@ func Fig11And12(s Settings) ([]Figure, error) {
 			xs = append(xs, float64(k))
 		}
 	}
-	cells, err := runBanditSweep(&s, xs, func(x float64) (int, int, int) {
+	cells, err := runBanditSweep(ctx, &s, xs, func(x float64) (int, int, int) {
 		return s.M, int(x), horizon
 	})
 	if err != nil {

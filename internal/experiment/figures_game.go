@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"cmabhs/internal/economics"
@@ -56,7 +57,7 @@ func watchedSellers(k int) []int {
 // Fig13 regenerates Fig. 13: (a) PoC vs the consumer's own price p^J
 // for several ω, with the platform and sellers reacting; (b) all
 // parties' profits vs p^J at ω=1000.
-func Fig13(s Settings) ([]Figure, error) {
+func Fig13(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,7 +110,7 @@ func Fig13(s Settings) ([]Figure, error) {
 
 // Fig14 regenerates Fig. 14: SoC and SoP fixed at the SE, seller 6's
 // sensing time deviates; (a) PoC and PoP, (b) PoS-3/6/8.
-func Fig14(s Settings) ([]Figure, error) {
+func Fig14(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -211,7 +212,7 @@ func seFigures(profitID, strategyID, what, xLabel string, profits, strategies ma
 
 // Fig15And16 regenerates Figs. 15–16: profits and strategies as
 // seller 6's cost parameter a_6 grows.
-func Fig15And16(s Settings) ([]Figure, error) {
+func Fig15And16(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,7 +232,7 @@ func Fig15And16(s Settings) ([]Figure, error) {
 
 // Fig17And18 regenerates Figs. 17–18: profits and strategies as the
 // platform's cost parameter θ grows.
-func Fig17And18(s Settings) ([]Figure, error) {
+func Fig17And18(ctx context.Context, s Settings) ([]Figure, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}

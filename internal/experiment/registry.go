@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -12,7 +13,7 @@ type Experiment struct {
 	ID          string
 	Description string
 	Heavy       bool // full-scale run takes minutes rather than seconds
-	Run         func(Settings) ([]Figure, error)
+	Run         func(context.Context, Settings) ([]Figure, error)
 }
 
 // Registry lists every reproduction target, in paper order.
@@ -20,7 +21,7 @@ var Registry = []Experiment{
 	{
 		ID:          "settings",
 		Description: "Table II: simulation settings",
-		Run: func(s Settings) ([]Figure, error) {
+		Run: func(context.Context, Settings) ([]Figure, error) {
 			// Rendered as a table, not a series figure; wrap for uniformity.
 			return nil, nil
 		},
@@ -136,9 +137,10 @@ func IDs() []string {
 	return ids
 }
 
-// RunAndRender executes an experiment and writes every produced
-// figure to w. The "settings" pseudo-experiment renders Table II.
-func RunAndRender(w io.Writer, id string, s Settings) error {
+// RunAndRender executes an experiment under ctx and writes every
+// produced figure to w. The "settings" pseudo-experiment renders
+// Table II.
+func RunAndRender(ctx context.Context, w io.Writer, id string, s Settings) error {
 	exp, ok := Find(id)
 	if !ok {
 		return fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
@@ -146,7 +148,7 @@ func RunAndRender(w io.Writer, id string, s Settings) error {
 	if id == "settings" {
 		return SettingsTable(s).Render(w)
 	}
-	figs, err := exp.Run(s)
+	figs, err := exp.Run(ctx, s)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// createJob posts a small random-market job straight at the handler
+// and returns its status.
+func createJob(t *testing.T, h http.Handler) JobStatus {
+	t.Helper()
+	body, err := json.Marshal(JobRequest{RandomSellers: 10, K: 3, Rounds: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d: %s", rec.Code, rec.Body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func advance(t *testing.T, h http.Handler, ctx context.Context, id string, rounds int) (int, AdvanceResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs/"+id+"/advance",
+		strings.NewReader(`{"rounds":`+jsonInt(rounds)+`}`))
+	if ctx != nil {
+		req = req.WithContext(ctx)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var adv AdvanceResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &adv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rec.Code, adv
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// TestAdvanceCancelledContext checks the disconnect semantics: an
+// advance whose request context is already cancelled reports zero
+// rounds played and a "canceled" stop reason, and the job remains
+// resumable by a later advance with a live context.
+func TestAdvanceCancelledContext(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	st := createJob(t, h)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, adv := advance(t, h, ctx, st.ID, 10)
+	if code != http.StatusOK {
+		t.Fatalf("cancelled advance status %d", code)
+	}
+	if len(adv.Played) != 0 {
+		t.Fatalf("cancelled advance played %d rounds", len(adv.Played))
+	}
+	if adv.Stopped != "canceled" {
+		t.Fatalf("stopped = %q, want canceled", adv.Stopped)
+	}
+	if adv.Status.Done {
+		t.Fatal("cancelled advance marked the job done")
+	}
+	if adv.Status.NextRound != 1 {
+		t.Fatalf("next round %d after cancelled advance", adv.Status.NextRound)
+	}
+
+	// The cancellation left no mark: a live advance resumes normally.
+	code, adv = advance(t, h, nil, st.ID, 10)
+	if code != http.StatusOK {
+		t.Fatalf("resumed advance status %d", code)
+	}
+	if len(adv.Played) != 10 || adv.Status.NextRound != 11 {
+		t.Fatalf("resumed advance played %d, next %d", len(adv.Played), adv.Status.NextRound)
+	}
+	if adv.Stopped != "" {
+		t.Fatalf("resumed advance stopped = %q", adv.Stopped)
+	}
+}
+
+// TestAdvancePoolSaturated checks that a full advance pool plus a
+// dead request context yields 503 rather than queueing forever.
+func TestAdvancePoolSaturated(t *testing.T) {
+	s := New()
+	s.MaxConcurrentAdvances = 1
+	h := s.Handler()
+	st := createJob(t, h)
+
+	if err := s.pool().Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool().Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _ := advance(t, h, ctx, st.ID, 10)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated advance status %d, want 503", code)
+	}
+}
+
+// TestSanitizeJSON checks the central NaN/Inf scrub that every
+// response passes through.
+func TestSanitizeJSON(t *testing.T) {
+	nan := math.NaN()
+	type inner struct {
+		F float64
+		S []float64
+	}
+	type outer struct {
+		In    *inner
+		M     map[string]any
+		Plain float64
+		Inf   float64
+		hid   float64 // unexported: must be skipped, not panic
+	}
+	v := outer{
+		In:    &inner{F: nan, S: []float64{1, nan, 3}},
+		M:     map[string]any{"x": nan, "y": []float64{nan}, "z": "str"},
+		Plain: 2.5,
+		Inf:   math.Inf(-1),
+		hid:   nan,
+	}
+	got, ok := sanitizeJSON(v).(outer)
+	if !ok {
+		t.Fatalf("sanitizeJSON changed the type: %T", sanitizeJSON(v))
+	}
+	if got.In.F != 0 || got.In.S[1] != 0 || got.In.S[0] != 1 || got.In.S[2] != 3 {
+		t.Fatalf("inner not scrubbed: %+v", got.In)
+	}
+	if got.M["x"] != 0.0 || got.M["y"].([]float64)[0] != 0 || got.M["z"] != "str" {
+		t.Fatalf("map not scrubbed: %v", got.M)
+	}
+	if got.Plain != 2.5 || got.Inf != 0 {
+		t.Fatalf("floats wrong: %+v", got)
+	}
+	if _, err := json.Marshal(sanitizeJSON(v)); err != nil {
+		t.Fatalf("still unmarshalable: %v", err)
+	}
+	if sanitizeJSON(nil) != nil {
+		t.Fatal("nil should stay nil")
+	}
+}

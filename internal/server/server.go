@@ -15,6 +15,11 @@
 //	GET    /v1/jobs/{id}/estimates current quality estimates
 //	DELETE /v1/jobs/{id}          drop the job
 //	POST   /v1/game/solve         stateless single-round game solve
+//
+// Advance calls honor the request context: if the client disconnects
+// mid-advance, the job stops at the next round boundary, keeps the
+// progress it made, and stays resumable. Concurrent advances across
+// all jobs share a bounded worker pool (MaxConcurrentAdvances).
 package server
 
 import (
@@ -23,11 +28,13 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"cmabhs"
+	"cmabhs/internal/engine"
 )
 
 // JobRequest is the wire form of a market configuration.
@@ -118,10 +125,14 @@ type AdvanceRequest struct {
 }
 
 // AdvanceResponse returns the rounds just played plus the updated
-// status.
+// status. Stopped is set when the advance ended early — "budget" when
+// the trade budget ran out, "canceled" when the request context was
+// cancelled mid-advance (the rounds already played are kept and the
+// job stays resumable).
 type AdvanceResponse struct {
-	Played []cmabhs.Round `json:"played"`
-	Status JobStatus      `json:"status"`
+	Played  []cmabhs.Round `json:"played"`
+	Stopped string         `json:"stopped,omitempty"`
+	Status  JobStatus      `json:"status"`
 }
 
 // job is one live trading session.
@@ -136,14 +147,6 @@ type job struct {
 
 func (j *job) status() JobStatus {
 	res := j.sess.Result()
-	// encoding/json rejects NaN; the RMSE is NaN when the data layer
-	// is off. 0 on the wire means "not collected".
-	if math.IsNaN(res.AggregationRMSE) {
-		res.AggregationRMSE = 0
-	}
-	if math.IsNaN(res.DynamicRegret) {
-		res.DynamicRegret = 0
-	}
 	return JobStatus{
 		ID:        j.id,
 		Sellers:   j.m,
@@ -166,6 +169,13 @@ type Server struct {
 	MaxJobs int
 	// MaxAdvance bounds rounds per advance call (default 100000).
 	MaxAdvance int
+	// MaxConcurrentAdvances bounds advance calls executing at once
+	// across all jobs (default 16). Further calls wait on the pool
+	// until a slot frees or the request context is cancelled.
+	MaxConcurrentAdvances int
+
+	poolOnce sync.Once
+	advPool  *engine.Pool
 
 	// Service counters (atomic), exposed at GET /v1/stats.
 	statJobsCreated    atomic.Int64
@@ -176,6 +186,19 @@ type Server struct {
 // New returns an empty broker.
 func New() *Server {
 	return &Server{jobs: make(map[string]*job), MaxJobs: 64, MaxAdvance: 100_000}
+}
+
+// pool lazily builds the shared advance pool so MaxConcurrentAdvances
+// can be set any time before the first advance request.
+func (s *Server) pool() *engine.Pool {
+	s.poolOnce.Do(func() {
+		n := s.MaxConcurrentAdvances
+		if n <= 0 {
+			n = 16
+		}
+		s.advPool = engine.NewPool(n)
+	})
+	return s.advPool
 }
 
 // Handler returns the HTTP handler for the broker API.
@@ -201,10 +224,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	live := len(s.jobs)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]int64{
-		"jobs_live":       int64(live),
-		"jobs_created":    s.statJobsCreated.Load(),
-		"rounds_advanced": s.statRoundsAdvanced.Load(),
-		"games_solved":    s.statGamesSolved.Load(),
+		"jobs_live":        int64(live),
+		"jobs_created":     s.statJobsCreated.Load(),
+		"rounds_advanced":  s.statRoundsAdvanced.Load(),
+		"games_solved":     s.statGamesSolved.Load(),
+		"advance_inflight": int64(s.pool().InUse()),
 	})
 }
 
@@ -255,14 +279,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusCreated, st)
 
 	case http.MethodGet:
+		// Snapshot the registry first, then take each job's lock with
+		// the registry lock released: waiting on a job mid-advance must
+		// not wedge job creation and deletion.
 		s.mu.Lock()
-		out := make([]JobStatus, 0, len(s.jobs))
+		snap := make([]*job, 0, len(s.jobs))
 		for _, j := range s.jobs {
+			snap = append(snap, j)
+		}
+		s.mu.Unlock()
+		out := make([]JobStatus, 0, len(snap))
+		for _, j := range snap {
 			j.mu.Lock()
 			out = append(out, j.status())
 			j.mu.Unlock()
 		}
-		s.mu.Unlock()
 		// Stable order for clients.
 		for i := 1; i < len(out); i++ {
 			for k := i; k > 0 && out[k-1].ID > out[k].ID; k-- {
@@ -318,16 +349,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		if req.Rounds > s.MaxAdvance {
 			req.Rounds = s.MaxAdvance
 		}
+		if err := s.pool().Acquire(r.Context()); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "advance capacity saturated: %v", err)
+			return
+		}
+		defer s.pool().Release()
 		j.mu.Lock()
-		played, err := j.sess.StepN(req.Rounds)
+		adv, err := j.sess.AdvanceContext(r.Context(), req.Rounds)
 		st := j.status()
 		j.mu.Unlock()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		s.statRoundsAdvanced.Add(int64(len(played)))
-		writeJSON(w, http.StatusOK, AdvanceResponse{Played: played, Status: st})
+		s.statRoundsAdvanced.Add(int64(len(adv.Played)))
+		writeJSON(w, http.StatusOK, AdvanceResponse{Played: adv.Played, Stopped: adv.Stopped, Status: st})
 
 	case action == "estimates" && r.Method == http.MethodGet:
 		j.mu.Lock()
@@ -383,9 +419,70 @@ func (s *Server) handleSolveGame(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	v = sanitizeJSON(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// sanitizeJSON replaces every NaN or ±Inf float reachable from v with
+// 0, since encoding/json rejects them mid-stream (after the status
+// line is already out). NaN legitimately shows up in results — e.g.
+// AggregationRMSE when the data layer is off, DynamicRegret on
+// stationary markets, and game solutions at degenerate parameters —
+// and 0 on the wire uniformly means "not measured". Response values
+// are built fresh per request, so scrubbing in place is safe.
+func sanitizeJSON(v any) any {
+	if v == nil {
+		return nil
+	}
+	rv := reflect.ValueOf(v)
+	cp := reflect.New(rv.Type()).Elem()
+	cp.Set(rv)
+	scrubNaN(cp)
+	return cp.Interface()
+}
+
+func scrubNaN(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		if f := v.Float(); math.IsNaN(f) || math.IsInf(f, 0) {
+			v.SetFloat(0)
+		}
+	case reflect.Pointer:
+		if !v.IsNil() {
+			scrubNaN(v.Elem())
+		}
+	case reflect.Interface:
+		if !v.IsNil() {
+			// Interface contents are read-only; scrub an addressable
+			// copy and store it back.
+			cp := reflect.New(v.Elem().Type()).Elem()
+			cp.Set(v.Elem())
+			scrubNaN(cp)
+			if v.CanSet() {
+				v.Set(cp)
+			}
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).IsExported() {
+				scrubNaN(v.Field(i))
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			scrubNaN(v.Index(i))
+		}
+	case reflect.Map:
+		iter := v.MapRange()
+		for iter.Next() {
+			cp := reflect.New(iter.Value().Type()).Elem()
+			cp.Set(iter.Value())
+			scrubNaN(cp)
+			v.SetMapIndex(iter.Key(), cp)
+		}
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

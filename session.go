@@ -1,6 +1,7 @@
 package cmabhs
 
 import (
+	"context"
 	"fmt"
 
 	"cmabhs/internal/core"
@@ -55,18 +56,39 @@ func (s *Session) Step() (*Round, error) {
 // StepN plays up to n rounds (fewer if the run finishes) and returns
 // the records.
 func (s *Session) StepN(n int) ([]Round, error) {
-	var out []Round
-	for i := 0; i < n && !s.Done(); i++ {
-		r, err := s.Step()
-		if err != nil {
-			return out, err
+	adv, err := s.AdvanceContext(context.Background(), n)
+	return adv.Played, err
+}
+
+// Advance is the outcome of a context-aware batch advance: the rounds
+// actually played plus the reason the batch ended before playing all
+// of them ("" normally, StoppedCanceled when the context was done at
+// a round boundary).
+type Advance struct {
+	Played  []Round
+	Stopped string
+}
+
+// AdvanceContext plays up to n rounds (n <= 0 means to completion),
+// checking ctx before each round. Cancellation is not an error: the
+// rounds already played are returned with Advance.Stopped set to
+// StoppedCanceled, every one of them is kept in the session's
+// cumulative state, and a later call with a live context resumes
+// where this one left off. This is what lets a broker abort a
+// long-running advance on client disconnect without losing progress.
+func (s *Session) AdvanceContext(ctx context.Context, n int) (Advance, error) {
+	recs, reason, err := s.mech.AdvanceContext(ctx, n)
+	adv := Advance{Stopped: reason}
+	if len(recs) > 0 {
+		adv.Played = make([]Round, len(recs))
+		for i := range recs {
+			adv.Played[i] = publicRound(&recs[i])
 		}
-		if r == nil {
-			break
-		}
-		out = append(out, *r)
 	}
-	return out, nil
+	if err != nil {
+		return adv, fmt.Errorf("cmabhs: %w", err)
+	}
+	return adv, nil
 }
 
 // Estimates returns the current quality estimates q̄_i.
