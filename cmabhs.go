@@ -361,15 +361,31 @@ func publicRound(r *core.RoundRecord) Round {
 	}
 }
 
-// AvgConsumerProfit returns the consumer's average per-round profit.
-func (r *Result) AvgConsumerProfit() float64 { return r.ConsumerProfit / float64(r.Rounds) }
+// AvgConsumerProfit returns the consumer's average per-round profit,
+// 0 before any round has been played.
+func (r *Result) AvgConsumerProfit() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return r.ConsumerProfit / float64(r.Rounds)
+}
 
-// AvgPlatformProfit returns the platform's average per-round profit.
-func (r *Result) AvgPlatformProfit() float64 { return r.PlatformProfit / float64(r.Rounds) }
+// AvgPlatformProfit returns the platform's average per-round profit,
+// 0 before any round has been played.
+func (r *Result) AvgPlatformProfit() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return r.PlatformProfit / float64(r.Rounds)
+}
 
 // AvgSellerProfit returns the average per-round profit of one
-// selected seller, given K sellers are selected per round.
+// selected seller, given K sellers are selected per round. 0 before
+// any round has been played.
 func (r *Result) AvgSellerProfit(k int) float64 {
+	if r.Rounds == 0 || k == 0 {
+		return 0
+	}
 	return r.SellerProfit / float64(r.Rounds) / float64(k)
 }
 
@@ -396,6 +412,11 @@ func RunContext(ctx context.Context, c Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cmabhs: %w", err)
 	}
+	return publicResult(res), nil
+}
+
+// publicResult converts an internal result to the public shape.
+func publicResult(res *core.Result) *Result {
 	out := &Result{
 		Policy:          res.Policy,
 		RealizedRevenue: res.RealizedRevenue,
@@ -427,5 +448,5 @@ func RunContext(ctx context.Context, c Config) (*Result, error) {
 			SellerProfit:    cp.CumPoS,
 		})
 	}
-	return out, nil
+	return out
 }

@@ -1,6 +1,10 @@
 // Command cdt-server runs the CDT broker as an HTTP/JSON service.
 //
-//	cdt-server -addr :8080
+//	cdt-server -addr :8080 [-state-dir /var/lib/cdt]
+//
+// With -state-dir set, jobs are snapshotted to disk on graceful
+// shutdown (SIGINT/SIGTERM) and on POST /v1/jobs/{id}/snapshot, and
+// reloaded at the persisted round on the next start.
 //
 // Example session:
 //
@@ -31,6 +35,7 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", 64, "maximum concurrently live jobs")
 		maxAdvance  = flag.Int("max-advance", 100_000, "maximum rounds per advance call")
 		maxInflight = flag.Int("max-concurrent-advances", 16, "maximum advance calls executing at once")
+		stateDir    = flag.String("state-dir", "", "directory for durable job snapshots (empty: in-memory only)")
 	)
 	flag.Parse()
 
@@ -38,6 +43,19 @@ func main() {
 	srv.MaxJobs = *maxJobs
 	srv.MaxAdvance = *maxAdvance
 	srv.MaxConcurrentAdvances = *maxInflight
+	if *stateDir != "" {
+		store, err := server.NewFileStore(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Store = store
+		if err := srv.LoadAll(); err != nil {
+			log.Fatalf("reload jobs from %s: %v", *stateDir, err)
+		}
+		if ids, err := store.List(); err == nil && len(ids) > 0 {
+			log.Printf("cdt-server reloaded %d job(s) from %s: %v", len(ids), *stateDir, ids)
+		}
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -64,5 +82,13 @@ func main() {
 	// ListenAndServe returns as soon as Shutdown closes the listener;
 	// in-flight requests (e.g. a long advance) are still draining.
 	<-drained
+	if srv.Store != nil {
+		// Snapshot after the drain so in-flight advances are included.
+		if err := srv.SaveAll(); err != nil {
+			log.Printf("snapshot jobs: %v", err)
+		} else {
+			log.Printf("cdt-server snapshotted jobs to %s", *stateDir)
+		}
+	}
 	log.Print("cdt-server stopped")
 }

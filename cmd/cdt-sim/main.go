@@ -7,6 +7,13 @@
 //	cdt-sim [-m 300] [-k 10] [-n 100000] [-l 10] [-policy cmab-hs]
 //	        [-seed 1] [-solver closed-form] [-epsilon 0.1]
 //	        [-omega 1000] [-theta 0.1] [-lambda 1] [-verbose-rounds 0]
+//	        [-save run.snap] [-resume run.snap]
+//
+// With -save, an interrupted run (Ctrl-C) writes a resumable snapshot
+// before printing its partial summary; -resume continues such a run
+// (the snapshot carries the full configuration, so the shape flags
+// are ignored) and finishes with exactly the result the uninterrupted
+// run would have produced.
 package main
 
 import (
@@ -38,8 +45,10 @@ func main() {
 		sd        = flag.Float64("sd", 0.1, "observation noise std-dev")
 		verbose   = flag.Int("verbose-rounds", 0, "print the first N round records")
 		compare   = flag.Bool("compare", false, "run every policy on the same market and print a comparison table")
-		logPath   = flag.String("log", "", "write the round-by-round trade journal (JSONL) to this path")
-		tracePath = flag.String("trace", "", "derive the seller population from this mobility-trace CSV (see cdt-trace)")
+		logPath    = flag.String("log", "", "write the round-by-round trade journal (JSONL) to this path")
+		tracePath  = flag.String("trace", "", "derive the seller population from this mobility-trace CSV (see cdt-trace)")
+		savePath   = flag.String("save", "", "write a resumable snapshot to this path when the run is interrupted or finishes")
+		resumePath = flag.String("resume", "", "resume from a snapshot previously written by -save (shape flags are ignored)")
 	)
 	flag.Parse()
 
@@ -50,6 +59,14 @@ func main() {
 	defer stop()
 
 	var cfg cmabhs.Config
+	if *resumePath != "" {
+		if *compare {
+			fmt.Fprintln(os.Stderr, "cdt-sim: -resume and -compare are mutually exclusive")
+			os.Exit(1)
+		}
+		runResumed(ctx, *resumePath, *savePath, *logPath, *verbose)
+		return
+	}
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -84,36 +101,76 @@ func main() {
 	cfg.ObservationSD = *sd
 	cfg.KeepRounds = *verbose > 0 || *logPath != ""
 
-	res, err := cmabhs.RunContext(ctx, cfg)
+	sess, err := cmabhs.NewSession(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
 		os.Exit(1)
 	}
-	if res.Stopped == cmabhs.StoppedCanceled {
-		fmt.Printf("interrupted       partial results for %d of %d rounds\n", res.Rounds, *n)
+	runSession(ctx, sess, *savePath, *logPath, *verbose)
+}
+
+// runResumed restores a session from a -save snapshot and continues
+// it; the snapshot carries the full configuration.
+func runResumed(ctx context.Context, resumePath, savePath, logPath string, verbose int) {
+	data, err := os.ReadFile(resumePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+		os.Exit(1)
 	}
-	if *logPath != "" {
-		if err := writeJournal(*logPath, res); err != nil {
+	sess, err := cmabhs.ResumeSession(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("resumed           %s at round %d of %d\n", resumePath, sess.NextRound(), sess.Config().Rounds)
+	runSession(ctx, sess, savePath, logPath, verbose)
+}
+
+// runSession advances the session to completion (or interruption) and
+// prints the summary. On interruption with -save set, the snapshot is
+// written before anything else so the run cannot be lost to a failure
+// while flushing the partial summary.
+func runSession(ctx context.Context, sess *cmabhs.Session, savePath, logPath string, verbose int) {
+	cfg := sess.Config()
+	adv, err := sess.AdvanceContext(ctx, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+		os.Exit(1)
+	}
+	interrupted := adv.Stopped == cmabhs.StoppedCanceled
+	if savePath != "" && (interrupted || sess.Done()) {
+		if err := writeSnapshot(savePath, sess); err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+		} else {
+			fmt.Printf("snapshot          %s (continue with -resume %s)\n", savePath, savePath)
+		}
+	}
+	res := sess.Result()
+	if interrupted {
+		fmt.Printf("interrupted       partial results for %d of %d rounds\n", res.Rounds, cfg.Rounds)
+	}
+	if logPath != "" {
+		if err := writeJournal(logPath, res); err != nil {
 			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trade journal     %s (%d rounds)\n", *logPath, res.Rounds)
+		fmt.Printf("trade journal     %s (%d rounds)\n", logPath, res.Rounds)
 	}
 
 	fmt.Printf("policy            %s\n", res.Policy)
-	fmt.Printf("rounds            %d (M=%d, K=%d, L=%d)\n", res.Rounds, *m, *k, *l)
+	fmt.Printf("rounds            %d (M=%d, K=%d, L=%d)\n", res.Rounds, len(cfg.Sellers), cfg.K, cfg.PoIs)
 	fmt.Printf("realized revenue  %.2f\n", res.RealizedRevenue)
 	fmt.Printf("expected revenue  %.2f\n", res.ExpectedRevenue)
 	fmt.Printf("regret            %.2f (Theorem 19 bound %.3g)\n", res.Regret, res.RegretBound)
 	fmt.Printf("consumer profit   %.2f total, %.4f per round\n", res.ConsumerProfit, res.AvgConsumerProfit())
 	fmt.Printf("platform profit   %.2f total, %.4f per round\n", res.PlatformProfit, res.AvgPlatformProfit())
 	fmt.Printf("seller profit     %.2f total, %.4f per selected seller per round\n",
-		res.SellerProfit, res.AvgSellerProfit(*k))
+		res.SellerProfit, res.AvgSellerProfit(cfg.K))
 
-	if *verbose > 0 {
+	if verbose > 0 {
 		fmt.Println("\nround  selected           p^J      p        sum(tau)  PoC       PoP")
 		for i, r := range res.PerRound {
-			if i >= *verbose {
+			if i >= verbose {
 				break
 			}
 			sel := fmt.Sprint(r.Selected)
@@ -124,6 +181,24 @@ func main() {
 				r.Round, sel, r.ConsumerPrice, r.PlatformPrice, r.TotalTime, r.ConsumerProfit, r.PlatformProfit)
 		}
 	}
+}
+
+// writeSnapshot saves the session durably: temp file + rename so an
+// existing snapshot is never replaced by a torn one.
+func writeSnapshot(path string, sess *cmabhs.Session) error {
+	data, err := sess.Save()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // comparePolicies runs the full policy set on identically drawn

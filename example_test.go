@@ -85,6 +85,51 @@ func ExampleNewSession() {
 	// done: true
 }
 
+// ExampleSession_Save interrupts a run mid-way, serializes it, and
+// resumes it elsewhere: the resumed run finishes with exactly the
+// same result as one that was never interrupted.
+func ExampleSession_Save() {
+	cfg := cmabhs.RandomConfig(10, 3, 50, 42)
+
+	// Reference: the uninterrupted run.
+	ref, err := cmabhs.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	// Interrupted run: play 20 rounds, save, drop the session.
+	sess, err := cmabhs.NewSession(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sess.StepN(20); err != nil {
+		panic(err)
+	}
+	snapshot, err := sess.Save() // persist these bytes anywhere
+	if err != nil {
+		panic(err)
+	}
+
+	// Later, in a fresh process: resume and finish.
+	resumed, err := cmabhs.ResumeSession(snapshot)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("resumed at round:", resumed.NextRound())
+	if _, err := resumed.StepN(0); err != nil { // to completion
+		panic(err)
+	}
+	res := resumed.Result()
+	fmt.Println("rounds:", res.Rounds)
+	fmt.Println("identical revenue:", res.RealizedRevenue == ref.RealizedRevenue)
+	fmt.Println("identical regret:", res.Regret == ref.Regret)
+	// Output:
+	// resumed at round: 21
+	// rounds: 50
+	// identical revenue: true
+	// identical regret: true
+}
+
 func argmax(xs []float64) int {
 	best := 0
 	for i, x := range xs {

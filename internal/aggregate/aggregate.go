@@ -105,6 +105,13 @@ func (s *Sensor) Read(sig Signal, poi, round int, q float64) float64 {
 	return sig.Value(poi, round) + s.src.Normal(0, s.SD(q))
 }
 
+// RNGState exports the sensor's noise stream position for durable
+// snapshots (the SDMin/SDMax structure is rebuilt from configuration).
+func (s *Sensor) RNGState() rng.State { return s.src.State() }
+
+// RestoreRNG resumes the noise stream at an exported position.
+func (s *Sensor) RestoreRNG(st rng.State) { s.src.SetState(st) }
+
 // Reading is one raw data point returned by a seller.
 type Reading struct {
 	Seller int     // seller id

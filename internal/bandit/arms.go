@@ -169,6 +169,57 @@ func (a *Arms) Snapshot() *Arms {
 	}
 }
 
+// ArmsState is the serializable state of an Arms estimator.
+type ArmsState struct {
+	Count    []int64   `json:"count"`
+	Mean     []float64 `json:"mean"`
+	Sum      []float64 `json:"sum"`
+	Total    int64     `json:"total"`
+	Inactive []bool    `json:"inactive"`
+}
+
+// State exports the estimator for persistence.
+func (a *Arms) State() ArmsState {
+	return ArmsState{
+		Count:    append([]int64(nil), a.count...),
+		Mean:     append([]float64(nil), a.mean...),
+		Sum:      append([]float64(nil), a.sum...),
+		Total:    a.total,
+		Inactive: append([]bool(nil), a.inactive...),
+	}
+}
+
+// Restore overwrites the estimator with an exported state. The state
+// must describe the same number of arms the estimator was built for.
+func (a *Arms) Restore(st ArmsState) error {
+	m := len(a.count)
+	if len(st.Count) != m || len(st.Mean) != m || len(st.Sum) != m || len(st.Inactive) != m {
+		return fmt.Errorf("bandit: arms state covers %d/%d/%d/%d entries, estimator has %d arms",
+			len(st.Count), len(st.Mean), len(st.Sum), len(st.Inactive), m)
+	}
+	var total int64
+	active := 0
+	for i := range st.Count {
+		if st.Count[i] < 0 {
+			return fmt.Errorf("bandit: arms state has negative count for arm %d", i)
+		}
+		total += st.Count[i]
+		if !st.Inactive[i] {
+			active++
+		}
+	}
+	if total != st.Total {
+		return fmt.Errorf("bandit: arms state total %d does not match per-arm sum %d", st.Total, total)
+	}
+	copy(a.count, st.Count)
+	copy(a.mean, st.Mean)
+	copy(a.sum, st.Sum)
+	copy(a.inactive, st.Inactive)
+	a.total = st.Total
+	a.nActive = active
+	return nil
+}
+
 // TopK returns the indices of the k largest values in scores,
 // breaking ties by lower index, in descending score order. It panics
 // if k is out of range.

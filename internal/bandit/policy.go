@@ -189,6 +189,113 @@ func (t *Thompson) SelectK(round int, arms *Arms, k int) []int {
 	return TopK(scores, k)
 }
 
+// PolicyState is the serializable state of a stateful policy. It is a
+// tagged union: exactly one field is set, matching the policy type.
+// Stateless policies (UCBGreedy, UCB1Greedy, Oracle) have no entry —
+// everything they need lives in the shared Arms estimator.
+type PolicyState struct {
+	RNG        *rng.State       `json:"rng,omitempty"`
+	Window     *WindowState     `json:"window,omitempty"`
+	Discounted *DiscountedState `json:"discounted,omitempty"`
+}
+
+// StatefulPolicy is implemented by policies carrying mutable state
+// beyond the shared Arms estimator — their own RNG streams or
+// forgetting windows — which must travel with a snapshot for a
+// restored run to reproduce the original bit-for-bit.
+type StatefulPolicy interface {
+	// PolicyState exports the policy's private state.
+	PolicyState() PolicyState
+	// RestorePolicyState overwrites the private state; it errors when
+	// the state's variant or shape does not match the policy.
+	RestorePolicyState(PolicyState) error
+}
+
+// rngPolicyState exports a policy whose only private state is an RNG
+// stream.
+func rngPolicyState(src *rng.Source) PolicyState {
+	st := src.State()
+	return PolicyState{RNG: &st}
+}
+
+// restoreRNGPolicy restores an RNG-only policy state.
+func restoreRNGPolicy(name string, src *rng.Source, st PolicyState) error {
+	if st.RNG == nil {
+		return fmt.Errorf("bandit: %s policy state without rng", name)
+	}
+	src.SetState(*st.RNG)
+	return nil
+}
+
+// PolicyState implements StatefulPolicy.
+func (r *Random) PolicyState() PolicyState { return rngPolicyState(r.src) }
+
+// RestorePolicyState implements StatefulPolicy.
+func (r *Random) RestorePolicyState(st PolicyState) error {
+	return restoreRNGPolicy("random", r.src, st)
+}
+
+// PolicyState implements StatefulPolicy.
+func (p *EpsilonFirst) PolicyState() PolicyState { return rngPolicyState(p.src) }
+
+// RestorePolicyState implements StatefulPolicy.
+func (p *EpsilonFirst) RestorePolicyState(st PolicyState) error {
+	return restoreRNGPolicy("epsilon-first", p.src, st)
+}
+
+// PolicyState implements StatefulPolicy.
+func (p *EpsilonGreedy) PolicyState() PolicyState { return rngPolicyState(p.src) }
+
+// RestorePolicyState implements StatefulPolicy.
+func (p *EpsilonGreedy) RestorePolicyState(st PolicyState) error {
+	return restoreRNGPolicy("epsilon-greedy", p.src, st)
+}
+
+// PolicyState implements StatefulPolicy.
+func (t *Thompson) PolicyState() PolicyState { return rngPolicyState(t.src) }
+
+// RestorePolicyState implements StatefulPolicy.
+func (t *Thompson) RestorePolicyState(st PolicyState) error {
+	return restoreRNGPolicy("thompson", t.src, st)
+}
+
+// PolicyState implements StatefulPolicy.
+func (p *SlidingWindowUCB) PolicyState() PolicyState {
+	st := p.State()
+	return PolicyState{Window: &st}
+}
+
+// RestorePolicyState implements StatefulPolicy.
+func (p *SlidingWindowUCB) RestorePolicyState(st PolicyState) error {
+	if st.Window == nil {
+		return fmt.Errorf("bandit: sliding-window policy state without window")
+	}
+	return p.Restore(*st.Window)
+}
+
+// PolicyState implements StatefulPolicy.
+func (p *DiscountedUCB) PolicyState() PolicyState {
+	st := p.State()
+	return PolicyState{Discounted: &st}
+}
+
+// RestorePolicyState implements StatefulPolicy.
+func (p *DiscountedUCB) RestorePolicyState(st PolicyState) error {
+	if st.Discounted == nil {
+		return fmt.Errorf("bandit: discounted policy state without discounted")
+	}
+	return p.Restore(*st.Discounted)
+}
+
+var (
+	_ StatefulPolicy = (*Random)(nil)
+	_ StatefulPolicy = (*EpsilonFirst)(nil)
+	_ StatefulPolicy = (*EpsilonGreedy)(nil)
+	_ StatefulPolicy = (*Thompson)(nil)
+	_ StatefulPolicy = (*SlidingWindowUCB)(nil)
+	_ StatefulPolicy = (*DiscountedUCB)(nil)
+)
+
 // randomSubset draws k distinct active arms uniformly.
 func randomSubset(arms *Arms, k int, src *rng.Source) []int {
 	active := arms.ActiveIndices()

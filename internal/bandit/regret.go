@@ -1,6 +1,7 @@
 package bandit
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -117,6 +118,43 @@ func (r *RegretTracker) DeltaMax() float64 { return r.deltaMax }
 
 // Counter returns β_i (Eq. 37).
 func (r *RegretTracker) Counter(i int) int64 { return r.counters[i] }
+
+// TrackerState is the serializable state of a RegretTracker. The
+// structural fields (true expectations, K, L, the optimal set, gap
+// constants) are derived from the run configuration at construction
+// and therefore deliberately not persisted; only the online
+// accumulators travel.
+type TrackerState struct {
+	Regret   numutil.KahanState `json:"regret"`
+	Revenue  numutil.KahanState `json:"revenue"`
+	Rounds   int                `json:"rounds"`
+	Counters []int64            `json:"counters"`
+}
+
+// State exports the online accumulators for persistence.
+func (r *RegretTracker) State() TrackerState {
+	return TrackerState{
+		Regret:   r.regret.State(),
+		Revenue:  r.revenue.State(),
+		Rounds:   r.rounds,
+		Counters: append([]int64(nil), r.counters...),
+	}
+}
+
+// Restore overwrites the online accumulators with an exported state.
+func (r *RegretTracker) Restore(st TrackerState) error {
+	if len(st.Counters) != len(r.counters) {
+		return fmt.Errorf("bandit: tracker state covers %d arms, tracker has %d", len(st.Counters), len(r.counters))
+	}
+	if st.Rounds < 0 {
+		return fmt.Errorf("bandit: tracker state with %d rounds", st.Rounds)
+	}
+	r.regret.Restore(st.Regret)
+	r.revenue.Restore(st.Revenue)
+	r.rounds = st.Rounds
+	copy(r.counters, st.Counters)
+	return nil
+}
 
 // Bound evaluates the Theorem 19 regret bound
 //

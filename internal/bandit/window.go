@@ -117,6 +117,77 @@ func (p *SlidingWindowUCB) SelectK(round int, arms *Arms, k int) []int {
 	return TopK(scores, k)
 }
 
+// BatchState is one round's observations of one arm on the wire.
+type BatchState struct {
+	Round int     `json:"round"`
+	N     int64   `json:"n"`
+	Sum   float64 `json:"sum"`
+}
+
+// WindowState is the serializable state of a SlidingWindowUCB.
+type WindowState struct {
+	Window int            `json:"window"`
+	Arms   [][]BatchState `json:"arms"`
+	Count  []int64        `json:"count"`
+	Sum    []float64      `json:"sum"`
+	Total  int64          `json:"total"`
+}
+
+// State exports the window for persistence.
+func (p *SlidingWindowUCB) State() WindowState {
+	st := WindowState{
+		Window: p.Window,
+		Arms:   make([][]BatchState, len(p.arms)),
+		Count:  append([]int64(nil), p.count...),
+		Sum:    append([]float64(nil), p.sum...),
+		Total:  p.total,
+	}
+	for i, bs := range p.arms {
+		if len(bs) == 0 {
+			continue
+		}
+		row := make([]BatchState, len(bs))
+		for j, b := range bs {
+			row[j] = BatchState{Round: b.round, N: b.n, Sum: b.sum}
+		}
+		st.Arms[i] = row
+	}
+	return st
+}
+
+// Restore overwrites the window with an exported state.
+func (p *SlidingWindowUCB) Restore(st WindowState) error {
+	if st.Window != p.Window {
+		return fmt.Errorf("bandit: window state for window %d, policy has %d", st.Window, p.Window)
+	}
+	if len(st.Arms) != len(st.Count) || len(st.Arms) != len(st.Sum) {
+		return fmt.Errorf("bandit: window state with %d/%d/%d rows", len(st.Arms), len(st.Count), len(st.Sum))
+	}
+	arms := make([][]batch, len(st.Arms))
+	for i, row := range st.Arms {
+		var n int64
+		var sum float64
+		bs := make([]batch, len(row))
+		for j, b := range row {
+			if b.N < 0 {
+				return fmt.Errorf("bandit: window state arm %d has negative batch count", i)
+			}
+			bs[j] = batch{round: b.Round, n: b.N, sum: b.Sum}
+			n += b.N
+			sum += b.Sum
+		}
+		if n != st.Count[i] {
+			return fmt.Errorf("bandit: window state arm %d count %d does not match batches (%d)", i, st.Count[i], n)
+		}
+		arms[i] = bs
+	}
+	p.arms = arms
+	p.count = append([]int64(nil), st.Count...)
+	p.sum = append([]float64(nil), st.Sum...)
+	p.total = st.Total
+	return nil
+}
+
 // DiscountedUCB ranks arms by an exponentially discounted UCB
 // (D-UCB): every observation's weight decays by Gamma per round, so
 // old evidence fades smoothly instead of expiring abruptly.
@@ -196,6 +267,38 @@ func (p *DiscountedUCB) SelectK(round int, arms *Arms, k int) []int {
 	return TopK(scores, k)
 }
 
+// DiscountedState is the serializable state of a DiscountedUCB.
+type DiscountedState struct {
+	Gamma float64   `json:"gamma"`
+	Count []float64 `json:"count"`
+	Sum   []float64 `json:"sum"`
+	AsOf  []int     `json:"as_of"`
+}
+
+// State exports the discounted aggregates for persistence.
+func (p *DiscountedUCB) State() DiscountedState {
+	return DiscountedState{
+		Gamma: p.Gamma,
+		Count: append([]float64(nil), p.count...),
+		Sum:   append([]float64(nil), p.sum...),
+		AsOf:  append([]int(nil), p.asOf...),
+	}
+}
+
+// Restore overwrites the aggregates with an exported state.
+func (p *DiscountedUCB) Restore(st DiscountedState) error {
+	if st.Gamma != p.Gamma {
+		return fmt.Errorf("bandit: discounted state for gamma %v, policy has %v", st.Gamma, p.Gamma)
+	}
+	if len(st.Count) != len(st.Sum) || len(st.Count) != len(st.AsOf) {
+		return fmt.Errorf("bandit: discounted state with %d/%d/%d rows", len(st.Count), len(st.Sum), len(st.AsOf))
+	}
+	p.count = append([]float64(nil), st.Count...)
+	p.sum = append([]float64(nil), st.Sum...)
+	p.asOf = append([]int(nil), st.AsOf...)
+	return nil
+}
+
 // DynamicRegret accumulates regret against the per-round dynamic
 // oracle: each round's benchmark is the top-K of the qualities as
 // they are *at that round*, which is the meaningful notion under
@@ -236,6 +339,26 @@ func (d *DynamicRegret) Regret() float64 { return d.regret }
 
 // Rounds returns the number of recorded rounds.
 func (d *DynamicRegret) Rounds() int { return d.rounds }
+
+// DynamicRegretState is the serializable state of a DynamicRegret.
+type DynamicRegretState struct {
+	Regret float64 `json:"regret"`
+	Rounds int     `json:"rounds"`
+}
+
+// State exports the tracker for persistence.
+func (d *DynamicRegret) State() DynamicRegretState {
+	return DynamicRegretState{Regret: d.regret, Rounds: d.rounds}
+}
+
+// Restore overwrites the tracker with an exported state.
+func (d *DynamicRegret) Restore(st DynamicRegretState) error {
+	if st.Rounds < 0 {
+		return fmt.Errorf("bandit: dynamic regret state with %d rounds", st.Rounds)
+	}
+	d.regret, d.rounds = st.Regret, st.Rounds
+	return nil
+}
 
 var (
 	_ Policy        = (*SlidingWindowUCB)(nil)

@@ -178,16 +178,31 @@ type Result struct {
 	Tracker      *bandit.RegretTracker
 }
 
-// AvgPoC returns the consumer's average per-round profit.
-func (r *Result) AvgPoC() float64 { return r.CumPoC / float64(r.RoundsPlayed) }
+// AvgPoC returns the consumer's average per-round profit, 0 before
+// any round has been played.
+func (r *Result) AvgPoC() float64 {
+	if r.RoundsPlayed == 0 {
+		return 0
+	}
+	return r.CumPoC / float64(r.RoundsPlayed)
+}
 
-// AvgPoP returns the platform's average per-round profit.
-func (r *Result) AvgPoP() float64 { return r.CumPoP / float64(r.RoundsPlayed) }
+// AvgPoP returns the platform's average per-round profit, 0 before
+// any round has been played.
+func (r *Result) AvgPoP() float64 {
+	if r.RoundsPlayed == 0 {
+		return 0
+	}
+	return r.CumPoP / float64(r.RoundsPlayed)
+}
 
 // AvgPoSPerSeller returns the average per-round profit of one
 // selected seller (the paper's Fig. 12(c) metric), given K sellers
-// are selected per round.
+// are selected per round. 0 before any round has been played.
 func (r *Result) AvgPoSPerSeller(k int) float64 {
+	if r.RoundsPlayed == 0 || k == 0 {
+		return 0
+	}
 	return r.CumPoS / float64(r.RoundsPlayed) / float64(k)
 }
 

@@ -17,6 +17,12 @@ import (
 // qualities and Table II cost ranges, n rounds, l PoIs.
 func testConfig(t *testing.T, m, k, n, l int, seed int64) (*Config, []float64) {
 	t.Helper()
+	return buildTestConfig(m, k, n, l, seed)
+}
+
+// buildTestConfig is the t-free body of testConfig, shared with the
+// fuzz targets.
+func buildTestConfig(m, k, n, l int, seed int64) (*Config, []float64) {
 	src := rng.New(seed)
 	means := make([]float64, m)
 	sellers := make([]market.SellerSpec, m)
@@ -29,7 +35,7 @@ func testConfig(t *testing.T, m, k, n, l int, seed int64) (*Config, []float64) {
 	}
 	model, err := quality.NewTruncGaussian(means, 0.1, src.Split(1))
 	if err != nil {
-		t.Fatal(err)
+		panic(err) // unreachable: means are drawn inside [0, 1]
 	}
 	cfg := &Config{
 		Market: market.Config{

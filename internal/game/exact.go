@@ -1,6 +1,7 @@
 package game
 
 import (
+	"math"
 	"sort"
 
 	"cmabhs/internal/numutil"
@@ -152,6 +153,67 @@ func (p *Params) PlatformBestResponseExact(pJ float64, s *supply) float64 {
 	return bestP
 }
 
+// stage1TiePJs returns the p^J values at which the platform's exact
+// best response can jump between response branches. The platform's
+// profit envelope over the kinked supply curve is a max of concave
+// pieces — one quadratic (in p^J) per segment-interior optimum plus
+// one linear piece per pinned breakpoint/bound price — and that
+// envelope is NOT concave, so the argmax can switch between
+// non-adjacent branches as p^J grows. The consumer's profit is
+// discontinuous exactly at those switch prices, which makes every
+// branch-pair tie (a quadratic root) a Stage-1 candidate. Each tie is
+// emitted with a ±δ neighborhood because the supremum is approached
+// one-sided at a jump.
+func (p *Params) stage1TiePJs(s *supply) []float64 {
+	theta, lambda := p.Platform.Theta, p.Platform.Lambda
+	type quad struct{ a, b, c float64 } // branch profit a·pJ² + b·pJ + c
+	var branches []quad
+	// Pinned-price branches: supply breakpoints and the price bounds.
+	// Profit (pJ−t)·S − θS² − λS is linear in pJ with slope S(t).
+	pinned := append([]float64{p.PBounds.Min, p.PBounds.Max}, s.bp...)
+	for _, t := range pinned {
+		if t < p.PBounds.Min || t > p.PBounds.Max {
+			continue
+		}
+		S := s.total(t)
+		branches = append(branches, quad{b: S, c: -t*S - theta*S*S - lambda*S})
+	}
+	// Interior branches: segment j's unclamped optimum price is linear
+	// in pJ, so the profit along it is quadratic; fit the coefficients
+	// from three exact evaluations.
+	for j := 1; j < len(s.segA); j++ {
+		A, B := s.segA[j], s.segB[j]
+		if A <= 0 {
+			continue
+		}
+		f := func(pJ float64) float64 {
+			price := (pJ*A + B + 2*theta*A*B - lambda*A) / (2 * A * (1 + theta*A))
+			S := A*price - B
+			return (pJ-price)*S - theta*S*S - lambda*S
+		}
+		f0, f1, f2 := f(0), f(1), f(2)
+		a := (f0 - 2*f1 + f2) / 2
+		branches = append(branches, quad{a: a, b: f1 - f0 - a, c: f0})
+	}
+	var out []float64
+	for i := 0; i < len(branches); i++ {
+		for j := i + 1; j < len(branches); j++ {
+			x1, x2, err := numutil.QuadraticRoots(
+				branches[i].a-branches[j].a,
+				branches[i].b-branches[j].b,
+				branches[i].c-branches[j].c)
+			if err != nil {
+				continue
+			}
+			for _, x := range []float64{x1, x2} {
+				d := 1e-9 * (1 + math.Abs(x))
+				out = append(out, x-d, x, x+d)
+			}
+		}
+	}
+	return out
+}
+
 // consumerProfitAt evaluates the consumer profit at pJ with the
 // platform playing its exact best response and sellers reacting.
 func (p *Params) consumerProfitAt(pJ float64, s *supply) (float64, float64) {
@@ -210,6 +272,7 @@ func SolveExact(p *Params) (*Outcome, error) {
 			candidates = append(candidates, p.PJBounds.Clamp(pj))
 		}
 	}
+	candidates = append(candidates, p.stage1TiePJs(s)...)
 	bestPJ, bestPrice, bestV := p.PJBounds.Min, p.PBounds.Min, 0.0
 	found := false
 	for _, pj := range candidates {

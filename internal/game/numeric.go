@@ -58,9 +58,14 @@ func (p *Params) NumericPlatformBestResponse(pJ float64) float64 {
 	f := func(price float64) float64 {
 		return economics.PlatformProfit(pJ, price, p.numericTotalTau(price), p.Platform)
 	}
-	// The profit is concave in p for the quadratic family but grid
-	// search stays robust for the pluggable alternatives.
-	price, _ := numutil.MaximizeGrid(f, p.PBounds.Min, p.PBounds.Max, 64)
+	// The profit is concave in p only while every seller stays
+	// interior; activation and saturation boundaries kink it into
+	// several local maxima, which can sit closer together than one
+	// top-level grid step when PBounds dwarfs the breakpoint region.
+	// Zoomed re-gridding keeps the oracle honest there — a follower
+	// that under-optimizes would let the leader's numeric profit
+	// exceed what is actually achievable.
+	price, _ := numutil.MaximizeGridZoom(f, p.PBounds.Min, p.PBounds.Max, 64, 3)
 	return price
 }
 

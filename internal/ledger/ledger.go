@@ -34,11 +34,11 @@ var (
 
 // Entry is one journaled transfer.
 type Entry struct {
-	Round  int     // trading round the transfer settles
-	From   Account // payer
-	To     Account // payee
-	Amount float64 // non-negative
-	Memo   string  // human-readable reason ("service reward", ...)
+	Round  int     `json:"round"`  // trading round the transfer settles
+	From   Account `json:"from"`   // payer
+	To     Account `json:"to"`     // payee
+	Amount float64 `json:"amount"` // non-negative
+	Memo   string  `json:"memo"`   // human-readable reason ("service reward", ...)
 }
 
 // Ledger tracks balances and the full journal. The zero value is
@@ -107,6 +107,33 @@ func (l *Ledger) Accounts() []Account {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// State is the serializable state of a Ledger: the journal alone.
+// Balances are a pure fold over the journal, so Restore rebuilds them
+// instead of trusting a second copy that could disagree.
+type State struct {
+	Journal []Entry `json:"journal"`
+}
+
+// State exports the ledger for persistence.
+func (l *Ledger) State() State {
+	return State{Journal: append([]Entry(nil), l.journal...)}
+}
+
+// Restore replaces the ledger's contents by replaying an exported
+// journal through the same validation as live transfers, so a
+// corrupted snapshot cannot smuggle in a NaN or negative amount.
+func (l *Ledger) Restore(st State) error {
+	fresh := New()
+	for i, e := range st.Journal {
+		if err := fresh.Transfer(e.Round, e.From, e.To, e.Amount, e.Memo); err != nil {
+			return fmt.Errorf("ledger: journal entry %d: %w", i, err)
+		}
+	}
+	l.balances = fresh.balances
+	l.journal = fresh.journal
+	return nil
 }
 
 // SettleRound books one round's CDT payments: the consumer pays the

@@ -183,6 +183,69 @@ func (m *Market) Config() *Config { return &m.cfg }
 // invariant checks).
 func (m *Market) Ledger() *ledger.Ledger { return m.ledger }
 
+// State is the serializable state of a live Market: the settlement
+// ledger plus the positions of every random stream the environment
+// owns (delivery failures, quality observations, sensor noise). The
+// market's structure — sellers, costs, bounds, the quality model's
+// means — is rebuilt from configuration on resume and deliberately
+// not persisted.
+type State struct {
+	Ledger   ledger.State   `json:"ledger"`
+	Delivery *rng.State     `json:"delivery,omitempty"`
+	Quality  *quality.State `json:"quality,omitempty"`
+	Sensor   *rng.State     `json:"sensor,omitempty"`
+}
+
+// State exports the market for persistence.
+func (m *Market) State() State {
+	st := State{Ledger: m.ledger.State()}
+	if m.delivery != nil {
+		d := m.delivery.State()
+		st.Delivery = &d
+	}
+	if q, ok := m.cfg.Quality.(quality.Stateful); ok {
+		qs := q.State()
+		st.Quality = &qs
+	}
+	if m.cfg.Data != nil {
+		ss := m.cfg.Data.Sensor.RNGState()
+		st.Sensor = &ss
+	}
+	return st
+}
+
+// Restore overwrites the market's mutable state with an exported
+// state. The market must have been built from the same configuration
+// the state was exported under; structural mismatches (a stream the
+// configuration does not own, or vice versa) are errors.
+func (m *Market) Restore(st State) error {
+	if (m.delivery != nil) != (st.Delivery != nil) {
+		return errors.New("market: delivery stream state does not match configuration")
+	}
+	q, stateful := m.cfg.Quality.(quality.Stateful)
+	if stateful != (st.Quality != nil) {
+		return errors.New("market: quality stream state does not match configuration")
+	}
+	if (m.cfg.Data != nil) != (st.Sensor != nil) {
+		return errors.New("market: sensor stream state does not match configuration")
+	}
+	if err := m.ledger.Restore(st.Ledger); err != nil {
+		return err
+	}
+	if st.Delivery != nil {
+		m.delivery.SetState(*st.Delivery)
+	}
+	if st.Quality != nil {
+		if err := q.Restore(*st.Quality); err != nil {
+			return err
+		}
+	}
+	if st.Sensor != nil {
+		m.cfg.Data.Sensor.RestoreRNG(*st.Sensor)
+	}
+	return nil
+}
+
 // GameParams assembles the Stackelberg game of one round for the
 // selected sellers with their current estimated qualities. Estimates
 // are floored at minQ (degenerate all-zero estimates would otherwise

@@ -170,6 +170,35 @@ func MaximizeGrid(f func(float64) float64, lo, hi float64, n int) (x, fx float64
 	return MaximizeGolden(f, a, b, (hi-lo)*1e-10+1e-12)
 }
 
+// MaximizeGridZoom is MaximizeGrid with levels of bracket re-gridding
+// before the golden polish. A single grid pass followed by golden
+// search locks onto one basin of the winning bracket, which picks the
+// wrong local maximum when a bracket narrower than one grid step
+// holds several (e.g. profit curves kinked at activation/saturation
+// prices). Each zoom level shrinks the bracket by n/2, so basins down
+// to (hi−lo)·(2/n)^(levels−1) wide are resolved.
+func MaximizeGridZoom(f func(float64) float64, lo, hi float64, n, levels int) (x, fx float64) {
+	if n < 2 {
+		n = 2
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for l := 1; l < levels; l++ {
+		step := (hi - lo) / float64(n)
+		bestI, bestF := 0, math.Inf(-1)
+		for i := 0; i <= n; i++ {
+			if v := f(lo + float64(i)*step); v > bestF {
+				bestI, bestF = i, v
+			}
+		}
+		a := lo + float64(maxInt(bestI-1, 0))*step
+		b := lo + float64(minInt(bestI+1, n))*step
+		lo, hi = a, b
+	}
+	return MaximizeGrid(f, lo, hi, n)
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -204,6 +233,21 @@ func (k *KahanSum) Sum() float64 { return k.sum }
 
 // Reset zeroes the accumulator.
 func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// KahanState is the serializable state of a KahanSum. Both words are
+// preserved so a restored accumulator continues bit-for-bit — dropping
+// the compensation term would let restored and uninterrupted runs
+// drift apart in the low bits.
+type KahanState struct {
+	Sum float64 `json:"sum"`
+	C   float64 `json:"c"`
+}
+
+// State exports the accumulator.
+func (k *KahanSum) State() KahanState { return KahanState{Sum: k.sum, C: k.c} }
+
+// Restore overwrites the accumulator with an exported state.
+func (k *KahanSum) Restore(st KahanState) { k.sum, k.c = st.Sum, st.C }
 
 // SumSlice returns the compensated sum of xs.
 func SumSlice(xs []float64) float64 {

@@ -154,7 +154,22 @@ func (m *Shifting) Observe(seller, poi, round int) float64 {
 	return m.src.TruncNormal(m.ExpectedAt(seller, round), m.sd, 0, 1)
 }
 
+// State implements Stateful.
+func (m *Drifting) State() State { return State{RNG: m.src.State()} }
+
+// Restore implements Stateful.
+func (m *Drifting) Restore(st State) error { m.src.SetState(st.RNG); return nil }
+
+// State implements Stateful.
+func (m *Shifting) State() State { return State{RNG: m.src.State()} }
+
+// Restore implements Stateful.
+func (m *Shifting) Restore(st State) error { m.src.SetState(st.RNG); return nil }
+
 var (
 	_ NonStationary = (*Drifting)(nil)
 	_ NonStationary = (*Shifting)(nil)
+
+	_ Stateful = (*Drifting)(nil)
+	_ Stateful = (*Shifting)(nil)
 )

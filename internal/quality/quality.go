@@ -31,6 +31,21 @@ type Model interface {
 	Sellers() int
 }
 
+// State is the serializable state of a quality model. The model's
+// structure (means, noise level, biases) is rebuilt from configuration
+// on resume; only the live observation stream position travels.
+type State struct {
+	RNG rng.State `json:"rng"`
+}
+
+// Stateful is implemented by models whose observation stream carries
+// serializable state. Deterministic does not implement it — it has no
+// stream — and callers treat that as "nothing to persist".
+type Stateful interface {
+	State() State
+	Restore(State) error
+}
+
 // validateExpectations checks all means lie in [0, 1].
 func validateExpectations(means []float64) error {
 	for i, m := range means {
@@ -188,11 +203,41 @@ func RandomMeans(m int, lo, hi float64, src *rng.Source) []float64 {
 	return means
 }
 
+// State implements Stateful.
+func (m *TruncGaussian) State() State { return State{RNG: m.src.State()} }
+
+// Restore implements Stateful.
+func (m *TruncGaussian) Restore(st State) error { m.src.SetState(st.RNG); return nil }
+
+// State implements Stateful.
+func (m *Bernoulli) State() State { return State{RNG: m.src.State()} }
+
+// Restore implements Stateful.
+func (m *Bernoulli) Restore(st State) error { m.src.SetState(st.RNG); return nil }
+
+// State implements Stateful.
+func (m *Beta) State() State { return State{RNG: m.src.State()} }
+
+// Restore implements Stateful.
+func (m *Beta) Restore(st State) error { m.src.SetState(st.RNG); return nil }
+
+// State implements Stateful. The bias matrix is regenerated from the
+// seed at construction, so only the stream position is exported.
+func (m *PoIBiased) State() State { return State{RNG: m.src.State()} }
+
+// Restore implements Stateful.
+func (m *PoIBiased) Restore(st State) error { m.src.SetState(st.RNG); return nil }
+
 var (
 	_ Model = (*TruncGaussian)(nil)
 	_ Model = (*Bernoulli)(nil)
 	_ Model = (*Beta)(nil)
 	_ Model = (*Deterministic)(nil)
+
+	_ Stateful = (*TruncGaussian)(nil)
+	_ Stateful = (*Bernoulli)(nil)
+	_ Stateful = (*Beta)(nil)
+	_ Stateful = (*PoIBiased)(nil)
 )
 
 // PoIBiased refines the paper's Remark on Def. 3: the actual quality

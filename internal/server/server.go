@@ -7,19 +7,25 @@
 //
 // Endpoints (all JSON):
 //
-//	GET    /v1/healthz            liveness probe
-//	POST   /v1/jobs               create a job from a JobRequest
+//	GET    /v1/healthz            liveness probe (version, uptime, state store)
+//	POST   /v1/jobs               create a job from a JobRequest (or resume one from a snapshot)
 //	GET    /v1/jobs               list job summaries
 //	GET    /v1/jobs/{id}          one job's status + cumulative result
 //	POST   /v1/jobs/{id}/advance  play up to {"rounds": n} rounds
+//	POST   /v1/jobs/{id}/snapshot durably snapshot the job, return the snapshot
 //	GET    /v1/jobs/{id}/estimates current quality estimates
-//	DELETE /v1/jobs/{id}          drop the job
+//	DELETE /v1/jobs/{id}          drop the job (and its stored snapshot)
 //	POST   /v1/game/solve         stateless single-round game solve
 //
 // Advance calls honor the request context: if the client disconnects
 // mid-advance, the job stops at the next round boundary, keeps the
 // progress it made, and stays resumable. Concurrent advances across
 // all jobs share a bounded worker pool (MaxConcurrentAdvances).
+//
+// With a Store configured, the broker is durable: SaveAll snapshots
+// every live job (cdt-server calls it on graceful shutdown), LoadAll
+// resumes them on start, and each job continues from its persisted
+// round exactly as if the process had never restarted.
 package server
 
 import (
@@ -29,9 +35,12 @@ import (
 	"math"
 	"net/http"
 	"reflect"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cmabhs"
 	"cmabhs/internal/engine"
@@ -62,6 +71,11 @@ type JobRequest struct {
 	Solver        string  `json:"solver,omitempty"`
 	Budget        float64 `json:"budget,omitempty"`
 	CollectData   bool    `json:"collect_data,omitempty"`
+
+	// Snapshot, if set, creates the job by resuming a Session.Save
+	// snapshot (e.g. one returned by POST /v1/jobs/{id}/snapshot)
+	// instead of starting fresh; all other fields are ignored.
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
 }
 
 // SellerSpec is one seller on the wire.
@@ -174,6 +188,14 @@ type Server struct {
 	// until a slot frees or the request context is cancelled.
 	MaxConcurrentAdvances int
 
+	// Store, if non-nil, makes the broker durable: the snapshot
+	// endpoint persists through it, SaveAll/LoadAll write and reload
+	// every live job, and DELETE removes the stored snapshot. Set it
+	// before serving requests.
+	Store Store
+
+	started time.Time
+
 	poolOnce sync.Once
 	advPool  *engine.Pool
 
@@ -185,7 +207,12 @@ type Server struct {
 
 // New returns an empty broker.
 func New() *Server {
-	return &Server{jobs: make(map[string]*job), MaxJobs: 64, MaxAdvance: 100_000}
+	return &Server{
+		jobs:       make(map[string]*job),
+		MaxJobs:    64,
+		MaxAdvance: 100_000,
+		started:    time.Now(),
+	}
 }
 
 // pool lazily builds the shared advance pool so MaxConcurrentAdvances
@@ -204,14 +231,49 @@ func (s *Server) pool() *engine.Pool {
 // Handler returns the HTTP handler for the broker API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/game/solve", s.handleSolveGame)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
+}
+
+// Healthz is the wire form of the liveness probe.
+type Healthz struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// StateStore reports snapshot durability: "disabled" without a
+	// configured Store, "ok" when the store lists cleanly, otherwise
+	// the error text.
+	StateStore string `json:"state_store"`
+}
+
+// buildVersion returns the module build version baked in by the Go
+// toolchain ("(devel)" for plain source builds).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Healthz{
+		Status:        "ok",
+		Version:       buildVersion(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		StateStore:    "disabled",
+	}
+	if s.Store != nil {
+		if _, err := s.Store.List(); err != nil {
+			h.StateStore = err.Error()
+		} else {
+			h.StateStore = "ok"
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // handleStats reports service counters.
@@ -240,20 +302,33 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 			return
 		}
-		cfg, err := req.config()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
+		var sess *cmabhs.Session
+		if len(req.Snapshot) > 0 {
+			// Resume a saved session; its configuration travels inside
+			// the snapshot.
+			var err error
+			sess, err = cmabhs.ResumeSession(req.Snapshot)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		} else {
+			cfg, err := req.config()
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if req.K <= 0 || req.Rounds <= 0 {
+				httpError(w, http.StatusBadRequest, "k and rounds must be positive")
+				return
+			}
+			sess, err = cmabhs.NewSession(cfg)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
 		}
-		if req.K <= 0 || req.Rounds <= 0 {
-			httpError(w, http.StatusBadRequest, "k and rounds must be positive")
-			return
-		}
-		sess, err := cmabhs.NewSession(cfg)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+		cfg := sess.Config()
 		s.mu.Lock()
 		if len(s.jobs) >= s.MaxJobs {
 			s.mu.Unlock()
@@ -264,8 +339,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		j := &job{
 			id:      fmt.Sprintf("job-%d", s.nextID),
 			m:       len(cfg.Sellers),
-			k:       req.K,
-			horizon: req.Rounds,
+			k:       cfg.K,
+			horizon: cfg.Rounds,
 			sess:    sess,
 		}
 		s.jobs[j.id] = j
@@ -333,6 +408,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
+		if s.Store != nil {
+			if err := s.Store.Delete(id); err != nil {
+				httpError(w, http.StatusInternalServerError, "job dropped but snapshot not deleted: %v", err)
+				return
+			}
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 
 	case action == "advance" && r.Method == http.MethodPost:
@@ -365,6 +446,28 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.statRoundsAdvanced.Add(int64(len(adv.Played)))
 		writeJSON(w, http.StatusOK, AdvanceResponse{Played: adv.Played, Stopped: adv.Stopped, Status: st})
 
+	case action == "snapshot" && r.Method == http.MethodPost:
+		j.mu.Lock()
+		data, err := j.sess.Save()
+		j.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		persisted := false
+		if s.Store != nil {
+			if err := s.Store.Save(id, data); err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			persisted = true
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{
+			ID:        id,
+			Persisted: persisted,
+			Snapshot:  json.RawMessage(data),
+		})
+
 	case action == "estimates" && r.Method == http.MethodGet:
 		j.mu.Lock()
 		est := j.sess.Estimates()
@@ -374,6 +477,86 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "unsupported %s on %q", r.Method, r.URL.Path)
 	}
+}
+
+// SnapshotResponse returns a job's durable snapshot. The Snapshot
+// payload round-trips through POST /v1/jobs {"snapshot": ...} to
+// recreate the job — on this broker or another one.
+type SnapshotResponse struct {
+	ID        string          `json:"id"`
+	Persisted bool            `json:"persisted"` // written to the state store
+	Snapshot  json.RawMessage `json:"snapshot"`
+}
+
+// SaveAll snapshots every live job into the configured Store. It is
+// what cdt-server runs on graceful shutdown; jobs keep serving while
+// it runs (each is locked only while its own snapshot is taken). The
+// first error is returned but the remaining jobs are still saved.
+func (s *Server) SaveAll() error {
+	if s.Store == nil {
+		return errors.New("server: no state store configured")
+	}
+	s.mu.Lock()
+	snap := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		snap = append(snap, j)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, j := range snap {
+		j.mu.Lock()
+		data, err := j.sess.Save()
+		j.mu.Unlock()
+		if err == nil {
+			err = s.Store.Save(j.id, data)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: save %s: %w", j.id, err)
+		}
+	}
+	return firstErr
+}
+
+// LoadAll resumes every job found in the configured Store. Call it
+// before serving requests. Loaded jobs keep their original ids, and
+// new job ids are allocated past the highest loaded one so a restart
+// never reuses an id. A snapshot that fails to resume aborts the
+// load with an error — a durable broker must not silently drop jobs.
+func (s *Server) LoadAll() error {
+	if s.Store == nil {
+		return errors.New("server: no state store configured")
+	}
+	ids, err := s.Store.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		data, err := s.Store.Load(id)
+		if err != nil {
+			return err
+		}
+		sess, err := cmabhs.ResumeSession(data)
+		if err != nil {
+			return fmt.Errorf("server: resume %s: %w", id, err)
+		}
+		cfg := sess.Config()
+		j := &job{
+			id:      id,
+			m:       len(cfg.Sellers),
+			k:       cfg.K,
+			horizon: cfg.Rounds,
+			sess:    sess,
+		}
+		s.mu.Lock()
+		s.jobs[id] = j
+		if n, ok := strings.CutPrefix(id, "job-"); ok {
+			if v, err := strconv.Atoi(n); err == nil && v > s.nextID {
+				s.nextID = v
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // SolveGameRequest is the wire form of a one-round game.

@@ -46,12 +46,21 @@ func newTestServer(t *testing.T) *httptest.Server {
 
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
-	var out map[string]string
+	var out Healthz
 	if code := do(t, ts, http.MethodGet, "/v1/healthz", nil, &out); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	if out["status"] != "ok" {
-		t.Errorf("body %v", out)
+	if out.Status != "ok" {
+		t.Errorf("body %+v", out)
+	}
+	if out.Version == "" {
+		t.Error("healthz missing build version")
+	}
+	if out.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %v", out.UptimeSeconds)
+	}
+	if out.StateStore != "disabled" {
+		t.Errorf("state store %q without a store configured", out.StateStore)
 	}
 }
 

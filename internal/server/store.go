@@ -1,0 +1,133 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists job snapshots across broker restarts. Implementations
+// must make Save atomic: a crash mid-save leaves either the previous
+// snapshot or the new one, never a torn file.
+type Store interface {
+	// Save durably stores the snapshot bytes under id, replacing any
+	// previous snapshot of that id.
+	Save(id string, data []byte) error
+	// Load returns the snapshot stored under id.
+	Load(id string) ([]byte, error)
+	// Delete removes id's snapshot; deleting a missing id is not an
+	// error.
+	Delete(id string) error
+	// List returns the stored ids in stable order.
+	List() ([]string, error)
+}
+
+// FileStore is a directory-backed Store: one `<id>.json` file per
+// job, written via a temp file and os.Rename so readers and crash
+// recovery never observe a partial snapshot.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates (if needed) the directory and returns the
+// store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, errors.New("server: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+// checkID rejects ids that could escape the directory.
+func checkID(id string) error {
+	if id == "" {
+		return errors.New("server: empty snapshot id")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("server: snapshot id %q contains %q", id, r)
+		}
+	}
+	return nil
+}
+
+func (f *FileStore) path(id string) string {
+	return filepath.Join(f.dir, id+".json")
+}
+
+// Save implements Store with write-to-temp + atomic rename.
+func (f *FileStore) Save(id string, data []byte) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(f.dir, "."+id+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: save %s: %w", id, err)
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: save %s: %w", id, err)
+	}
+	if err := os.Rename(tmp.Name(), f.path(id)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: save %s: %w", id, err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (f *FileStore) Load(id string) ([]byte, error) {
+	if err := checkID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(f.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("server: load %s: %w", id, err)
+	}
+	return data, nil
+}
+
+// Delete implements Store.
+func (f *FileStore) Delete(id string) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	if err := os.Remove(f.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("server: delete %s: %w", id, err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (f *FileStore) List() ([]string, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: list snapshots: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+var _ Store = (*FileStore)(nil)

@@ -1,0 +1,91 @@
+package cmabhs
+
+// Durable sessions: Save serializes a live Session — configuration
+// plus the full mutable state of the mechanism, market, and every
+// random stream — and ResumeSession rebuilds a Session that continues
+// the run round-for-round identically to one that was never
+// interrupted. The snapshot is self-contained: because Config is
+// plain serializable data, a saved session can be resumed by a
+// different process (the broker service uses this to survive
+// restarts).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"cmabhs/internal/core"
+)
+
+// SnapshotVersion is the schema version of the session snapshot
+// envelope. The embedded mechanism state carries its own version
+// (core.StateVersion); both are checked on resume.
+const SnapshotVersion = 1
+
+// sessionSnapshot is the wire envelope of a saved session.
+type sessionSnapshot struct {
+	Version int             `json:"version"`
+	Config  Config          `json:"config"`
+	State   json.RawMessage `json:"state"`
+}
+
+// Save serializes the session's configuration and complete mutable
+// state. The session remains live and may keep stepping; the snapshot
+// is an independent deep copy.
+func (s *Session) Save() ([]byte, error) {
+	st, err := s.mech.Snapshot().Encode()
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: save: %w", err)
+	}
+	data, err := json.Marshal(sessionSnapshot{
+		Version: SnapshotVersion,
+		Config:  s.cfg,
+		State:   st,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: save: %w", err)
+	}
+	return data, nil
+}
+
+// ResumeSession rebuilds a live Session from a Save snapshot. The
+// decode is strict: a version mismatch, an unknown field, or a state
+// that violates its invariants is an error — never a silently zeroed
+// session.
+func ResumeSession(data []byte) (*Session, error) {
+	if len(data) == 0 {
+		return nil, errors.New("cmabhs: resume: empty snapshot")
+	}
+	// Loose version probe first so schema skew reports as a version
+	// mismatch rather than whichever unknown field trips the strict
+	// decoder.
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("cmabhs: resume: %w", err)
+	}
+	if probe.Version != SnapshotVersion {
+		return nil, fmt.Errorf("cmabhs: resume: snapshot version %d, this build reads version %d", probe.Version, SnapshotVersion)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var snap sessionSnapshot
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("cmabhs: resume: %w", err)
+	}
+	cfg, policy, err := snap.Config.build()
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.DecodeState(snap.State)
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: resume: %w", err)
+	}
+	mech, err := core.Resume(cfg, policy, st)
+	if err != nil {
+		return nil, fmt.Errorf("cmabhs: resume: %w", err)
+	}
+	return &Session{mech: mech, cfg: snap.Config}, nil
+}

@@ -1,0 +1,174 @@
+package cmabhs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cmabhs"
+)
+
+// saveTestConfig exercises every stateful subsystem at once: an
+// RNG-carrying policy, transient delivery failures, the raw-data
+// layer (sensor noise stream), per-round records, and checkpoints.
+func saveTestConfig() cmabhs.Config {
+	cfg := cmabhs.RandomConfig(12, 4, 60, 7)
+	cfg.Policy = cmabhs.PolicyThompson
+	cfg.DeliveryRate = 0.9
+	cfg.CollectData = true
+	cfg.KeepRounds = true
+	cfg.Checkpoints = []int{10, 30, 50}
+	return cfg
+}
+
+// resultsIdentical compares public Results tolerating NaN-valued
+// metrics (NaN != NaN) but requiring bit-identity everywhere else.
+func resultsIdentical(a, b *cmabhs.Result) bool {
+	na, nb := *a, *b
+	for _, p := range []*float64{&na.AggregationRMSE, &na.DynamicRegret} {
+		if math.IsNaN(*p) {
+			*p = -1
+		}
+	}
+	for _, p := range []*float64{&nb.AggregationRMSE, &nb.DynamicRegret} {
+		if math.IsNaN(*p) {
+			*p = -1
+		}
+	}
+	return reflect.DeepEqual(na, nb)
+}
+
+// TestSessionSaveResume: a run interrupted at various rounds, saved,
+// and resumed must finish with a Result identical to the
+// uninterrupted run.
+func TestSessionSaveResume(t *testing.T) {
+	ref, err := cmabhs.Run(saveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, breakAt := range []int{1, 17, 59} {
+		sess, err := cmabhs.NewSession(saveTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.StepN(breakAt); err != nil {
+			t.Fatal(err)
+		}
+		data, err := sess.Save()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := cmabhs.ResumeSession(data)
+		if err != nil {
+			t.Fatalf("break at %d: %v", breakAt, err)
+		}
+		if resumed.NextRound() != breakAt+1 {
+			t.Fatalf("break at %d: resumed at round %d", breakAt, resumed.NextRound())
+		}
+		if got := resumed.Config().Rounds; got != 60 {
+			t.Fatalf("break at %d: resumed config has %d rounds", breakAt, got)
+		}
+		if _, err := resumed.StepN(0); err != nil {
+			t.Fatal(err)
+		}
+		if !resumed.Done() {
+			t.Fatalf("break at %d: resumed session not done", breakAt)
+		}
+		if got := resumed.Result(); !resultsIdentical(ref, got) {
+			t.Errorf("break at %d: resumed result differs from uninterrupted run:\nref %+v\ngot %+v",
+				breakAt, ref, got)
+		}
+	}
+}
+
+// TestSessionSaveIsStable: saving twice without stepping in between
+// yields identical bytes, and saving does not perturb the run.
+func TestSessionSaveIsStable(t *testing.T) {
+	sess, err := cmabhs.NewSession(saveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.StepN(10); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sess.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("back-to-back saves differ")
+	}
+	if _, err := sess.StepN(0); err != nil {
+		t.Fatal(err)
+	}
+	withSaves := sess.Result()
+	ref, err := cmabhs.Run(saveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(ref, withSaves) {
+		t.Error("saving mid-run perturbed the result")
+	}
+}
+
+// TestResumeSessionErrors: malformed snapshots error instead of
+// producing a corrupt session.
+func TestResumeSessionErrors(t *testing.T) {
+	sess, err := cmabhs.NewSession(saveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.StepN(5); err != nil {
+		t.Fatal(err)
+	}
+	data, err := sess.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cmabhs.ResumeSession(nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := cmabhs.ResumeSession(data[:len(data)/3]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	bumped := bytes.Replace(data, []byte(`"version":1`), []byte(`"version":9`), 1)
+	if _, err := cmabhs.ResumeSession(bumped); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version bump: got %v", err)
+	}
+
+	var loose map[string]json.RawMessage
+	if err := json.Unmarshal(data, &loose); err != nil {
+		t.Fatal(err)
+	}
+	loose["extra"] = json.RawMessage(`true`)
+	withUnknown, err := json.Marshal(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cmabhs.ResumeSession(withUnknown); err == nil {
+		t.Error("unknown envelope field accepted")
+	}
+}
+
+// TestResultAvgGuardsPublic: the public per-round averages must not
+// emit NaN before any round has been played.
+func TestResultAvgGuardsPublic(t *testing.T) {
+	var r cmabhs.Result
+	if v := r.AvgConsumerProfit(); v != 0 {
+		t.Errorf("AvgConsumerProfit on empty result = %v", v)
+	}
+	if v := r.AvgPlatformProfit(); v != 0 {
+		t.Errorf("AvgPlatformProfit on empty result = %v", v)
+	}
+	if v := r.AvgSellerProfit(3); v != 0 {
+		t.Errorf("AvgSellerProfit on empty result = %v", v)
+	}
+}

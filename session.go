@@ -14,6 +14,7 @@ import (
 // concurrent use; guard it with a mutex when sharing.
 type Session struct {
 	mech *core.Mechanism
+	cfg  Config // the configuration the session was built from, for Save
 }
 
 // NewSession validates the configuration and prepares a run without
@@ -27,8 +28,11 @@ func NewSession(c Config) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cmabhs: %w", err)
 	}
-	return &Session{mech: mech}, nil
+	return &Session{mech: mech, cfg: c}, nil
 }
+
+// Config returns the configuration the session was built from.
+func (s *Session) Config() Config { return s.cfg }
 
 // Done reports whether the run has finished.
 func (s *Session) Done() bool { return s.mech.Done() }
@@ -95,25 +99,8 @@ func (s *Session) AdvanceContext(ctx context.Context, n int) (Advance, error) {
 func (s *Session) Estimates() []float64 { return s.mech.Arms().Means() }
 
 // Result snapshots the cumulative metrics so far; after Done it is
-// the final result.
+// the final result. PerRound and Checkpoints are populated the same
+// way Run populates them (with Config.KeepRounds / Config.Checkpoints).
 func (s *Session) Result() *Result {
-	res := s.mech.Result()
-	out := &Result{
-		Policy:          res.Policy,
-		RealizedRevenue: res.RealizedRevenue,
-		ExpectedRevenue: res.ExpectedRevenue,
-		Regret:          res.Regret,
-		RegretBound:     res.RegretBound,
-		ConsumerProfit:  res.CumPoC,
-		PlatformProfit:  res.CumPoP,
-		SellerProfit:    res.CumPoS,
-		Rounds:          res.RoundsPlayed,
-		ConsumerSpend:   res.ConsumerSpend,
-		AggregationRMSE: res.MeanAggRMSE,
-		DynamicRegret:   res.DynamicRegret,
-		Stopped:         res.Stopped,
-		Estimates:       res.Estimates,
-		PerSellerProfit: res.SellerTotals,
-	}
-	return out
+	return publicResult(s.mech.Result())
 }
