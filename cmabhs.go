@@ -10,6 +10,7 @@ import (
 	"cmabhs/internal/bandit"
 	"cmabhs/internal/core"
 	"cmabhs/internal/economics"
+	"cmabhs/internal/faults"
 	"cmabhs/internal/game"
 	"cmabhs/internal/market"
 	"cmabhs/internal/quality"
@@ -51,6 +52,62 @@ const (
 type Drift struct {
 	Amplitude float64 // peak deviation from the base quality, in [0, 1]
 	Period    float64 // rounds per oscillation cycle (> 0)
+}
+
+// FaultConfig turns on the composable fault-injection layer. Each
+// sub-model activates independently; the zero value injects nothing
+// and is bit-identical to running without a fault layer. All fault
+// randomness derives from Seed (default: Config.Seed XOR a constant),
+// on streams separate from the market's, so enabling one model never
+// perturbs another — or the clean simulation.
+type FaultConfig struct {
+	// Seed drives every fault stream. 0 derives it from Config.Seed.
+	Seed int64
+
+	// Channel is a per-seller Gilbert–Elliott delivery channel:
+	// bursty, correlated outages. The legacy i.i.d. DeliveryRate is
+	// the special case GoodToBad = BadToGood = 0, LossGood = 1−rate
+	// (and the two may not be combined).
+	Channel ChannelFaults
+	// Churn draws each seller's permanent departure round from an
+	// exponential lifetime (Poisson churn over the population). It
+	// composes with the scripted Departures list: the earliest
+	// departure wins.
+	Churn ChurnFaults
+	// Straggler injects collection latency; a delivery that blows
+	// the round deadline degrades into a miss (no data, no pay).
+	Straggler StragglerFaults
+	// Byzantine corrupts a fixed seller subset's quality reports.
+	Byzantine ByzantineFaults
+}
+
+// ChannelFaults parameterizes the Gilbert–Elliott delivery channel.
+type ChannelFaults struct {
+	GoodToBad float64 // P(good→bad) per delivery check
+	BadToGood float64 // P(bad→good) per delivery check
+	LossGood  float64 // delivery loss probability in the good state
+	LossBad   float64 // delivery loss probability in the bad state
+}
+
+// ChurnFaults parameterizes renewal (Poisson) seller churn.
+type ChurnFaults struct {
+	Rate     float64 // per-round departure hazard λ (0: no churn)
+	MinRound int     // earliest allowed departure round (default 2)
+}
+
+// StragglerFaults parameterizes collection-latency injection.
+type StragglerFaults struct {
+	Prob      float64 // probability a delivery straggles
+	MeanDelay float64 // mean extra latency of a straggler
+	Deadline  float64 // tolerated latency (0: the job's RoundDuration)
+}
+
+// ByzantineFaults parameterizes quality-report corruption.
+type ByzantineFaults struct {
+	Fraction  float64 // Byzantine share of the population (ignored if Sellers set)
+	Sellers   []int   // explicit Byzantine seller ids
+	Mode      string  // "inflate" (default) or "random"
+	Inflation float64 // bias added in inflate mode (default 0.3)
 }
 
 // Solver selects how each round's Stackelberg game is solved.
@@ -118,6 +175,12 @@ type Config struct {
 	// (0, 1].
 	DeliveryRate float64
 
+	// Faults, if non-nil, enables the composable fault-injection
+	// layer (bursty delivery channels, Poisson churn, stragglers,
+	// Byzantine corruption). See FaultConfig. A zero-valued
+	// FaultConfig injects nothing.
+	Faults *FaultConfig
+
 	// CollectData enables the raw-data layer: sellers return noisy
 	// readings of a per-PoI ground-truth signal (noise set by their
 	// true quality), the platform aggregates them weighted by the
@@ -182,6 +245,45 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// faultConfig maps the public FaultConfig to the internal fault
+// layer. A nil or zero-valued public config maps to nil: no injector
+// is built, keeping the clean path bit-identical.
+func (c Config) faultConfig() *faults.Config {
+	if c.Faults == nil {
+		return nil
+	}
+	f := c.Faults
+	seed := f.Seed
+	if seed == 0 {
+		seed = c.Seed ^ 0xfa17
+	}
+	fc := &faults.Config{
+		Seed: seed,
+		Delivery: faults.DeliveryConfig{
+			GoodToBad: f.Channel.GoodToBad,
+			BadToGood: f.Channel.BadToGood,
+			LossGood:  f.Channel.LossGood,
+			LossBad:   f.Channel.LossBad,
+		},
+		Churn: faults.ChurnConfig{Rate: f.Churn.Rate, MinRound: f.Churn.MinRound},
+		Straggler: faults.StragglerConfig{
+			Prob:      f.Straggler.Prob,
+			MeanDelay: f.Straggler.MeanDelay,
+			Deadline:  f.Straggler.Deadline,
+		},
+		Corruption: faults.CorruptionConfig{
+			Fraction:  f.Byzantine.Fraction,
+			Sellers:   append([]int(nil), f.Byzantine.Sellers...),
+			Mode:      f.Byzantine.Mode,
+			Inflation: f.Byzantine.Inflation,
+		},
+	}
+	if fc.Zero() {
+		return nil
+	}
+	return fc
+}
+
 // build assembles the internal configuration and policy.
 func (c Config) build() (*core.Config, bandit.Policy, error) {
 	c = c.withDefaults()
@@ -232,6 +334,7 @@ func (c Config) build() (*core.Config, bandit.Policy, error) {
 			Departures:   append([]int(nil), c.Departures...),
 			DeliveryRate: c.DeliveryRate,
 			DeliverySeed: c.Seed ^ 0x7e57,
+			Faults:       c.faultConfig(),
 		},
 		K:           c.K,
 		Tau0:        c.Tau0,

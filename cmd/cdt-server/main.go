@@ -36,6 +36,9 @@ func main() {
 		maxAdvance  = flag.Int("max-advance", 100_000, "maximum rounds per advance call")
 		maxInflight = flag.Int("max-concurrent-advances", 16, "maximum advance calls executing at once")
 		stateDir    = flag.String("state-dir", "", "directory for durable job snapshots (empty: in-memory only)")
+		reqTimeout  = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline; advances return partial progress at expiry (0: none)")
+		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum request body size in bytes (413 past this)")
+		shedAfter   = flag.Duration("shed-retry-after", time.Second, "Retry-After hint sent with 429 when the advance pool is saturated")
 	)
 	flag.Parse()
 
@@ -43,6 +46,9 @@ func main() {
 	srv.MaxJobs = *maxJobs
 	srv.MaxAdvance = *maxAdvance
 	srv.MaxConcurrentAdvances = *maxInflight
+	srv.RequestTimeout = *reqTimeout
+	srv.MaxBodyBytes = *maxBody
+	srv.ShedRetryAfter = *shedAfter
 	if *stateDir != "" {
 		store, err := server.NewFileStore(*stateDir)
 		if err != nil {

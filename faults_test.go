@@ -1,0 +1,151 @@
+package cmabhs
+
+import "testing"
+
+// identicalResults asserts every cumulative metric, estimate, and
+// per-round record of two results is bit-identical.
+func identicalResults(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.RealizedRevenue != b.RealizedRevenue || a.ExpectedRevenue != b.ExpectedRevenue ||
+		a.Regret != b.Regret || a.ConsumerProfit != b.ConsumerProfit ||
+		a.PlatformProfit != b.PlatformProfit || a.SellerProfit != b.SellerProfit ||
+		a.ConsumerSpend != b.ConsumerSpend || a.Rounds != b.Rounds || a.Stopped != b.Stopped {
+		t.Fatalf("%s: results diverged:\n%+v\n%+v", label, a, b)
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			t.Fatalf("%s: estimate %d diverged: %g vs %g", label, i, a.Estimates[i], b.Estimates[i])
+		}
+	}
+	if len(a.PerRound) != len(b.PerRound) {
+		t.Fatalf("%s: kept %d vs %d rounds", label, len(a.PerRound), len(b.PerRound))
+	}
+	for i := range a.PerRound {
+		x, y := a.PerRound[i], b.PerRound[i]
+		if x.ConsumerPrice != y.ConsumerPrice || x.PlatformPrice != y.PlatformPrice ||
+			x.TotalTime != y.TotalTime || x.Realized != y.Realized {
+			t.Fatalf("%s: round %d diverged:\n%+v\n%+v", label, x.Round, x, y)
+		}
+	}
+}
+
+// TestZeroIntensityFaultsBitIdentical is the acceptance bar of the
+// fault layer: enabling it at zero intensity must leave a seeded run
+// bit-identical to one with no fault layer at all — no RNG stream may
+// shift by even one draw.
+func TestZeroIntensityFaultsBitIdentical(t *testing.T) {
+	base := RandomConfig(10, 3, 80, 21)
+	base.KeepRounds = true
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withZero := base
+	withZero.Faults = &FaultConfig{}
+	got, err := Run(withZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResults(t, ref, got, "zero-intensity faults")
+
+	// The same holds with the legacy delivery path active: a zero
+	// fault config must not perturb the historic delivery stream.
+	legacy := RandomConfig(10, 3, 80, 21)
+	legacy.KeepRounds = true
+	legacy.DeliveryRate = 0.8
+	ref2, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyZero := legacy
+	legacyZero.Faults = &FaultConfig{}
+	got2, err := Run(legacyZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResults(t, ref2, got2, "zero-intensity faults + legacy delivery")
+}
+
+// TestFaultsChangeAndDegradeOutcomes sanity-checks that non-zero
+// fault intensity is actually wired through: a lossy bursty channel
+// must reduce realized revenue versus the clean run (undelivered data
+// earns nothing), and Byzantine inflation must push the corrupted
+// sellers' estimates above their clean-run values.
+func TestFaultsChangeAndDegradeOutcomes(t *testing.T) {
+	base := RandomConfig(10, 3, 300, 4)
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lossy := base
+	lossy.Faults = &FaultConfig{
+		Channel: ChannelFaults{GoodToBad: 0.3, BadToGood: 0.3, LossGood: 0.1, LossBad: 0.95},
+	}
+	faulty, err := Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(faulty.RealizedRevenue < clean.RealizedRevenue) {
+		t.Fatalf("lossy channel did not reduce revenue: %v vs clean %v",
+			faulty.RealizedRevenue, clean.RealizedRevenue)
+	}
+
+	byz := base
+	byz.Faults = &FaultConfig{
+		Byzantine: ByzantineFaults{Sellers: []int{0, 1}, Inflation: 0.4},
+	}
+	corrupted, err := Run(byz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		if !(corrupted.Estimates[i] > clean.Estimates[i]) {
+			t.Fatalf("Byzantine seller %d estimate %v not inflated over clean %v",
+				i, corrupted.Estimates[i], clean.Estimates[i])
+		}
+	}
+}
+
+// TestFaultConfigValidation checks invalid fault configs are rejected
+// at Run time with a clear error, including the forbidden combination
+// of the legacy i.i.d. path with the Gilbert–Elliott channel.
+func TestFaultConfigValidation(t *testing.T) {
+	bad := RandomConfig(5, 2, 10, 1)
+	bad.Faults = &FaultConfig{Channel: ChannelFaults{LossGood: 1.5}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("loss probability 1.5 accepted")
+	}
+
+	both := RandomConfig(5, 2, 10, 1)
+	both.DeliveryRate = 0.9
+	both.Faults = &FaultConfig{Channel: ChannelFaults{LossGood: 0.1}}
+	if _, err := Run(both); err == nil {
+		t.Fatal("DeliveryRate combined with channel faults accepted")
+	}
+
+	outOfRange := RandomConfig(5, 2, 10, 1)
+	outOfRange.Faults = &FaultConfig{Byzantine: ByzantineFaults{Sellers: []int{7}}}
+	if _, err := Run(outOfRange); err == nil {
+		t.Fatal("Byzantine seller id beyond the population accepted")
+	}
+}
+
+// TestChurnStopsShrunkMarket checks renewal churn drives the same
+// graceful degradation path as scripted departures: with an extreme
+// hazard every seller leaves and the run halts early with a reason.
+func TestChurnStopsShrunkMarket(t *testing.T) {
+	cfg := RandomConfig(6, 2, 5_000, 8)
+	cfg.Faults = &FaultConfig{Churn: ChurnFaults{Rate: 0.2}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped == "" {
+		t.Fatal("total churn did not stop the run")
+	}
+	if res.Rounds >= 5_000 {
+		t.Fatalf("run played all %d rounds despite total churn", res.Rounds)
+	}
+}

@@ -1,0 +1,236 @@
+// Package chaos is the crash-recovery soak harness of the CDT stack.
+// It runs trading jobs under active fault injection (bursty delivery
+// channels, Poisson churn, stragglers, Byzantine corruption), kills
+// them mid-flight through a full snapshot encode/decode, resumes into
+// a fresh mechanism, and asserts two properties at every step:
+//
+//  1. Invariants — money conservation on the ledger, consumer-spend
+//     consistency, quality estimates inside [0, 1], and round
+//     accounting — hold at every crash point and at the end.
+//  2. Equivalence — the interrupted run's final result is
+//     bit-identical to an uninterrupted control run, faults and all.
+//
+// The short versions of these checks run in ordinary `go test`; the
+// long soak (more seeds, longer horizons, denser kill schedules) is
+// gated behind the -soak flag wired up in the package's tests.
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"cmabhs/internal/bandit"
+	"cmabhs/internal/core"
+	"cmabhs/internal/economics"
+	"cmabhs/internal/faults"
+	"cmabhs/internal/game"
+	"cmabhs/internal/ledger"
+	"cmabhs/internal/market"
+	"cmabhs/internal/quality"
+	"cmabhs/internal/rng"
+)
+
+// Scenario describes one soak run: a randomly drawn market plus the
+// fault models active during it. The same Scenario value always
+// builds the same world, so a control run and a kill/resume run can
+// be compared bit-for-bit.
+type Scenario struct {
+	M, K, Rounds int
+	PoIs         int
+	Seed         int64
+	// Faults is the fault layer; nil runs a clean market.
+	Faults *faults.Config
+	// DeliveryRate enables the legacy i.i.d. delivery path instead
+	// of (not alongside) Faults.Delivery. 0 means always deliver.
+	DeliveryRate float64
+	// Departures is the scripted departure list (composes with
+	// Faults.Churn; earliest wins).
+	Departures []int
+}
+
+// Config builds the scenario's core configuration. Call it once per
+// mechanism: configs hold live quality-model streams and must not be
+// shared between runs.
+func (s Scenario) Config() *core.Config {
+	src := rng.New(s.Seed)
+	means := make([]float64, s.M)
+	sellers := make([]market.SellerSpec, s.M)
+	for i := range means {
+		means[i] = src.Uniform(0.05, 0.95)
+		sellers[i] = market.SellerSpec{Cost: economics.SellerCost{
+			A: src.Uniform(0.1, 0.5),
+			B: src.Uniform(0.1, 1),
+		}}
+	}
+	pois := s.PoIs
+	if pois == 0 {
+		pois = 4
+	}
+	model, err := quality.NewTruncGaussian(means, 0.1, src.Split(1))
+	if err != nil {
+		panic(err) // unreachable: means are drawn inside [0, 1]
+	}
+	var fc *faults.Config
+	if s.Faults != nil {
+		cp := *s.Faults
+		cp.Corruption.Sellers = append([]int(nil), s.Faults.Corruption.Sellers...)
+		fc = &cp
+	}
+	return &core.Config{
+		Market: market.Config{
+			Job:          market.Job{L: pois, N: s.Rounds},
+			Sellers:      sellers,
+			Platform:     economics.PlatformCost{Theta: 0.1, Lambda: 1},
+			Consumer:     economics.Valuation{Omega: 1000},
+			PJBounds:     game.Bounds{Min: 0, Max: 100},
+			PBounds:      game.Bounds{Min: 0, Max: 5},
+			Quality:      model,
+			Faults:       fc,
+			DeliveryRate: s.DeliveryRate,
+			DeliverySeed: s.Seed ^ 0x7e57,
+			Departures:   append([]int(nil), s.Departures...),
+		},
+		K: s.K,
+	}
+}
+
+// CheckInvariants validates the cross-layer invariants every CDT run
+// must satisfy at any round boundary, crashed or not. It returns the
+// first violation found.
+func CheckInvariants(m *core.Mechanism) error {
+	led := m.Market().Ledger()
+
+	// Money conservation: the ledger double-books every transfer, so
+	// the balances of consumer + platform + sellers must sum to ~0.
+	if imb := led.TotalImbalance(); math.Abs(imb) > 1e-6 {
+		return fmt.Errorf("chaos: ledger imbalance %g", imb)
+	}
+
+	// Consumer-spend consistency: the mechanism's compensated spend
+	// accumulator and the ledger's view of the consumer account must
+	// agree — the consumer's balance is exactly minus what it paid.
+	res := m.Result()
+	bal := led.Balance(ledger.Consumer)
+	if tol := 1e-9 * math.Max(1, res.ConsumerSpend); math.Abs(bal+res.ConsumerSpend) > tol {
+		return fmt.Errorf("chaos: consumer balance %g vs spend %g", bal, res.ConsumerSpend)
+	}
+
+	// Quality estimates are means of [0, 1] observations — corrupted
+	// or not, they must stay in [0, 1] and finite.
+	for i, q := range m.Arms().Means() {
+		if math.IsNaN(q) || q < 0 || q > 1 {
+			return fmt.Errorf("chaos: estimate q̄_%d = %g outside [0, 1]", i, q)
+		}
+	}
+
+	// Round accounting: every played round was accounted exactly once.
+	if res.RoundsPlayed != m.Round()-1 {
+		return fmt.Errorf("chaos: played %d rounds but cursor is at %d", res.RoundsPlayed, m.Round())
+	}
+	return nil
+}
+
+// RunClean plays the scenario to completion without interruption and
+// returns the final result (the control arm of an equivalence check).
+func RunClean(s Scenario, policy bandit.Policy) (*core.Result, error) {
+	m, err := core.NewMechanism(s.Config(), policy)
+	if err != nil {
+		return nil, err
+	}
+	for !m.Done() {
+		if _, err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	if err := CheckInvariants(m); err != nil {
+		return nil, err
+	}
+	return m.Result(), nil
+}
+
+// RunInterrupted plays the scenario, crashing at the end of every
+// round listed in kills: the mechanism is snapshotted through a full
+// wire encode/decode, discarded, and resumed into a fresh world built
+// from the same Scenario. Invariants are checked at every crash point
+// and at the end. The policy factory must yield a fresh equivalent
+// policy per (re)build, exactly as a restarted process would.
+func RunInterrupted(s Scenario, policy func() bandit.Policy, kills []int) (*core.Result, error) {
+	m, err := core.NewMechanism(s.Config(), policy())
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for !m.Done() {
+		if _, err := m.Step(); err != nil {
+			return nil, err
+		}
+		if next < len(kills) && m.Round()-1 == kills[next] {
+			next++
+			if err := CheckInvariants(m); err != nil {
+				return nil, fmt.Errorf("at kill round %d: %w", m.Round()-1, err)
+			}
+			data, err := m.Snapshot().Encode()
+			if err != nil {
+				return nil, err
+			}
+			st, err := core.DecodeState(data)
+			if err != nil {
+				return nil, err
+			}
+			m, err = core.Resume(s.Config(), policy(), st)
+			if err != nil {
+				return nil, fmt.Errorf("resume at round %d: %w", kills[next-1], err)
+			}
+			if err := CheckInvariants(m); err != nil {
+				return nil, fmt.Errorf("after resume at round %d: %w", kills[next-1], err)
+			}
+		}
+	}
+	if err := CheckInvariants(m); err != nil {
+		return nil, err
+	}
+	return m.Result(), nil
+}
+
+// Equivalent reports whether two final results are bit-identical on
+// every cumulative metric a crash could corrupt. A non-nil error
+// names the first field that differs.
+func Equivalent(a, b *core.Result) error {
+	checks := []struct {
+		name string
+		x, y float64
+	}{
+		{"realized revenue", a.RealizedRevenue, b.RealizedRevenue},
+		{"expected revenue", a.ExpectedRevenue, b.ExpectedRevenue},
+		{"regret", a.Regret, b.Regret},
+		{"cum PoC", a.CumPoC, b.CumPoC},
+		{"cum PoP", a.CumPoP, b.CumPoP},
+		{"cum PoS", a.CumPoS, b.CumPoS},
+		{"consumer spend", a.ConsumerSpend, b.ConsumerSpend},
+	}
+	for _, c := range checks {
+		if c.x != c.y {
+			return fmt.Errorf("chaos: %s diverged: %g vs %g", c.name, c.x, c.y)
+		}
+	}
+	if a.RoundsPlayed != b.RoundsPlayed {
+		return fmt.Errorf("chaos: rounds played diverged: %d vs %d", a.RoundsPlayed, b.RoundsPlayed)
+	}
+	if a.Stopped != b.Stopped {
+		return fmt.Errorf("chaos: stop reason diverged: %q vs %q", a.Stopped, b.Stopped)
+	}
+	if len(a.Estimates) != len(b.Estimates) {
+		return fmt.Errorf("chaos: estimate count diverged: %d vs %d", len(a.Estimates), len(b.Estimates))
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			return fmt.Errorf("chaos: estimate %d diverged: %g vs %g", i, a.Estimates[i], b.Estimates[i])
+		}
+	}
+	for i := range a.SellerTotals {
+		if a.SellerTotals[i] != b.SellerTotals[i] {
+			return fmt.Errorf("chaos: seller %d total diverged: %g vs %g", i, a.SellerTotals[i], b.SellerTotals[i])
+		}
+	}
+	return nil
+}

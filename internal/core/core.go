@@ -253,7 +253,7 @@ func NewMechanism(cfg *Config, policy bandit.Policy) (*Mechanism, error) {
 	}
 	arms := bandit.NewArms(m)
 	for i := 0; i < m; i++ {
-		if cfg.Market.Departed(i, 1) {
+		if mkt.Departed(i, 1) {
 			arms.Deactivate(i)
 		}
 	}
@@ -421,7 +421,7 @@ func (m *Mechanism) exploreRound() (*RoundRecord, error) {
 // estimator updates.
 func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 	for i := 0; i < m.cfg.Market.M(); i++ {
-		if m.arms.Active(i) && m.cfg.Market.Departed(i, t) {
+		if m.arms.Active(i) && m.mkt.Departed(i, t) {
 			m.arms.Deactivate(i)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"cmabhs/internal/aggregate"
 	"cmabhs/internal/bandit"
+	"cmabhs/internal/ledger"
 	"cmabhs/internal/market"
 	"cmabhs/internal/quality"
 	"cmabhs/internal/rng"
@@ -36,6 +37,88 @@ func TestRunWithDepartures(t *testing.T) {
 				t.Fatalf("round %d selected departed seller 5", r.Round)
 			}
 		}
+	}
+}
+
+// TestDeparturesWithFlakyDeliveries drives the two legacy failure
+// modes together: a seller departs mid-run while every delivery is
+// flaky (DeliveryRate < 1). The run must settle every round through
+// the re-priced post-game path — non-delivering sellers earn exactly
+// zero while delivering ones are paid, the platform never pays out
+// more than the consumer's re-priced reward, the departed seller's
+// account freezes at its departure round, and the ledger conserves.
+func TestDeparturesWithFlakyDeliveries(t *testing.T) {
+	cfg, _ := testConfig(t, 8, 3, 120, 3, 31)
+	dep := make([]int, 8)
+	dep[2] = 40 // seller 2 leaves at round 40, deliveries flaky throughout
+	cfg.Market.Departures = dep
+	cfg.Market.DeliveryRate = 0.6
+	cfg.Market.DeliverySeed = 77
+	cfg.KeepRounds = true
+
+	mech, err := NewMechanism(cfg, bandit.UCBGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := mech.Market().Ledger()
+	var balAtDeparture float64
+	for !mech.Done() {
+		if _, err := mech.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if mech.Round()-1 == 40 {
+			balAtDeparture = led.Balance(ledger.Seller(2))
+		}
+	}
+	res := mech.Result()
+	if res.RoundsPlayed != 120 {
+		t.Fatalf("played %d rounds, stopped %q", res.RoundsPlayed, res.Stopped)
+	}
+
+	// The departed seller is gone: never selected again, account
+	// frozen at the departure-round balance.
+	for _, r := range res.Rounds {
+		if r.Round < 40 {
+			continue
+		}
+		for _, i := range r.Selected {
+			if i == 2 {
+				t.Fatalf("round %d selected departed seller 2", r.Round)
+			}
+		}
+	}
+	if got := led.Balance(ledger.Seller(2)); got != balAtDeparture {
+		t.Fatalf("departed seller's balance moved after departure: %v -> %v", balAtDeparture, got)
+	}
+
+	// Flaky deliveries actually bit: some settled rounds must mix
+	// zero-profit (failed delivery: no data, no pay, no cost) with
+	// paid sellers.
+	mixed := false
+	for _, r := range res.Rounds {
+		if r.NoTrade {
+			continue
+		}
+		var zero, paid bool
+		for _, sp := range r.SellerProfits {
+			if sp == 0 {
+				zero = true
+			} else if sp > 0 {
+				paid = true
+			}
+		}
+		mixed = mixed || (zero && paid)
+		// Re-priced settlement: the platform's per-round commission
+		// (reward in minus collection payouts) must never go negative.
+		if c := led.Commission(r.Round); c < -1e-9 {
+			t.Fatalf("round %d: negative commission %v", r.Round, c)
+		}
+	}
+	if !mixed {
+		t.Fatal("no round mixed failed and successful deliveries; interaction untested")
+	}
+	if imb := led.TotalImbalance(); math.Abs(imb) > 1e-6 {
+		t.Fatalf("ledger imbalance %v", imb)
 	}
 }
 

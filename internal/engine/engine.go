@@ -171,7 +171,20 @@ func (p *Pool) Acquire(ctx context.Context) error {
 	}
 }
 
-// Release frees a slot taken by Acquire.
+// TryAcquire takes a slot only if one is free right now, reporting
+// whether it did. It is the load-shedding admission path: a service
+// that would rather reject than queue checks TryAcquire and returns
+// 429/Retry-After on false instead of parking the request on Acquire.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire.
 func (p *Pool) Release() {
 	select {
 	case <-p.slots:

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy tunes Retry: capped exponential backoff with full
+// jitter and optional per-attempt timeouts. The zero value is usable
+// and means "3 attempts, 50ms base delay doubling to at most 1s,
+// full jitter, no per-attempt timeout".
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times fn runs (default 3; 1 means
+	// no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between retries (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay drawn uniformly at random.
+	// The zero value means full jitter (sleep uniform in (0, delay],
+	// decorrelating concurrent retriers); a negative value disables
+	// jitter entirely (deterministic delays, which tests use).
+	Jitter float64
+	// AttemptTimeout bounds each individual attempt's context
+	// (default 0: attempts inherit ctx's deadline unchanged).
+	AttemptTimeout time.Duration
+
+	// Sleep replaces the inter-attempt wait (tests inject instant
+	// clocks). It must honor ctx. Default: time.Timer based wait.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand replaces the jitter source (tests pin it). Default: a
+	// package-local seeded PRNG.
+	Rand func() float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return time.Second
+	}
+	return p.MaxDelay
+}
+
+func (p RetryPolicy) mult() float64 {
+	if p.Multiplier <= 1 {
+		return 2
+	}
+	return p.Multiplier
+}
+
+func (p RetryPolicy) jitter() float64 {
+	switch {
+	case p.Jitter == 0:
+		return 1 // zero value: full jitter
+	case p.Jitter < 0:
+		return 0
+	case p.Jitter > 1:
+		return 1
+	default:
+		return p.Jitter
+	}
+}
+
+// jitterRand is the default jitter source: operational randomness,
+// deliberately separate from the simulation's seeded rng streams.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultRand() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRand.Float64()
+}
+
+func defaultSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// delay returns the backoff before retry #retry (1-based), jittered.
+func (p RetryPolicy) delay(retry int, rnd func() float64) time.Duration {
+	d := float64(p.base())
+	for i := 1; i < retry; i++ {
+		d *= p.mult()
+		if d >= float64(p.cap()) {
+			break
+		}
+	}
+	if d > float64(p.cap()) {
+		d = float64(p.cap())
+	}
+	if j := p.jitter(); j > 0 {
+		// Full-jitter style: scale the delay into [(1-j)·d, d]. With
+		// j=1 that is (0, d] — decorrelates concurrent retriers.
+		d *= 1 - j*rnd()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Retry fails immediately instead of
+// burning the remaining attempts (e.g. a validation error that can
+// never succeed on retry). Errors.Is/As see through the wrapper.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retry runs fn up to policy.MaxAttempts times, sleeping a capped,
+// jittered exponential backoff between attempts. It stops early when
+// fn succeeds, when fn returns an error wrapped by Permanent, or when
+// ctx is done (the context error then joins the last attempt's
+// error). Each attempt receives its own context, bounded by
+// AttemptTimeout when set, so one hung attempt cannot eat the whole
+// retry budget.
+//
+// The returned error is the LAST attempt's error, annotated with the
+// attempt count — the earlier failures were superseded by the ones
+// after them.
+func Retry(ctx context.Context, policy RetryPolicy, fn func(ctx context.Context) error) error {
+	sleep := policy.Sleep
+	if sleep == nil {
+		sleep = defaultSleep
+	}
+	rnd := policy.Rand
+	if rnd == nil {
+		rnd = defaultRand
+	}
+	attempts := policy.attempts()
+	var last error
+	for a := 1; ; a++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(err, last)
+		}
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if policy.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, policy.AttemptTimeout)
+		}
+		err := fn(attemptCtx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if a >= attempts {
+			if attempts > 1 {
+				return fmt.Errorf("engine: %d attempts: %w", attempts, last)
+			}
+			return last
+		}
+		if serr := sleep(ctx, policy.delay(a, rnd)); serr != nil {
+			return errors.Join(serr, last)
+		}
+	}
+}

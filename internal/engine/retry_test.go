@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// instantPolicy retries without real sleeping and without jitter,
+// recording the delays it was asked to wait.
+func instantPolicy(attempts int, delays *[]time.Duration) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		Jitter:      -1, // deterministic delays
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if delays != nil {
+				*delays = append(*delays, d)
+			}
+			return ctx.Err()
+		},
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), instantPolicy(5, nil), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), instantPolicy(4, nil), func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 4 {
+		t.Fatalf("fn ran %d times, want 4", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the last failure", err)
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	var delays []time.Duration
+	p := instantPolicy(5, &delays)
+	p.BaseDelay = 10 * time.Millisecond
+	p.MaxDelay = 40 * time.Millisecond
+	_ = Retry(context.Background(), p, func(ctx context.Context) error {
+		return errors.New("always")
+	})
+	want := []time.Duration{10, 20, 40, 40} // ms, capped at MaxDelay
+	if len(delays) != len(want) {
+		t.Fatalf("slept %d times, want %d", len(delays), len(want))
+	}
+	for i, d := range delays {
+		if d != want[i]*time.Millisecond {
+			t.Errorf("delay %d = %v, want %vms", i, d, want[i])
+		}
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	fatal := errors.New("bad request")
+	calls := 0
+	err := Retry(context.Background(), instantPolicy(5, nil), func(ctx context.Context) error {
+		calls++
+		return Permanent(fatal)
+	})
+	if calls != 1 {
+		t.Fatalf("fn ran %d times after Permanent, want 1", calls)
+	}
+	if !errors.Is(err, fatal) {
+		t.Fatalf("error %v does not expose the permanent cause", err)
+	}
+}
+
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, instantPolicy(10, nil), func(ctx context.Context) error {
+		calls++
+		cancel() // cancel mid-run: the sleep hook reports it
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not report cancellation", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times after cancellation, want 1", calls)
+	}
+}
+
+func TestRetryAttemptTimeout(t *testing.T) {
+	p := instantPolicy(2, nil)
+	p.AttemptTimeout = 5 * time.Millisecond
+	sawDeadline := false
+	err := Retry(context.Background(), p, func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			sawDeadline = true
+		}
+		<-ctx.Done() // simulate a hung attempt: unblocks at the attempt deadline
+		return ctx.Err()
+	})
+	if !sawDeadline {
+		t.Fatal("attempt context had no deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not report the attempt timeout", err)
+	}
+}
+
+func TestRetryJitterStaysWithinDelay(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   100 * time.Millisecond,
+		Jitter:      1,
+		Rand:        func() float64 { return 0.5 },
+	}
+	var got time.Duration
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		got = d
+		return nil
+	}
+	_ = Retry(context.Background(), p, func(ctx context.Context) error {
+		return errors.New("always")
+	})
+	if got != 50*time.Millisecond {
+		t.Fatalf("jittered delay %v, want 50ms at rand=0.5", got)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) should stay nil")
+	}
+}

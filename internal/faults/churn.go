@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"fmt"
+
+	"cmabhs/internal/rng"
+)
+
+// Churn models permanent seller departures (the paper's Remark on
+// long-term jobs: a seller that leaves can no longer be selected).
+// Departure rounds are fixed — scripted, or drawn once at
+// construction — so churn needs no live state in snapshots: it is
+// fully rebuilt from configuration on resume.
+type Churn interface {
+	// DepartureRound returns the round at whose START the seller
+	// permanently leaves (it can no longer be selected from that round
+	// on); 0 means the seller never departs.
+	DepartureRound(seller int) int
+}
+
+// ChurnConfig parameterizes renewal churn: seller lifetimes are
+// i.i.d. exponential with the given hazard rate, making departures a
+// Poisson process over the population. The scripted Departures slice
+// of the market configuration remains available and composes with
+// this model (the earlier departure wins).
+type ChurnConfig struct {
+	// Rate is the per-round departure hazard λ: each seller's
+	// lifetime is Exponential(λ) rounds, so a fraction ≈ λ of the
+	// surviving population departs per round (for small λ).
+	Rate float64 `json:"rate,omitempty"`
+	// MinRound floors every drawn departure round (default 2: no
+	// seller departs before the initial exploration completes).
+	MinRound int `json:"min_round,omitempty"`
+}
+
+func (c ChurnConfig) enabled() bool { return c.Rate > 0 }
+
+func (c ChurnConfig) validate() error {
+	if c.Rate < 0 {
+		return fmt.Errorf("faults: churn rate %v negative", c.Rate)
+	}
+	if c.MinRound < 0 {
+		return fmt.Errorf("faults: churn min_round %d negative", c.MinRound)
+	}
+	return nil
+}
+
+// RenewalChurn holds the departure round of every seller, drawn once
+// from exponential lifetimes.
+type RenewalChurn struct {
+	departs []int
+}
+
+// NewRenewalChurn draws each seller's departure round from
+// Exponential(cfg.Rate), floored at cfg.MinRound (default 2).
+func NewRenewalChurn(cfg ChurnConfig, sellers int, src *rng.Source) *RenewalChurn {
+	minRound := cfg.MinRound
+	if minRound == 0 {
+		minRound = 2
+	}
+	c := &RenewalChurn{departs: make([]int, sellers)}
+	for i := range c.departs {
+		d := minRound + int(src.Exponential(cfg.Rate))
+		c.departs[i] = d
+	}
+	return c
+}
+
+// DepartureRound implements Churn.
+func (c *RenewalChurn) DepartureRound(seller int) int { return c.departs[seller] }
+
+// Scripted is the legacy departure list lifted into the Churn
+// interface: entry i is seller i's departure round (0 = never).
+type Scripted []int
+
+// DepartureRound implements Churn.
+func (s Scripted) DepartureRound(seller int) int {
+	if seller >= len(s) {
+		return 0
+	}
+	return s[seller]
+}
+
+// ComposeChurn merges churn models: the earliest positive departure
+// round wins. nil models are skipped; the result is nil when nothing
+// remains.
+func ComposeChurn(models ...Churn) Churn {
+	var live []Churn
+	for _, m := range models {
+		if m != nil {
+			live = append(live, m)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return composed(live)
+}
+
+type composed []Churn
+
+// DepartureRound implements Churn as the min over the composed
+// models' positive departure rounds.
+func (c composed) DepartureRound(seller int) int {
+	best := 0
+	for _, m := range c {
+		d := m.DepartureRound(seller)
+		if d > 0 && (best == 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}
+
+var (
+	_ Churn = (*RenewalChurn)(nil)
+	_ Churn = Scripted(nil)
+	_ Churn = composed(nil)
+)

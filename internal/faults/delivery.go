@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"fmt"
+
+	"cmabhs/internal/rng"
+)
+
+// Delivery models whether a selected seller's round of data arrives
+// at the platform. Implementations must be deterministic given their
+// Source and be consulted exactly once per (round, seller) check, in
+// a stable order, so runs stay reproducible and snapshot-safe.
+type Delivery interface {
+	// Deliver reports whether seller's data for round arrives.
+	Deliver(round, seller int) bool
+}
+
+// IID is the seed market's independent-failure model: every check
+// succeeds with probability rate, independently of everything else.
+// It consumes exactly one uniform draw per check — the precise draw
+// sequence of the legacy market.Config.DeliveryRate path, which makes
+// it the backward-compatible special case of the fault layer.
+type IID struct {
+	rate float64
+	src  *rng.Source
+}
+
+// NewIID builds the i.i.d. delivery model over an externally seeded
+// stream. rate must lie in (0, 1].
+func NewIID(rate float64, src *rng.Source) *IID {
+	return &IID{rate: rate, src: src}
+}
+
+// Deliver implements Delivery: success iff the draw lands within
+// rate. (The legacy path failed iff draw > rate; this is the same
+// predicate, preserving the exact bit stream.)
+func (d *IID) Deliver(round, seller int) bool {
+	return d.src.Float64() <= d.rate
+}
+
+// Source exposes the underlying stream for snapshot export.
+func (d *IID) Source() *rng.Source { return d.src }
+
+// DeliveryConfig parameterizes a Gilbert–Elliott on/off channel per
+// seller: a two-state Markov chain (good/bad) advanced once per
+// delivery check, with a state-dependent loss probability. The
+// classic burst-loss regime is LossGood ≈ 0, LossBad ≈ 1 with small
+// transition probabilities: long clean stretches punctuated by
+// multi-round outages, which i.i.d. failures cannot produce.
+type DeliveryConfig struct {
+	GoodToBad float64 `json:"good_to_bad,omitempty"` // P(good→bad) per check
+	BadToGood float64 `json:"bad_to_good,omitempty"` // P(bad→good) per check
+	LossGood  float64 `json:"loss_good,omitempty"`   // loss probability in good state
+	LossBad   float64 `json:"loss_bad,omitempty"`    // loss probability in bad state
+}
+
+// enabled reports whether the channel can ever lose a delivery.
+func (c DeliveryConfig) enabled() bool {
+	return c.LossGood > 0 || (c.GoodToBad > 0 && c.LossBad > 0)
+}
+
+func (c DeliveryConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"good_to_bad", c.GoodToBad}, {"bad_to_good", c.BadToGood},
+		{"loss_good", c.LossGood}, {"loss_bad", c.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: delivery %s=%v outside [0, 1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// GilbertElliott is the per-seller bursty delivery channel. All
+// sellers share one stream (checks happen in selection order, which
+// is deterministic), but each keeps its own chain state, so one
+// seller's outage burst does not depend on who else was selected.
+type GilbertElliott struct {
+	cfg DeliveryConfig
+	bad []bool // chain state per seller; false = good (initial)
+	src *rng.Source
+}
+
+// NewGilbertElliott builds the channel with every seller starting in
+// the good state.
+func NewGilbertElliott(cfg DeliveryConfig, sellers int, src *rng.Source) *GilbertElliott {
+	return &GilbertElliott{cfg: cfg, bad: make([]bool, sellers), src: src}
+}
+
+// Deliver advances seller's chain one step and then draws the loss:
+// exactly two uniform draws per check.
+func (g *GilbertElliott) Deliver(round, seller int) bool {
+	u := g.src.Float64()
+	if g.bad[seller] {
+		if u < g.cfg.BadToGood {
+			g.bad[seller] = false
+		}
+	} else if u < g.cfg.GoodToBad {
+		g.bad[seller] = true
+	}
+	loss := g.cfg.LossGood
+	if g.bad[seller] {
+		loss = g.cfg.LossBad
+	}
+	return g.src.Float64() >= loss
+}
+
+// Bad reports whether seller's channel currently sits in the bad
+// state (for tests and diagnostics).
+func (g *GilbertElliott) Bad(seller int) bool { return g.bad[seller] }
+
+var (
+	_ Delivery = (*IID)(nil)
+	_ Delivery = (*GilbertElliott)(nil)
+)

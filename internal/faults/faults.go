@@ -1,0 +1,257 @@
+// Package faults implements the composable failure models of the CDT
+// market. The paper's failure story is thin — sellers may silently
+// fail to deliver (Sec. VII: no data ⇒ no pay) and the market seed
+// modeled exactly that as i.i.d. per-round delivery failures plus a
+// scripted departure list. This package generalizes both into a
+// seeded, snapshot-safe fault layer:
+//
+//   - Gilbert–Elliott delivery channels: a per-seller two-state
+//     (good/bad) Markov chain whose loss probability depends on the
+//     state, producing the bursty, correlated outages real sensing
+//     fleets show. The legacy i.i.d. DeliveryRate path is the
+//     special case GoodToBad = BadToGood = 0, LossGood = 1−rate.
+//   - Renewal seller churn: per-seller departure rounds drawn from
+//     exponential lifetimes (a Poisson departure process over the
+//     population), generalizing the scripted Departures slice, with
+//     which it composes (earliest departure wins).
+//   - Straggler latency for the collection phase: a delivery
+//     occasionally takes Exp-distributed extra time; if it blows the
+//     round deadline it degrades into a miss (no data, no pay).
+//   - Byzantine quality corruption: a fixed subset of sellers
+//     reports inflated or randomized observations, corrupting the
+//     bandit's feedback without touching honest sellers' streams.
+//
+// Every model draws from its own rng.Source split off the fault
+// seed, so adding or removing one model never perturbs another's
+// stream, and a zero-intensity model consumes no randomness at all —
+// a market with all injectors at zero intensity is bit-identical to
+// one with no fault layer. Live stream positions (and the channel
+// states of the Gilbert–Elliott chains) export through State and
+// restore through Injector.Restore, so faulted runs snapshot and
+// resume exactly like clean ones.
+package faults
+
+import (
+	"errors"
+	"fmt"
+
+	"cmabhs/internal/rng"
+)
+
+// Stream-split keys for the fault models. Construction-only streams
+// (churn lifetimes, Byzantine subset selection) are separate from the
+// live streams so live streams start at position zero.
+const (
+	keyDelivery   = 0x0de1
+	keyChurn      = 0x0c42
+	keyStraggler  = 0x057a
+	keyCorruption = 0x0c09
+	keyByzantine  = 0x0b52
+)
+
+// Config declares a market's fault models. The zero value injects
+// nothing; each sub-config activates independently, and all streams
+// derive from Seed.
+type Config struct {
+	Seed       int64            `json:"seed,omitempty"`
+	Delivery   DeliveryConfig   `json:"delivery,omitempty"`
+	Churn      ChurnConfig      `json:"churn,omitempty"`
+	Straggler  StragglerConfig  `json:"straggler,omitempty"`
+	Corruption CorruptionConfig `json:"corruption,omitempty"`
+}
+
+// Zero reports whether the configuration injects nothing (every model
+// at zero intensity).
+func (c *Config) Zero() bool {
+	if c == nil {
+		return true
+	}
+	return !c.Delivery.enabled() && !c.Churn.enabled() &&
+		!c.Straggler.enabled() && !c.Corruption.enabled()
+}
+
+// Validate checks every sub-configuration. sellers is the market's
+// population size M (used to range-check explicit seller lists).
+func (c *Config) Validate(sellers int) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.Delivery.validate(); err != nil {
+		return err
+	}
+	if err := c.Churn.validate(); err != nil {
+		return err
+	}
+	if err := c.Straggler.validate(); err != nil {
+		return err
+	}
+	return c.Corruption.validate(sellers)
+}
+
+// Injector is a live, assembled fault layer. A nil *Injector is valid
+// and injects nothing. Not safe for concurrent use — like the rest of
+// the market it is owned by one mechanism loop.
+type Injector struct {
+	// Delivery decides whether a selected seller's data arrives; nil
+	// means every delivery succeeds.
+	Delivery Delivery
+	// Churn decides when sellers permanently leave; nil means no
+	// seller ever departs.
+	Churn Churn
+	// Straggler injects collection latency; nil means instant.
+	Straggler *Straggler
+	// Corruption rewrites Byzantine sellers' observations; nil means
+	// every report is honest.
+	Corruption *Corruption
+}
+
+// New assembles an injector from a configuration. It returns nil when
+// the configuration is zero intensity, so callers can use the nil
+// injector as the fast path.
+func New(cfg *Config, sellers int) (*Injector, error) {
+	if cfg.Zero() {
+		return nil, nil
+	}
+	if err := cfg.Validate(sellers); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	inj := &Injector{}
+	if cfg.Delivery.enabled() {
+		inj.Delivery = NewGilbertElliott(cfg.Delivery, sellers, root.Split(keyDelivery))
+	}
+	if cfg.Churn.enabled() {
+		inj.Churn = NewRenewalChurn(cfg.Churn, sellers, root.Split(keyChurn))
+	}
+	if cfg.Straggler.enabled() {
+		inj.Straggler = NewStraggler(cfg.Straggler, root.Split(keyStraggler))
+	}
+	if cfg.Corruption.enabled() {
+		inj.Corruption = NewCorruption(cfg.Corruption, sellers, root.Split(keyByzantine), root.Split(keyCorruption))
+	}
+	return inj, nil
+}
+
+// Empty reports whether the injector injects nothing.
+func (inj *Injector) Empty() bool {
+	return inj == nil ||
+		(inj.Delivery == nil && inj.Churn == nil && inj.Straggler == nil && inj.Corruption == nil)
+}
+
+// Delivers runs the delivery-phase models for one selected seller in
+// one round: the delivery channel first, then — only for data that
+// left the seller at all — straggler latency against the deadline.
+// deadline <= 0 means no deadline (stragglers always arrive in time).
+func (inj *Injector) Delivers(round, seller int, deadline float64) bool {
+	if inj == nil {
+		return true
+	}
+	if inj.Delivery != nil && !inj.Delivery.Deliver(round, seller) {
+		return false
+	}
+	if inj.Straggler != nil && !inj.Straggler.OnTime(deadline) {
+		return false
+	}
+	return true
+}
+
+// DepartureRound returns the round at whose start the seller
+// permanently leaves the market (0 = never).
+func (inj *Injector) DepartureRound(seller int) int {
+	if inj == nil || inj.Churn == nil {
+		return 0
+	}
+	return inj.Churn.DepartureRound(seller)
+}
+
+// Corrupt passes one observation through the corruption model.
+func (inj *Injector) Corrupt(seller, poi, round int, obs float64) float64 {
+	if inj == nil || inj.Corruption == nil {
+		return obs
+	}
+	return inj.Corruption.Corrupt(seller, poi, round, obs)
+}
+
+// State is the serializable live state of an injector: stream
+// positions plus the Gilbert–Elliott channel states. Models with no
+// live state (churn departure rounds are fixed at construction)
+// contribute nothing.
+type State struct {
+	Delivery   *rng.State `json:"delivery,omitempty"`
+	Channels   []bool     `json:"channels,omitempty"` // true = bad state
+	Straggler  *rng.State `json:"straggler,omitempty"`
+	Corruption *rng.State `json:"corruption,omitempty"`
+}
+
+// zero reports whether the state carries nothing.
+func (s *State) zero() bool {
+	return s == nil || (s.Delivery == nil && len(s.Channels) == 0 &&
+		s.Straggler == nil && s.Corruption == nil)
+}
+
+// State exports the injector's live state; nil when there is nothing
+// to persist (nil injector, or only construction-time models).
+func (inj *Injector) State() *State {
+	if inj == nil {
+		return nil
+	}
+	st := &State{}
+	if ge, ok := inj.Delivery.(*GilbertElliott); ok {
+		s := ge.src.State()
+		st.Delivery = &s
+		st.Channels = append([]bool(nil), ge.bad...)
+	}
+	if inj.Straggler != nil {
+		s := inj.Straggler.src.State()
+		st.Straggler = &s
+	}
+	if inj.Corruption != nil && inj.Corruption.hasStream() {
+		s := inj.Corruption.src.State()
+		st.Corruption = &s
+	}
+	if st.zero() {
+		return nil
+	}
+	return st
+}
+
+// Restore overwrites the injector's live state with an exported one.
+// The injector must be structurally identical to the one the state
+// was exported from; mismatches are errors.
+func (inj *Injector) Restore(st *State) error {
+	ge, _ := inj.deliveryChannel()
+	if (ge != nil) != (st != nil && st.Delivery != nil) {
+		return errors.New("faults: delivery channel state does not match configuration")
+	}
+	if ge != nil {
+		if len(st.Channels) != len(ge.bad) {
+			return fmt.Errorf("faults: state has %d channel states, injector has %d sellers", len(st.Channels), len(ge.bad))
+		}
+		ge.src.SetState(*st.Delivery)
+		copy(ge.bad, st.Channels)
+	}
+	if (inj != nil && inj.Straggler != nil) != (st != nil && st.Straggler != nil) {
+		return errors.New("faults: straggler state does not match configuration")
+	}
+	if st != nil && st.Straggler != nil {
+		inj.Straggler.src.SetState(*st.Straggler)
+	}
+	wantCorr := inj != nil && inj.Corruption != nil && inj.Corruption.hasStream()
+	if wantCorr != (st != nil && st.Corruption != nil) {
+		return errors.New("faults: corruption state does not match configuration")
+	}
+	if st != nil && st.Corruption != nil {
+		inj.Corruption.src.SetState(*st.Corruption)
+	}
+	return nil
+}
+
+// deliveryChannel returns the Gilbert–Elliott channel, if that is the
+// configured delivery model.
+func (inj *Injector) deliveryChannel() (*GilbertElliott, bool) {
+	if inj == nil {
+		return nil, false
+	}
+	ge, ok := inj.Delivery.(*GilbertElliott)
+	return ge, ok
+}

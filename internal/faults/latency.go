@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"fmt"
+
+	"cmabhs/internal/rng"
+)
+
+// StragglerConfig parameterizes collection-phase latency injection:
+// with probability Prob a delivery straggles, taking Exponential
+// extra time with mean MeanDelay (in round-duration units). A
+// straggler whose delay exceeds the round deadline misses the round
+// entirely — its data arrives too late to aggregate, so the market
+// treats it as a non-delivery (no data, no pay, no cost).
+type StragglerConfig struct {
+	Prob      float64 `json:"prob,omitempty"`       // probability a delivery straggles
+	MeanDelay float64 `json:"mean_delay,omitempty"` // mean extra latency of a straggler
+	// Deadline caps tolerated latency. 0 falls back to the job's
+	// round duration T; if that is also unset, stragglers are slow
+	// but never late (the model only matters with a deadline).
+	Deadline float64 `json:"deadline,omitempty"`
+}
+
+func (c StragglerConfig) enabled() bool { return c.Prob > 0 }
+
+func (c StragglerConfig) validate() error {
+	if c.Prob < 0 || c.Prob > 1 {
+		return fmt.Errorf("faults: straggler prob %v outside [0, 1]", c.Prob)
+	}
+	if c.Prob > 0 && c.MeanDelay <= 0 {
+		return fmt.Errorf("faults: straggler mean_delay %v must be positive", c.MeanDelay)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("faults: straggler deadline %v negative", c.Deadline)
+	}
+	return nil
+}
+
+// Straggler injects the latency. One uniform draw decides whether a
+// delivery straggles; stragglers consume one further draw for the
+// delay. Non-straggling deliveries are instant.
+type Straggler struct {
+	cfg StragglerConfig
+	src *rng.Source
+}
+
+// NewStraggler builds the model.
+func NewStraggler(cfg StragglerConfig, src *rng.Source) *Straggler {
+	return &Straggler{cfg: cfg, src: src}
+}
+
+// OnTime draws one delivery's latency and reports whether it beats
+// the deadline. deadline <= 0 uses the configured Deadline; if both
+// are unset the delivery is always on time.
+func (s *Straggler) OnTime(deadline float64) bool {
+	if s.src.Float64() >= s.cfg.Prob {
+		return true // not a straggler: instant
+	}
+	delay := s.src.Exponential(1 / s.cfg.MeanDelay)
+	if s.cfg.Deadline > 0 {
+		deadline = s.cfg.Deadline
+	}
+	if deadline <= 0 {
+		return true // slow, but nothing to miss
+	}
+	return delay <= deadline
+}

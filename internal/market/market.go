@@ -13,6 +13,7 @@ import (
 
 	"cmabhs/internal/aggregate"
 	"cmabhs/internal/economics"
+	"cmabhs/internal/faults"
 	"cmabhs/internal/game"
 	"cmabhs/internal/ledger"
 	"cmabhs/internal/quality"
@@ -84,11 +85,22 @@ type Config struct {
 	// selected seller delivers its round's data with this probability
 	// (default 1 when zero). A failing seller returns nothing, learns
 	// nothing, is not paid, and incurs no cost that round. Must lie
-	// in (0, 1] when set.
+	// in (0, 1] when set. Internally this is the i.i.d. special case
+	// of the fault layer's delivery models.
 	DeliveryRate float64
 	// DeliverySeed seeds the failure draws (only used when
 	// DeliveryRate < 1).
 	DeliverySeed int64
+
+	// Faults optionally configures the extended fault layer: bursty
+	// Gilbert–Elliott delivery outages, renewal seller churn,
+	// collection stragglers, and Byzantine quality corruption. A nil
+	// or zero-intensity configuration injects nothing and leaves the
+	// simulation bit-identical to a fault-free market. Faults compose
+	// with the legacy fields above — except that a Gilbert–Elliott
+	// delivery channel and a DeliveryRate cannot both be set (they
+	// model the same failure once).
+	Faults *faults.Config
 }
 
 // Validate checks the whole configuration.
@@ -134,6 +146,12 @@ func (c *Config) Validate() error {
 	if c.DeliveryRate < 0 || c.DeliveryRate > 1 {
 		return fmt.Errorf("market: delivery rate %v outside [0, 1]", c.DeliveryRate)
 	}
+	if err := c.Faults.Validate(len(c.Sellers)); err != nil {
+		return err
+	}
+	if c.deliveryRate() < 1 && c.Faults != nil && c.Faults.Delivery != (faults.DeliveryConfig{}) {
+		return errors.New("market: DeliveryRate and a fault-layer delivery channel cannot both be set")
+	}
 	return nil
 }
 
@@ -145,15 +163,6 @@ func (c *Config) deliveryRate() float64 {
 	return c.DeliveryRate
 }
 
-// Departed reports whether seller i has left the market by round t.
-func (c *Config) Departed(i, t int) bool {
-	if len(c.Departures) == 0 {
-		return false
-	}
-	d := c.Departures[i]
-	return d > 0 && t >= d
-}
-
 // M returns the seller population size.
 func (c *Config) M() int { return len(c.Sellers) }
 
@@ -161,20 +170,52 @@ func (c *Config) M() int { return len(c.Sellers) }
 type Market struct {
 	cfg      Config
 	ledger   *ledger.Ledger
-	delivery *rng.Source // nil when delivery is certain
+	inj      *faults.Injector // nil when nothing is injected
+	delivery *rng.Source      // the legacy i.i.d. delivery stream, nil unless DeliveryRate < 1
 }
 
-// New builds a market from a validated configuration.
+// New builds a market from a validated configuration, assembling the
+// fault layer from the legacy failure fields (DeliveryRate,
+// Departures) and the extended Faults configuration.
 func New(cfg Config) (*Market, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	m := &Market{cfg: cfg, ledger: ledger.New()}
-	if cfg.deliveryRate() < 1 {
-		m.delivery = rng.New(cfg.DeliverySeed)
+	inj, err := faults.New(cfg.Faults, len(cfg.Sellers))
+	if err != nil {
+		return nil, err
 	}
+	if cfg.deliveryRate() < 1 {
+		// The legacy i.i.d. path keeps its historic stream (seeded
+		// directly off DeliverySeed, one draw per check) so existing
+		// seeded runs and snapshots stay bit-identical.
+		if inj == nil {
+			inj = &faults.Injector{}
+		}
+		m.delivery = rng.New(cfg.DeliverySeed)
+		inj.Delivery = faults.NewIID(cfg.deliveryRate(), m.delivery)
+	}
+	if len(cfg.Departures) != 0 {
+		if inj == nil {
+			inj = &faults.Injector{}
+		}
+		inj.Churn = faults.ComposeChurn(faults.Scripted(cfg.Departures), inj.Churn)
+	}
+	m.inj = inj
 	return m, nil
 }
+
+// Departed reports whether seller i has left the market by round t
+// (scripted departures and renewal churn combined).
+func (m *Market) Departed(i, t int) bool {
+	d := m.inj.DepartureRound(i)
+	return d > 0 && t >= d
+}
+
+// Faults exposes the assembled fault injector (nil when the market
+// injects nothing), for inspection by tests and diagnostics.
+func (m *Market) Faults() *faults.Injector { return m.inj }
 
 // Config returns the market's configuration.
 func (m *Market) Config() *Config { return &m.cfg }
@@ -185,15 +226,16 @@ func (m *Market) Ledger() *ledger.Ledger { return m.ledger }
 
 // State is the serializable state of a live Market: the settlement
 // ledger plus the positions of every random stream the environment
-// owns (delivery failures, quality observations, sensor noise). The
-// market's structure — sellers, costs, bounds, the quality model's
-// means — is rebuilt from configuration on resume and deliberately
-// not persisted.
+// owns (delivery failures, quality observations, sensor noise, and
+// the extended fault models). The market's structure — sellers,
+// costs, bounds, the quality model's means — is rebuilt from
+// configuration on resume and deliberately not persisted.
 type State struct {
 	Ledger   ledger.State   `json:"ledger"`
-	Delivery *rng.State     `json:"delivery,omitempty"`
+	Delivery *rng.State     `json:"delivery,omitempty"` // legacy i.i.d. delivery stream
 	Quality  *quality.State `json:"quality,omitempty"`
 	Sensor   *rng.State     `json:"sensor,omitempty"`
+	Faults   *faults.State  `json:"faults,omitempty"` // extended fault-layer streams
 }
 
 // State exports the market for persistence.
@@ -203,6 +245,7 @@ func (m *Market) State() State {
 		d := m.delivery.State()
 		st.Delivery = &d
 	}
+	st.Faults = m.inj.State()
 	if q, ok := m.cfg.Quality.(quality.Stateful); ok {
 		qs := q.State()
 		st.Quality = &qs
@@ -243,6 +286,9 @@ func (m *Market) Restore(st State) error {
 	if st.Sensor != nil {
 		m.cfg.Data.Sensor.RestoreRNG(*st.Sensor)
 	}
+	if err := m.inj.Restore(st.Faults); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -276,17 +322,21 @@ func (m *Market) GameParams(selected []int, estimates []float64, minQ float64) *
 
 // Collect runs the data collection of round t: every selected seller
 // senses at all L PoIs, producing L quality observations each
-// (Definition 3). The returned slice is indexed like selected. With
-// DeliveryRate < 1, a seller that fails to deliver has a nil row.
+// (Definition 3). The returned slice is indexed like selected. A
+// seller whose data does not arrive — delivery failure (i.i.d. or
+// Gilbert–Elliott channel) or a straggler missing the round deadline
+// — has a nil row: no data, no pay, no cost. Byzantine sellers'
+// observations pass through the corruption model, so the mechanism
+// learns from what was REPORTED, not what was sensed.
 func (m *Market) Collect(round int, selected []int) [][]float64 {
 	obs := make([][]float64, len(selected))
 	for j, i := range selected {
-		if m.delivery != nil && m.delivery.Float64() > m.cfg.deliveryRate() {
-			continue // transient failure: nil row
+		if !m.inj.Delivers(round, i, m.cfg.Job.T) {
+			continue // failure or missed deadline: nil row
 		}
 		row := make([]float64, m.cfg.Job.L)
 		for l := range row {
-			row[l] = m.cfg.Quality.Observe(i, l, round)
+			row[l] = m.inj.Corrupt(i, l, round, m.cfg.Quality.Observe(i, l, round))
 		}
 		obs[j] = row
 	}

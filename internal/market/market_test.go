@@ -202,16 +202,17 @@ func TestConfigAccessors(t *testing.T) {
 func TestDeparted(t *testing.T) {
 	cfg := testConfig(t)
 	cfg.Departures = []int{0, 5, 1}
-	if err := cfg.Validate(); err != nil {
+	mkt, err := New(cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Departed(0, 100) {
+	if mkt.Departed(0, 100) {
 		t.Error("zero departure means never")
 	}
-	if cfg.Departed(1, 4) || !cfg.Departed(1, 5) || !cfg.Departed(1, 6) {
+	if mkt.Departed(1, 4) || !mkt.Departed(1, 5) || !mkt.Departed(1, 6) {
 		t.Error("departure boundary wrong")
 	}
-	if !cfg.Departed(2, 1) {
+	if !mkt.Departed(2, 1) {
 		t.Error("seller 2 departs at round 1")
 	}
 	cfg.Departures = []int{1}

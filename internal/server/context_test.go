@@ -95,8 +95,10 @@ func TestAdvanceCancelledContext(t *testing.T) {
 	}
 }
 
-// TestAdvancePoolSaturated checks that a full advance pool plus a
-// dead request context yields 503 rather than queueing forever.
+// TestAdvancePoolSaturated checks the load-shedding path: a full
+// advance pool yields an immediate 429 with a Retry-After hint
+// rather than queueing the request, and a freed slot admits the
+// retry.
 func TestAdvancePoolSaturated(t *testing.T) {
 	s := New()
 	s.MaxConcurrentAdvances = 1
@@ -106,13 +108,22 @@ func TestAdvancePoolSaturated(t *testing.T) {
 	if err := s.pool().Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	defer s.pool().Release()
 
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	code, _ := advance(t, h, ctx, st.ID, 10)
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("saturated advance status %d, want 503", code)
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs/"+st.ID+"/advance", strings.NewReader(`{"rounds":5}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated advance status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+
+	// A freed slot admits the retried request.
+	s.pool().Release()
+	code, adv := advance(t, h, nil, st.ID, 5)
+	if code != http.StatusOK || len(adv.Played) != 5 {
+		t.Fatalf("retry after shed: status %d, played %d", code, len(adv.Played))
 	}
 }
 

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// This file hardens the broker against the failure modes a public
+// service meets: handler panics (isolated to a 500 instead of
+// killing the process), unbounded request bodies (413 past
+// MaxBodyBytes), and requests that outlive their usefulness
+// (per-request deadlines, honored by the advance loop at round
+// boundaries). Overload shedding for the advance pool lives in the
+// advance handler itself (429 + Retry-After).
+
+// statusWriter tracks whether a handler already wrote a status line,
+// so the panic recovery layer knows whether a 500 can still go out.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// harden wraps the raw mux with the middleware chain: body limits
+// first (cheapest rejection), then the request deadline, then panic
+// recovery innermost so it sees the handler's own frame.
+func (s *Server) harden(h http.Handler) http.Handler {
+	return s.withBodyLimit(s.withDeadline(s.withRecovery(h)))
+}
+
+// withRecovery converts a handler panic into a 500 response and a
+// log line. The process — and every other in-flight and future
+// request — keeps serving; one poisoned request must not take down
+// every live trading job. http.ErrAbortHandler passes through (it is
+// the stdlib's own "abort this response" signal).
+func (s *Server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wrote {
+				httpError(sw, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// withDeadline bounds every request by RequestTimeout. Handlers that
+// honor their context (the advance loop checks it at every round
+// boundary) degrade gracefully: they return the partial progress made
+// so far instead of being cut off mid-response.
+func (s *Server) withDeadline(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withBodyLimit rejects oversized request bodies with a clear 413.
+// Declared lengths are rejected before reading a byte; undeclared
+// (chunked) bodies are capped by http.MaxBytesReader, which the JSON
+// decode helpers translate into the same 413.
+func (s *Server) withBodyLimit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := s.maxBodyBytes()
+		if r.ContentLength > limit {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body %d bytes exceeds limit %d", r.ContentLength, limit)
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) maxBodyBytes() int64 {
+	if s.MaxBodyBytes > 0 {
+		return s.MaxBodyBytes
+	}
+	return 1 << 20 // 1 MiB default
+}
+
+// decodeJSON decodes a request body into v and writes the error
+// response itself on failure: 413 when the body-limit reader tripped,
+// 400 for malformed JSON. Returns false when the caller should stop.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds limit %d bytes", tooBig.Limit)
+		return false
+	}
+	httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	return false
+}
+
+// retryAfter formats a Retry-After value from the shed backoff hint.
+func retryAfter(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
+}

@@ -20,7 +20,11 @@
 // Advance calls honor the request context: if the client disconnects
 // mid-advance, the job stops at the next round boundary, keeps the
 // progress it made, and stays resumable. Concurrent advances across
-// all jobs share a bounded worker pool (MaxConcurrentAdvances).
+// all jobs share a bounded worker pool (MaxConcurrentAdvances); when
+// it saturates, further advances are shed with 429 + Retry-After
+// rather than queued. Handler panics are isolated to a 500 (the
+// process keeps serving), request bodies are bounded (413 past
+// MaxBodyBytes), and RequestTimeout deadlines every request.
 //
 // With a Store configured, the broker is durable: SaveAll snapshots
 // every live job (cdt-server calls it on graceful shutdown), LoadAll
@@ -29,6 +33,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -71,6 +76,9 @@ type JobRequest struct {
 	Solver        string  `json:"solver,omitempty"`
 	Budget        float64 `json:"budget,omitempty"`
 	CollectData   bool    `json:"collect_data,omitempty"`
+
+	// Faults enables the fault-injection layer for this job.
+	Faults *FaultRequest `json:"faults,omitempty"`
 
 	// Snapshot, if set, creates the job by resuming a Session.Save
 	// snapshot (e.g. one returned by POST /v1/jobs/{id}/snapshot)
@@ -118,7 +126,60 @@ func (r *JobRequest) config() (cmabhs.Config, error) {
 	cfg.Solver = cmabhs.Solver(r.Solver)
 	cfg.Budget = r.Budget
 	cfg.CollectData = r.CollectData
+	if r.Faults != nil {
+		cfg.Faults = &cmabhs.FaultConfig{
+			Seed: r.Faults.Seed,
+			Channel: cmabhs.ChannelFaults{
+				GoodToBad: r.Faults.Channel.GoodToBad,
+				BadToGood: r.Faults.Channel.BadToGood,
+				LossGood:  r.Faults.Channel.LossGood,
+				LossBad:   r.Faults.Channel.LossBad,
+			},
+			Churn: cmabhs.ChurnFaults{
+				Rate:     r.Faults.Churn.Rate,
+				MinRound: r.Faults.Churn.MinRound,
+			},
+			Straggler: cmabhs.StragglerFaults{
+				Prob:      r.Faults.Straggler.Prob,
+				MeanDelay: r.Faults.Straggler.MeanDelay,
+				Deadline:  r.Faults.Straggler.Deadline,
+			},
+			Byzantine: cmabhs.ByzantineFaults{
+				Fraction:  r.Faults.Byzantine.Fraction,
+				Sellers:   append([]int(nil), r.Faults.Byzantine.Sellers...),
+				Mode:      r.Faults.Byzantine.Mode,
+				Inflation: r.Faults.Byzantine.Inflation,
+			},
+		}
+	}
 	return cfg, nil
+}
+
+// FaultRequest is the wire form of cmabhs.FaultConfig. Every model
+// defaults to off; see the cmabhs package for semantics.
+type FaultRequest struct {
+	Seed    int64 `json:"seed,omitempty"`
+	Channel struct {
+		GoodToBad float64 `json:"good_to_bad,omitempty"`
+		BadToGood float64 `json:"bad_to_good,omitempty"`
+		LossGood  float64 `json:"loss_good,omitempty"`
+		LossBad   float64 `json:"loss_bad,omitempty"`
+	} `json:"channel,omitempty"`
+	Churn struct {
+		Rate     float64 `json:"rate,omitempty"`
+		MinRound int     `json:"min_round,omitempty"`
+	} `json:"churn,omitempty"`
+	Straggler struct {
+		Prob      float64 `json:"prob,omitempty"`
+		MeanDelay float64 `json:"mean_delay,omitempty"`
+		Deadline  float64 `json:"deadline,omitempty"`
+	} `json:"straggler,omitempty"`
+	Byzantine struct {
+		Fraction  float64 `json:"fraction,omitempty"`
+		Sellers   []int   `json:"sellers,omitempty"`
+		Mode      string  `json:"mode,omitempty"`
+		Inflation float64 `json:"inflation,omitempty"`
+	} `json:"byzantine,omitempty"`
 }
 
 // JobStatus is the wire form of a job's state.
@@ -184,9 +245,24 @@ type Server struct {
 	// MaxAdvance bounds rounds per advance call (default 100000).
 	MaxAdvance int
 	// MaxConcurrentAdvances bounds advance calls executing at once
-	// across all jobs (default 16). Further calls wait on the pool
-	// until a slot frees or the request context is cancelled.
+	// across all jobs (default 16). When the pool is saturated
+	// further advance calls are SHED — 429 plus a Retry-After header
+	// — instead of queueing unboundedly.
 	MaxConcurrentAdvances int
+	// ShedRetryAfter is the Retry-After hint returned with a 429
+	// (default 1s).
+	ShedRetryAfter time.Duration
+	// MaxBodyBytes bounds every request body; oversized bodies get a
+	// 413 (default 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout, when positive, deadlines every request context.
+	// Advance calls honor it at round boundaries and return their
+	// partial progress. 0 disables the deadline.
+	RequestTimeout time.Duration
+	// StoreRetry tunes the retry/backoff applied to Store writes (the
+	// snapshot endpoint and SaveAll). The zero value retries 3 times
+	// with jittered exponential backoff from 50ms.
+	StoreRetry engine.RetryPolicy
 
 	// Store, if non-nil, makes the broker durable: the snapshot
 	// endpoint persists through it, SaveAll/LoadAll write and reload
@@ -228,7 +304,9 @@ func (s *Server) pool() *engine.Pool {
 	return s.advPool
 }
 
-// Handler returns the HTTP handler for the broker API.
+// Handler returns the HTTP handler for the broker API, hardened with
+// panic recovery, per-request deadlines, and request-body limits (see
+// middleware.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -236,7 +314,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/game/solve", s.handleSolveGame)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	return mux
+	return s.harden(mux)
+}
+
+// saveToStore writes one snapshot through the configured retry
+// policy: transient store failures (a slow disk, a flaky network
+// filesystem) back off and retry instead of failing the request.
+func (s *Server) saveToStore(ctx context.Context, id string, data []byte) error {
+	return engine.Retry(ctx, s.StoreRetry, func(ctx context.Context) error {
+		return s.Store.Save(id, data)
+	})
 }
 
 // Healthz is the wire form of the liveness probe.
@@ -298,8 +385,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		var req JobRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		if !decodeJSON(w, r, &req) {
 			return
 		}
 		var sess *cmabhs.Session
@@ -419,8 +505,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	case action == "advance" && r.Method == http.MethodPost:
 		var req AdvanceRequest
 		if r.ContentLength != 0 {
-			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			if !decodeJSON(w, r, &req) {
 				return
 			}
 		}
@@ -430,8 +515,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		if req.Rounds > s.MaxAdvance {
 			req.Rounds = s.MaxAdvance
 		}
-		if err := s.pool().Acquire(r.Context()); err != nil {
-			httpError(w, http.StatusServiceUnavailable, "advance capacity saturated: %v", err)
+		// Load shedding: a saturated advance pool rejects immediately
+		// with a retry hint rather than queueing the request — bounded
+		// latency for the requests that are admitted, explicit
+		// backpressure for the ones that are not.
+		if !s.pool().TryAcquire() {
+			hint := s.ShedRetryAfter
+			if hint <= 0 {
+				hint = time.Second
+			}
+			w.Header().Set("Retry-After", retryAfter(hint))
+			httpError(w, http.StatusTooManyRequests,
+				"advance capacity saturated (%d in flight); retry after %s", s.pool().InUse(), retryAfter(hint)+"s")
 			return
 		}
 		defer s.pool().Release()
@@ -456,7 +551,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 		persisted := false
 		if s.Store != nil {
-			if err := s.Store.Save(id, data); err != nil {
+			if err := s.saveToStore(r.Context(), id, data); err != nil {
 				httpError(w, http.StatusInternalServerError, "%v", err)
 				return
 			}
@@ -508,7 +603,10 @@ func (s *Server) SaveAll() error {
 		data, err := j.sess.Save()
 		j.mu.Unlock()
 		if err == nil {
-			err = s.Store.Save(j.id, data)
+			// Shutdown snapshots retry too: losing a job's state to
+			// one transient write failure is the worst outcome a
+			// durable broker can produce.
+			err = s.saveToStore(context.Background(), j.id, data)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("server: save %s: %w", j.id, err)
@@ -576,8 +674,7 @@ func (s *Server) handleSolveGame(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SolveGameRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	gc := cmabhs.GameConfig{

@@ -86,7 +86,26 @@ func (f *FileStore) Save(id string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: save %s: %w", id, err)
 	}
+	// The temp file's CONTENT is now durable (tmp.Sync above), but the
+	// rename lives in the parent directory's entries: without syncing
+	// the directory a power loss can forget the rename and resurface
+	// the previous snapshot — or nothing. fsync the directory so the
+	// new snapshot survives the plug being pulled.
+	if err := syncDir(f.dir); err != nil {
+		return fmt.Errorf("server: save %s: %w", id, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory's entry table.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	return errors.Join(serr, cerr)
 }
 
 // Load implements Store.
@@ -101,12 +120,20 @@ func (f *FileStore) Load(id string) ([]byte, error) {
 	return data, nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The removal is fsynced for the same
+// reason Save fsyncs the rename: a deleted job must not resurrect
+// after a power loss.
 func (f *FileStore) Delete(id string) error {
 	if err := checkID(id); err != nil {
 		return err
 	}
-	if err := os.Remove(f.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := os.Remove(f.path(id)); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("server: delete %s: %w", id, err)
+	}
+	if err := syncDir(f.dir); err != nil {
 		return fmt.Errorf("server: delete %s: %w", id, err)
 	}
 	return nil
