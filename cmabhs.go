@@ -187,6 +187,48 @@ type Config struct {
 	// estimated qualities, and Result.AggregationRMSE reports the
 	// mean statistical error delivered to the consumer.
 	CollectData bool
+
+	// Observer, if non-nil, receives one RoundEvent after every
+	// completed trading round. Observers are strictly passive —
+	// attaching one is bit-identical to not attaching one — and run
+	// synchronously on the simulation goroutine. Being code, the
+	// observer never travels in a Save snapshot; reattach with
+	// Session.Observe after ResumeSession.
+	Observer RoundObserver `json:"-"`
+}
+
+// RoundObserver is a per-round telemetry hook. See Config.Observer
+// and RoundEvent.
+type RoundObserver func(*RoundEvent)
+
+// RoundEvent is the per-round observation delivered to a
+// RoundObserver: the round just played plus the learning-dynamics
+// context no single record carries. The event and its slices are
+// borrowed — valid only during the call, copy to retain.
+type RoundEvent struct {
+	// Round is the public record of the round just played: selection,
+	// equilibrium prices p^J and p, sensing times, and profits.
+	Round Round
+
+	// UCB holds each seller's extended-UCB index (Eq. 19) as it stood
+	// when the round's selection was made, indexed by seller id;
+	// departed sellers hold NaN. Nil for the initial full-exploration
+	// round, when no estimates exist yet.
+	UCB []float64
+
+	// FailedSellers lists the sellers that were selected but delivered
+	// no data this round — the round's fault events (delivery loss,
+	// stragglers past the deadline). Empty on clean rounds.
+	FailedSellers []int
+
+	// Regret and ExpectedRevenue are cumulative after this round,
+	// regret measured against the offline optimal selection (Eq. 34).
+	Regret          float64
+	ExpectedRevenue float64
+
+	// ConsumerSpend is the cumulative reward paid out after this
+	// round — what Config.Budget is checked against.
+	ConsumerSpend float64
 }
 
 // RandomConfig draws an M-seller configuration from the paper's
@@ -343,6 +385,7 @@ func (c Config) build() (*core.Config, bandit.Policy, error) {
 		ColdStart:   c.ColdStart,
 		KeepRounds:  c.KeepRounds,
 		Checkpoints: append([]int(nil), c.Checkpoints...),
+		Observer:    coreObserver(c.Observer),
 	}
 	if c.CollectData {
 		sensor, err := aggregate.NewSensor(0.05, 2, src.Split(0xda7a))
@@ -439,6 +482,25 @@ type Result struct {
 	PerSellerProfit []float64    // cumulative profit per seller over the run
 	PerRound        []Round      // populated with Config.KeepRounds
 	Checkpoints     []Checkpoint // populated with Config.Checkpoints
+}
+
+// coreObserver adapts a public RoundObserver to the internal hook.
+// A nil observer maps to nil, keeping the unobserved hot path a
+// single nil check.
+func coreObserver(obs RoundObserver) core.RoundObserver {
+	if obs == nil {
+		return nil
+	}
+	return func(ev *core.RoundEvent) {
+		obs(&RoundEvent{
+			Round:           publicRound(ev.Record),
+			UCB:             ev.UCB,
+			FailedSellers:   ev.Failed,
+			Regret:          ev.Regret,
+			ExpectedRevenue: ev.ExpectedRevenue,
+			ConsumerSpend:   ev.ConsumerSpend,
+		})
+	}
 }
 
 // publicRound converts an internal round record (NaN-bearing fields

@@ -1,10 +1,15 @@
 // Command cdt-server runs the CDT broker as an HTTP/JSON service.
 //
-//	cdt-server -addr :8080 [-state-dir /var/lib/cdt]
+//	cdt-server -addr :8080 [-state-dir /var/lib/cdt] [-debug-addr :6060]
 //
 // With -state-dir set, jobs are snapshotted to disk on graceful
 // shutdown (SIGINT/SIGTERM) and on POST /v1/jobs/{id}/snapshot, and
 // reloaded at the persisted round on the next start.
+//
+// Prometheus metrics are served at GET /metrics on the main address.
+// With -debug-addr set, a second listener additionally serves
+// net/http/pprof profiles (and /metrics again) on a separate port that
+// can stay firewalled off from the public API.
 //
 // Example session:
 //
@@ -15,6 +20,7 @@
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s -X POST localhost:8080/v1/game/solve \
 //	     -d '{"sellers":[{"a":0.2,"b":0.1,"q":0.9},{"a":0.3,"b":0.2,"q":0.7}]}'
+//	curl -s localhost:8080/metrics | grep cdt_http_requests_total
 package main
 
 import (
@@ -22,12 +28,30 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cmabhs/internal/metrics"
 	"cmabhs/internal/server"
 )
+
+// debugHandler builds the -debug-addr mux: pprof profiles plus the
+// same metrics registry the main listener serves.
+func debugHandler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	return mux
+}
 
 func main() {
 	var (
@@ -39,6 +63,7 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline; advances return partial progress at expiry (0: none)")
 		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum request body size in bytes (413 past this)")
 		shedAfter   = flag.Duration("shed-retry-after", time.Second, "Retry-After hint sent with 429 when the advance pool is saturated")
+		debugAddr   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof and /metrics (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -61,6 +86,20 @@ func main() {
 		if ids, err := store.List(); err == nil && len(ids) > 0 {
 			log.Printf("cdt-server reloaded %d job(s) from %s: %v", len(ids), *stateDir, ids)
 		}
+	}
+
+	if *debugAddr != "" {
+		ds := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugHandler(srv.Metrics()),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("cdt-server debug listener (pprof, metrics) on %s", *debugAddr)
+			if err := ds.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{

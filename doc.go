@@ -23,13 +23,22 @@
 //	res, err := cmabhs.Run(cfg)
 //	// res.Regret, res.RealizedRevenue, res.AvgConsumerProfit(), ...
 //
-// Long runs are cancellable: RunContext and Session.AdvanceContext
-// accept a context.Context and check it between rounds. A cancelled
-// run is not an error — it returns the rounds completed so far with
-// Result.Stopped (or the Advance.Stopped reason) set to
-// StoppedCanceled, and a Session stays resumable afterwards. Run,
-// Session.Step, and Session.StepN are the background-context
-// wrappers.
+// RunContext and Session.AdvanceContext are the CANONICAL execution
+// entry points: they accept a context.Context and check it between
+// rounds, so every long run is cancellable. A cancelled run is not an
+// error — it returns the rounds completed so far with Result.Stopped
+// (or the Advance.Stopped reason) set to StoppedCanceled, and a
+// Session stays resumable afterwards. Run and Session.Advance are
+// one-line wrappers over their context forms with
+// context.Background(); prefer the context forms anywhere
+// cancellation, deadlines, or request scoping exist.
+//
+// Runs are observable without being perturbed: Config.Observer (or
+// Session.Observe) attaches a RoundObserver that receives a
+// RoundEvent after every trading round — selection, UCB indices,
+// equilibrium prices, profits, cumulative regret, and fault events.
+// Observers are strictly passive: an observed run is bit-identical to
+// an unobserved one.
 //
 // Single rounds of the pricing game can be solved directly with
 // SolveGame, and synthetic mobility traces in the style of the

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cmabhs"
+	"cmabhs/internal/bandit"
+	"cmabhs/internal/core"
+)
+
+// TestObserverBitIdentityUnderFaults is the observer passivity
+// contract checked against the chaos harness: a mechanism running
+// with every fault model active and a RoundObserver attached must
+// stay bit-identical — cumulative metrics, estimates, AND encoded
+// snapshots at every round boundary — to the same run unobserved.
+func TestObserverBitIdentityUnderFaults(t *testing.T) {
+	s := Scenario{M: 10, K: 3, Rounds: 60, Seed: 11, Faults: allFaults(101)}
+
+	ctrl, err := core.NewMechanism(s.Config(), bandit.UCBGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	var events []core.RoundEvent
+	var failedTotal int
+	cfg.Observer = func(ev *core.RoundEvent) {
+		failedTotal += len(ev.Failed)
+		cp := *ev
+		cp.UCB = append([]float64(nil), ev.UCB...) // events are borrowed
+		events = append(events, cp)
+	}
+	obs, err := core.NewMechanism(cfg, bandit.UCBGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for !ctrl.Done() {
+		if _, err := ctrl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.Step(); err != nil {
+			t.Fatal(err)
+		}
+		a, err := ctrl.Snapshot().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := obs.Snapshot().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("snapshots diverged after round %d:\nctrl %s\nobs  %s", ctrl.Round()-1, a, b)
+		}
+	}
+	if !obs.Done() {
+		t.Fatal("observed run fell behind the control")
+	}
+	if err := Equivalent(ctrl.Result(), obs.Result()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream itself must be coherent: one event per played round,
+	// UCB indices absent only for the initial exploration, and the
+	// lossy channel must actually have produced fault events —
+	// otherwise the identity check above proved too little.
+	if len(events) != ctrl.Result().RoundsPlayed {
+		t.Fatalf("%d events for %d rounds", len(events), ctrl.Result().RoundsPlayed)
+	}
+	for i, ev := range events {
+		if ev.Round != i+1 {
+			t.Fatalf("event %d carries round %d", i, ev.Round)
+		}
+		if i == 0 && ev.UCB != nil {
+			t.Fatal("round 1 exploration should carry no UCB indices")
+		}
+		if i > 0 && len(ev.UCB) != s.M {
+			t.Fatalf("round %d carries %d UCB indices, want %d", ev.Round, len(ev.UCB), s.M)
+		}
+	}
+	if failedTotal == 0 {
+		t.Fatal("kitchen-sink channel produced no fault events; scenario too tame")
+	}
+	last := events[len(events)-1]
+	if last.Regret <= 0 || last.ExpectedRevenue <= 0 || last.ConsumerSpend <= 0 {
+		t.Fatalf("final cumulative event not populated: %+v", last)
+	}
+}
+
+// TestObserverBitIdentityPublicSession checks the same contract one
+// layer up: a cmabhs.Session with an observer attached produces the
+// same Result and the same Save bytes as an unobserved one, and a
+// resumed session re-instrumented via Observe keeps both properties.
+func TestObserverBitIdentityPublicSession(t *testing.T) {
+	mk := func() cmabhs.Config {
+		cfg := cmabhs.RandomConfig(8, 3, 40, 3)
+		cfg.Faults = &cmabhs.FaultConfig{
+			Channel:   cmabhs.ChannelFaults{GoodToBad: 0.1, BadToGood: 0.5, LossBad: 0.7},
+			Byzantine: cmabhs.ByzantineFaults{Fraction: 0.3},
+		}
+		return cfg
+	}
+
+	ctrl, err := cmabhs.NewSession(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsCfg := mk()
+	events := 0
+	obsCfg.Observer = func(ev *cmabhs.RoundEvent) {
+		events++
+		if ev.Round.Round > 1 {
+			for _, u := range ev.UCB {
+				if !math.IsNaN(u) && u < 0 {
+					t.Errorf("negative UCB index %g in round %d", u, ev.Round.Round)
+				}
+			}
+		}
+	}
+	sess, err := cmabhs.NewSession(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ctrl.Advance(15); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Advance(15); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctrl.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("Save bytes diverged with an observer attached:\nctrl %s\nobs  %s", a, b)
+	}
+
+	// Resume the observed arm from its snapshot and re-instrument it.
+	resumed, err := cmabhs.ResumeSession(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Observe(func(ev *cmabhs.RoundEvent) { events++ })
+	if _, err := ctrl.Advance(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Advance(0); err != nil {
+		t.Fatal(err)
+	}
+	ref, got := ctrl.Result(), resumed.Result()
+	if got.RealizedRevenue != ref.RealizedRevenue || got.Regret != ref.Regret ||
+		got.ConsumerProfit != ref.ConsumerProfit || got.ConsumerSpend != ref.ConsumerSpend ||
+		got.Rounds != ref.Rounds {
+		t.Fatalf("observed resumed run diverged:\nobs  %+v\nctrl %+v", got, ref)
+	}
+	if events != ref.Rounds {
+		t.Fatalf("observer saw %d events over %d rounds", events, ref.Rounds)
+	}
+}

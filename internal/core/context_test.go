@@ -44,8 +44,8 @@ func TestAdvanceContextAlreadyCancelled(t *testing.T) {
 func TestAdvanceContextMidRunCancellation(t *testing.T) {
 	cfg, _ := testConfig(t, 10, 3, 50, 5, 1)
 	ctx, cancel := context.WithCancel(context.Background())
-	cfg.Observer = func(r *RoundRecord) {
-		if r.Round == 3 {
+	cfg.Observer = func(ev *RoundEvent) {
+		if ev.Round == 3 {
 			cancel()
 		}
 	}
@@ -71,8 +71,8 @@ func TestAdvanceContextMidRunCancellation(t *testing.T) {
 func TestRunContextPartialResult(t *testing.T) {
 	cfg, _ := testConfig(t, 10, 3, 1000, 5, 1)
 	ctx, cancel := context.WithCancel(context.Background())
-	cfg.Observer = func(r *RoundRecord) {
-		if r.Round == 7 {
+	cfg.Observer = func(ev *RoundEvent) {
+		if ev.Round == 7 {
 			cancel()
 		}
 	}

@@ -90,9 +90,52 @@ type Config struct {
 	// mechanism keeps this false.
 	ColdStart bool
 
-	KeepRounds  bool               // retain every RoundRecord in the result
-	Checkpoints []int              // rounds at which to snapshot cumulative metrics (ascending)
-	Observer    func(*RoundRecord) // optional per-round hook; the record is borrowed
+	KeepRounds  bool          // retain every RoundRecord in the result
+	Checkpoints []int         // rounds at which to snapshot cumulative metrics (ascending)
+	Observer    RoundObserver // optional per-round hook; see RoundObserver
+}
+
+// RoundObserver receives one RoundEvent after every completed trading
+// round. Observers are strictly passive: attaching one never changes
+// the mechanism's decisions, accounting, random streams, or snapshots
+// — a run with an observer is bit-identical to the same run without
+// one (the chaos harness asserts this). The event and every slice it
+// references are BORROWED: valid only for the duration of the call,
+// to be copied if retained. Observers run synchronously on the
+// mechanism's goroutine, so a slow observer slows the run — ship data
+// out through a channel or atomic sink if that matters.
+type RoundObserver func(*RoundEvent)
+
+// RoundEvent is the per-round observation delivered to a
+// RoundObserver: the full round record (selection, equilibrium prices,
+// sensing times, profits) plus the learning-dynamics context that is
+// not part of any one record — the bandit indices that drove the
+// selection, cumulative regret against the offline oracle, and the
+// round's fault events.
+type RoundEvent struct {
+	Round  int          // 1-based round index, == Record.Round
+	Record *RoundRecord // the round just played (borrowed)
+
+	// UCB holds each seller's extended-UCB index (Eq. 19) as it stood
+	// when this round's selection was made — the exact scores a
+	// UCB-greedy policy ranked, and a diagnostic for every other
+	// policy. Indexed by seller id; departed sellers hold NaN. Nil for
+	// the initial full-exploration round (no estimates exist yet).
+	UCB []float64
+
+	// Failed lists the sellers that were selected but delivered no
+	// data this round — the per-round fault events (channel loss,
+	// straggler past the deadline). Empty on clean rounds.
+	Failed []int
+
+	// Regret and ExpectedRevenue are the cumulative learning metrics
+	// after this round (regret vs the offline optimal selection).
+	Regret          float64
+	ExpectedRevenue float64
+
+	// ConsumerSpend is the cumulative reward paid out after this
+	// round — the budget-tracking view.
+	ConsumerSpend float64
 }
 
 // Validate checks the configuration.
@@ -229,6 +272,11 @@ type Mechanism struct {
 	dynTrack *bandit.DynamicRegret // dynamic-oracle regret accumulator
 	dynNow   []float64             // scratch: expectations at the current round
 
+	// Observer scratch, populated per round only when an observer is
+	// attached. Reads only — never feeds back into the mechanism.
+	obsUCB    []float64 // selection-time UCB indices, indexed by seller
+	obsFailed []int     // sellers selected this round that failed to deliver
+
 	next    int // next round to play, 1-based
 	stopped string
 }
@@ -300,6 +348,12 @@ func (m *Mechanism) Arms() *bandit.Arms { return m.arms }
 // Market exposes the underlying market (ledger inspection etc.).
 func (m *Mechanism) Market() *market.Market { return m.mkt }
 
+// SetObserver attaches (or, with nil, clears) the per-round observer
+// on a live mechanism. Resumed mechanisms need this: observers are
+// code, not state, so they never travel in a snapshot. Takes effect
+// from the next Step.
+func (m *Mechanism) SetObserver(obs RoundObserver) { m.cfg.Observer = obs }
+
 // Step plays the next trading round and returns its record. When the
 // run is already done it returns (nil, nil).
 func (m *Mechanism) Step() (*RoundRecord, error) {
@@ -343,7 +397,15 @@ func (m *Mechanism) account(rec *RoundRecord) {
 	}
 	m.res.RoundsPlayed++
 	if m.cfg.Observer != nil {
-		m.cfg.Observer(rec)
+		m.cfg.Observer(&RoundEvent{
+			Round:           rec.Round,
+			Record:          rec,
+			UCB:             m.obsUCB,
+			Failed:          m.obsFailed,
+			Regret:          m.tracker.Regret(),
+			ExpectedRevenue: m.tracker.ExpectedRevenue(),
+			ConsumerSpend:   m.spend.Sum(),
+		})
 	}
 	if m.cfg.KeepRounds {
 		m.res.Rounds = append(m.res.Rounds, *rec)
@@ -373,12 +435,15 @@ func (m *Mechanism) exploreRound() (*RoundRecord, error) {
 	total := float64(len(all)) * tau0
 	pJ := m.cfg.Market.PJBounds.Clamp(price + m.cfg.Market.Platform.Theta*total + m.cfg.Market.Platform.Lambda)
 
+	m.obsUCB = nil // no estimates exist before the first round
+	m.obsFailed = m.obsFailed[:0]
 	obs := m.mkt.Collect(1, all)
 	var roundRealized float64
 	delivered := make([]int, 0, len(all))
 	taus := make([]float64, len(all))
 	for j, i := range all {
 		if obs[j] == nil {
+			m.obsFailed = append(m.obsFailed, i)
 			continue // transient delivery failure: no data, no pay
 		}
 		taus[j] = tau0
@@ -433,6 +498,21 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 		m.stopped = "no active sellers"
 		return nil, nil
 	}
+	if m.cfg.Observer != nil {
+		// Snapshot the Eq. 19 indices the selection is about to rank.
+		// Pure reads of the estimator state: computing them perturbs
+		// nothing, and they are skipped entirely without an observer.
+		if len(m.obsUCB) != m.cfg.Market.M() {
+			m.obsUCB = make([]float64, m.cfg.Market.M())
+		}
+		for i := range m.obsUCB {
+			if m.arms.Active(i) {
+				m.obsUCB[i] = m.arms.UCB(i, k)
+			} else {
+				m.obsUCB[i] = math.NaN()
+			}
+		}
+	}
 	selected := m.policy.SelectK(t, m.arms, k)
 
 	params := m.mkt.GameParams(selected, m.arms.Means(), m.cfg.minQ())
@@ -440,6 +520,7 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: round %d game: %w", t, err)
 	}
+	m.obsFailed = m.obsFailed[:0]
 	obs := m.mkt.Collect(t, selected)
 	var roundRealized float64
 	delivered := make([]int, 0, len(selected))
@@ -447,6 +528,7 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 	for j, i := range selected {
 		if obs[j] == nil {
 			anyFailed = true
+			m.obsFailed = append(m.obsFailed, i)
 			continue // transient delivery failure: no data, no pay
 		}
 		delivered = append(delivered, i)

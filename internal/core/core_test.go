@@ -191,7 +191,7 @@ func TestRunLedgerConservation(t *testing.T) {
 	// Run needs access to the market to check the ledger; use the
 	// observer to count and rebuild the market via the public pieces.
 	var poCSum float64
-	cfg.Observer = func(r *RoundRecord) { poCSum += r.PoC }
+	cfg.Observer = func(ev *RoundEvent) { poCSum += ev.Record.PoC }
 	res, err := Run(cfg, bandit.UCBGreedy{})
 	if err != nil {
 		t.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // TaskError records the failure of one task in a batch, preserving
@@ -139,8 +140,13 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 // Pool is a reusable concurrency cap for long-lived services: a
 // counting semaphore whose Acquire honors context cancellation while
 // waiting. The zero value is not usable; create with NewPool.
+//
+// A Pool is self-describing for telemetry: Cap, InUse, and Waiting
+// expose capacity, active holders, and queue depth, so a metrics
+// layer can scrape it without shadow accounting.
 type Pool struct {
-	slots chan struct{}
+	slots   chan struct{}
+	waiting atomic.Int64
 }
 
 // NewPool returns a pool admitting up to capacity concurrent holders;
@@ -163,6 +169,8 @@ func (p *Pool) Acquire(ctx context.Context) error {
 		return nil
 	default:
 	}
+	p.waiting.Add(1)
+	defer p.waiting.Add(-1)
 	select {
 	case p.slots <- struct{}{}:
 		return nil
@@ -207,3 +215,8 @@ func (p *Pool) Cap() int { return cap(p.slots) }
 
 // InUse returns how many slots are currently held.
 func (p *Pool) InUse() int { return len(p.slots) }
+
+// Waiting returns how many Acquire calls are currently blocked on a
+// full pool — the queue depth behind the semaphore. TryAcquire
+// rejections never count: load shedding keeps the queue at zero.
+func (p *Pool) Waiting() int { return int(p.waiting.Load()) }

@@ -263,3 +263,52 @@ func TestPoolReleaseWithoutAcquirePanics(t *testing.T) {
 	}()
 	NewPool(1).Release()
 }
+
+func TestPoolWaitingCountsQueuedAcquires(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Waiting() != 0 {
+		t.Fatalf("fresh pool reports %d waiting", p.Waiting())
+	}
+
+	const queued = 3
+	var started, done sync.WaitGroup
+	started.Add(queued)
+	done.Add(queued)
+	for i := 0; i < queued; i++ {
+		go func() {
+			defer done.Done()
+			started.Done()
+			if err := p.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Release()
+		}()
+	}
+	started.Wait()
+	// Wait for every goroutine to actually park on the full pool.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Waiting() != queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiting %d, want %d", p.Waiting(), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// TryAcquire rejections never queue.
+	if p.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on a full pool")
+	}
+	if p.Waiting() != queued {
+		t.Fatalf("TryAcquire changed Waiting to %d", p.Waiting())
+	}
+
+	p.Release()
+	done.Wait()
+	if p.Waiting() != 0 {
+		t.Fatalf("drained pool reports %d waiting", p.Waiting())
+	}
+}

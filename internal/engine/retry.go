@@ -32,6 +32,12 @@ type RetryPolicy struct {
 	// (default 0: attempts inherit ctx's deadline unchanged).
 	AttemptTimeout time.Duration
 
+	// OnAttempt, if non-nil, is called after every attempt with its
+	// 1-based number and outcome (nil on success). It is the metrics
+	// hook — a broker counts attempts and failures through it — and
+	// must not block: it runs on the retry loop's goroutine.
+	OnAttempt func(attempt int, err error)
+
 	// Sleep replaces the inter-attempt wait (tests inject instant
 	// clocks). It must honor ctx. Default: time.Timer based wait.
 	Sleep func(ctx context.Context, d time.Duration) error
@@ -176,6 +182,9 @@ func Retry(ctx context.Context, policy RetryPolicy, fn func(ctx context.Context)
 		}
 		err := fn(attemptCtx)
 		cancel()
+		if policy.OnAttempt != nil {
+			policy.OnAttempt(a, err)
+		}
 		if err == nil {
 			return nil
 		}

@@ -148,3 +148,44 @@ func TestPermanentNil(t *testing.T) {
 		t.Fatal("Permanent(nil) should stay nil")
 	}
 }
+
+func TestRetryOnAttemptHook(t *testing.T) {
+	type call struct {
+		attempt int
+		failed  bool
+	}
+	var calls []call
+	p := instantPolicy(5, nil)
+	p.OnAttempt = func(attempt int, err error) {
+		calls = append(calls, call{attempt, err != nil})
+	}
+	n := 0
+	err := Retry(context.Background(), p, func(ctx context.Context) error {
+		n++
+		if n < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	want := []call{{1, true}, {2, true}, {3, false}}
+	if len(calls) != len(want) {
+		t.Fatalf("hook saw %d calls, want %d", len(calls), len(want))
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook call %d = %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+
+	// The hook also sees attempts cut short by Permanent.
+	calls = nil
+	_ = Retry(context.Background(), p, func(ctx context.Context) error {
+		return Permanent(errors.New("never"))
+	})
+	if len(calls) != 1 || !calls[0].failed {
+		t.Fatalf("hook around Permanent: %+v", calls)
+	}
+}

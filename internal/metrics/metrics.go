@@ -1,0 +1,418 @@
+// Package metrics is the dependency-free observability core of the
+// CDT stack: named counters, gauges, and fixed-bucket histograms with
+// lock-free hot paths, collected in a Registry that exposes them in
+// Prometheus text format (WritePrometheus) and as a flat snapshot for
+// tests (Snapshot).
+//
+// Design rules:
+//
+//   - Recording is wait-free: Counter.Add, Gauge.Set, and
+//     Histogram.Observe touch only atomics, never the registry lock.
+//     The registry lock is taken only when a series is first resolved
+//     (Counter/Gauge/Histogram lookups) and at scrape time.
+//   - Registration is idempotent: asking for the same name + label set
+//     returns the same instrument, so call sites never coordinate.
+//     Re-registering a name with a different kind or bucket layout
+//     panics — that is a programming error, not a runtime condition.
+//   - The exposition is deterministic: families are sorted by name and
+//     series by label signature, so scrapes (and golden tests) are
+//     stable.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bucket edges (le semantics); an implicit +Inf bucket catches the
+// rest. Observations also accumulate into a sum, so rate(sum)/rate
+// (count) yields a mean.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    Gauge           // CAS-added float sum
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Cumulative returns the cumulative bucket counts in bound order with
+// the +Inf bucket last — exactly the le series of the exposition, so
+// tests can assert monotonicity directly.
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+// DefLatencyBuckets is the default latency histogram layout, in
+// seconds: half a millisecond through 10 s, roughly logarithmic.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels []Label
+	sig    string // rendered {a="b",...} signature, "" when unlabeled
+
+	c  *Counter
+	g  *Gauge
+	fn func() float64
+	h  *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name, help string
+	kind       kind
+	buckets    []float64 // histograms only
+	series     map[string]*series
+}
+
+// Registry collects instruments. The zero value is not usable; create
+// with New. A Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under name with the given
+// labels, creating it on first use. help is recorded on first
+// registration of the family.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.resolve(name, help, kindCounter, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge registered under name with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.resolve(name, help, kindGauge, nil, labels)
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time — for values another component already tracks (pool occupancy,
+// live-job counts) that would otherwise need shadow accounting.
+// Re-registering the same series replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.resolve(name, help, kindGaugeFunc, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels. buckets are ascending upper bounds; nil means
+// DefLatencyBuckets. Every series of one family shares the first
+// registration's bucket layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	s := r.resolve(name, help, kindHistogram, buckets, labels)
+	return s.h
+}
+
+// resolve finds or creates the (family, series) pair.
+func (r *Registry) resolve(name, help string, k kind, buckets []float64, labels []Label) *series {
+	mustValidName(name)
+	for _, l := range labels {
+		mustValidLabel(l.Name)
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		if k == kindHistogram {
+			f.buckets = validBuckets(name, buckets)
+		}
+		r.families[name] = f
+	}
+	// GaugeFunc and Gauge share an exposition type; everything else
+	// must re-register as what it was.
+	sameKind := f.kind == k ||
+		(f.kind == kindGauge && k == kindGaugeFunc) || (f.kind == kindGaugeFunc && k == kindGauge)
+	if !sameKind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, k, f.kind))
+	}
+	if k == kindHistogram && !equalBuckets(f.buckets, buckets) {
+		panic(fmt.Sprintf("metrics: %s re-registered with different buckets", name))
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...), sig: sig}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge, kindGaugeFunc:
+			s.g = &Gauge{}
+		case kindHistogram:
+			h := &Histogram{bounds: f.buckets}
+			h.counts = make([]atomic.Uint64, len(f.buckets)+1)
+			s.h = h
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// value returns the series' instantaneous scalar (counters and
+// gauges; histograms are expanded by the caller).
+func (s *series) value() float64 {
+	switch {
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.fn != nil:
+		return s.fn()
+	default:
+		return s.g.Value()
+	}
+}
+
+// Snapshot flattens every series into name{labels} → value, with
+// histograms expanded exactly like the exposition: name_bucket{le=...}
+// cumulative counts, name_sum, and name_count. It is the test-facing
+// read API.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			if f.kind != kindHistogram {
+				out[f.name+s.sig] = s.value()
+				continue
+			}
+			cum := s.h.Cumulative()
+			for i, b := range f.buckets {
+				out[f.name+"_bucket"+withLabel(s.labels, "le", formatFloat(b))] = float64(cum[i])
+			}
+			out[f.name+"_bucket"+withLabel(s.labels, "le", "+Inf")] = float64(cum[len(cum)-1])
+			out[f.name+"_sum"+s.sig] = s.h.Sum()
+			out[f.name+"_count"+s.sig] = float64(s.h.Count())
+		}
+	}
+	return out
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+	return out
+}
+
+// labelSignature renders the {a="b",c="d"} suffix, labels sorted by
+// name, values escaped. Empty for no labels.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel renders the signature of labels plus one extra pair (the
+// histogram le label).
+func withLabel(labels []Label, name, value string) string {
+	extra := append(append([]Label(nil), labels...), Label{Name: name, Value: value})
+	return labelSignature(extra)
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// mustValidName enforces the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func mustValidName(name string) {
+	if !validName(name, true) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+}
+
+// mustValidLabel enforces the label-name charset [a-zA-Z_][a-zA-Z0-9_]*.
+func mustValidLabel(name string) {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", name))
+	}
+}
+
+func validName(name string, allowColon bool) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c == ':' && allowColon:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %s with no buckets", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not strictly ascending", name))
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1], 1) {
+		buckets = buckets[:len(buckets)-1] // +Inf is implicit
+	}
+	return append([]float64(nil), buckets...)
+}
+
+func equalBuckets(a, b []float64) bool {
+	if math.IsInf(b[len(b)-1], 1) {
+		b = b[:len(b)-1]
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

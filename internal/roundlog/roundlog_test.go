@@ -45,8 +45,8 @@ func runWithJournal(t *testing.T) (*bytes.Buffer, *core.Result) {
 			Quality:  model,
 		},
 		K: 3,
-		Observer: func(rec *core.RoundRecord) {
-			if err := w.Append(rec); err != nil {
+		Observer: func(ev *core.RoundEvent) {
+			if err := w.Append(ev.Record); err != nil {
 				t.Fatal(err)
 			}
 		},

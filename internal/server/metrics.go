@@ -1,0 +1,186 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmabhs/internal/metrics"
+)
+
+// This file wires the broker into the metrics registry. Conventions
+// (documented in DESIGN.md §11):
+//
+//   - every metric is prefixed cdt_; durations are histograms in
+//     seconds with a _seconds suffix, counts are _total counters;
+//   - HTTP series carry a route label holding the route PATTERN
+//     ("/v1/jobs/{id}/advance"), never the raw path — ids must not
+//     explode cardinality;
+//   - values another component already tracks (pool occupancy, live
+//     jobs) are GaugeFuncs read at scrape time, not shadow counters.
+
+// metricNames used by the middleware hot path.
+const (
+	mnRequests   = "cdt_http_requests_total"
+	mnLatency    = "cdt_http_request_seconds"
+	mnInFlight   = "cdt_http_in_flight"
+	mnShed       = "cdt_http_shed_total"
+	mnBodyReject = "cdt_http_body_reject_total"
+	mnPanics     = "cdt_http_panics_total"
+)
+
+// routes is the fixed route-pattern universe; routeOf maps every
+// request into it.
+var routes = []string{
+	"/v1/healthz",
+	"/v1/jobs",
+	"/v1/jobs/{id}",
+	"/v1/jobs/{id}/advance",
+	"/v1/jobs/{id}/snapshot",
+	"/v1/jobs/{id}/estimates",
+	"/v1/game/solve",
+	"/v1/stats",
+	"/metrics",
+	"other",
+}
+
+// routeOf normalizes a request path to its route pattern.
+func routeOf(path string) string {
+	switch path {
+	case "/v1/healthz", "/v1/jobs", "/v1/game/solve", "/v1/stats", "/metrics":
+		return path
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/jobs/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch rest[i+1:] {
+			case "advance":
+				return "/v1/jobs/{id}/advance"
+			case "snapshot":
+				return "/v1/jobs/{id}/snapshot"
+			case "estimates":
+				return "/v1/jobs/{id}/estimates"
+			}
+			return "other"
+		}
+		return "/v1/jobs/{id}"
+	}
+	return "other"
+}
+
+// serverMetrics holds the pre-resolved instruments of the broker's
+// hot paths; everything else resolves through the registry on demand.
+type serverMetrics struct {
+	reg      *metrics.Registry
+	inFlight *metrics.Gauge
+	latency  map[string]*metrics.Histogram // by route pattern
+
+	shed       *metrics.Counter
+	bodyReject *metrics.Counter
+	panics     *metrics.Counter
+
+	jobsCreated    *metrics.Counter
+	roundsAdvanced *metrics.Counter
+	gamesSolved    *metrics.Counter
+
+	retryAttempts *metrics.Counter
+	retryFailures *metrics.Counter
+}
+
+// Metrics returns the broker's metrics registry, building and
+// instrumenting it on first use. Set the Registry field before
+// serving to scrape broker metrics into an existing registry.
+func (s *Server) Metrics() *metrics.Registry {
+	s.metricsOnce.Do(func() {
+		reg := s.Registry
+		if reg == nil {
+			reg = metrics.New()
+		}
+		m := &serverMetrics{
+			reg:      reg,
+			inFlight: reg.Gauge(mnInFlight, "HTTP requests currently being served."),
+			latency:  make(map[string]*metrics.Histogram, len(routes)),
+			shed: reg.Counter(mnShed,
+				"Advance requests shed with 429 because the advance pool was saturated."),
+			bodyReject: reg.Counter(mnBodyReject,
+				"Requests rejected with 413 because the body exceeded MaxBodyBytes."),
+			panics: reg.Counter(mnPanics,
+				"Handler panics recovered into a 500 response."),
+			jobsCreated:    reg.Counter("cdt_jobs_created_total", "Trading jobs created."),
+			roundsAdvanced: reg.Counter("cdt_rounds_advanced_total", "Trading rounds played across all jobs."),
+			gamesSolved:    reg.Counter("cdt_games_solved_total", "Stateless game solves served."),
+			retryAttempts:  reg.Counter("cdt_store_retry_attempts_total", "State-store write attempts."),
+			retryFailures:  reg.Counter("cdt_store_retry_failures_total", "Failed state-store write attempts."),
+		}
+		for _, rt := range routes {
+			m.latency[rt] = reg.Histogram(mnLatency,
+				"HTTP request latency in seconds, by route pattern.", nil, metrics.L("route", rt))
+		}
+		reg.GaugeFunc("cdt_jobs_live", "Live trading jobs.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+		reg.GaugeFunc("cdt_advance_pool_capacity", "Advance worker-pool capacity.",
+			func() float64 { return float64(s.pool().Cap()) })
+		reg.GaugeFunc("cdt_advance_pool_active", "Advance calls executing right now.",
+			func() float64 { return float64(s.pool().InUse()) })
+		reg.GaugeFunc("cdt_advance_pool_waiting", "Acquire calls queued behind a full advance pool.",
+			func() float64 { return float64(s.pool().Waiting()) })
+		s.metrics = m
+	})
+	return s.metrics.reg
+}
+
+// met returns the instrumented sink, initializing on first use.
+func (s *Server) met() *serverMetrics {
+	s.Metrics()
+	return s.metrics
+}
+
+// withMetrics is the outermost middleware: it times every request,
+// counts it by route pattern, method, and final status code, and
+// tracks the in-flight gauge. It installs the statusWriter the inner
+// layers (panic recovery) reuse.
+func (s *Server) withMetrics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.met()
+		route := routeOf(r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		m.inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			m.inFlight.Add(-1)
+			if h, ok := m.latency[route]; ok {
+				h.Observe(time.Since(start).Seconds())
+			}
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK // implicit 200 on first Write
+			}
+			m.reg.Counter(mnRequests, "HTTP requests served, by route pattern, method, and status.",
+				metrics.L("route", route),
+				metrics.L("method", r.Method),
+				metrics.L("code", strconv.Itoa(code))).Inc()
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_ = s.Metrics().WritePrometheus(w)
+}
+
+// jobRounds returns the per-job rounds counter. Job-labeled series
+// are bounded by MaxJobs and persist after a job is deleted (a scrape
+// between delete and restart still sees the totals).
+func (s *Server) jobRounds(id string) *metrics.Counter {
+	return s.met().reg.Counter("cdt_job_rounds_total",
+		"Trading rounds played, per job.", metrics.L("job", id))
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cmabhs/internal/metrics"
+)
+
+// scrape fetches GET /metrics through the full middleware chain and
+// returns the exposition body.
+func scrape(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scrape status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("scrape content type %q, want %q", ct, metrics.ContentType)
+	}
+	return rec.Body.String()
+}
+
+// TestMetricsEndpoint drives real traffic through the broker and
+// checks the scrape reflects it: request counters by route and code,
+// monotone cumulative latency buckets, and the service-level counters.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	st := createJob(t, h)
+	if code, adv := advance(t, h, nil, st.ID, 5); code != http.StatusOK || len(adv.Played) != 5 {
+		t.Fatalf("advance: %d", code)
+	}
+	body := scrape(t, h)
+
+	for _, want := range []string{
+		`cdt_http_requests_total{code="201",method="POST",route="/v1/jobs"} 1`,
+		`cdt_http_requests_total{code="200",method="POST",route="/v1/jobs/{id}/advance"} 1`,
+		`cdt_jobs_created_total 1`,
+		`cdt_rounds_advanced_total 5`,
+		`cdt_job_rounds_total{job="` + st.ID + `"} 5`,
+		`cdt_jobs_live 1`,
+		`cdt_advance_pool_active 0`,
+		`cdt_http_in_flight 1`, // the scrape request itself
+		"# TYPE cdt_http_request_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The advance route's latency histogram saw exactly one observation
+	// and its cumulative buckets are monotone.
+	snap := s.Metrics().Snapshot()
+	if n := snap[`cdt_http_request_seconds_count{route="/v1/jobs/{id}/advance"}`]; n != 1 {
+		t.Fatalf("advance latency count %v, want 1", n)
+	}
+	prev := 0.0
+	for _, b := range metrics.DefLatencyBuckets {
+		key := `cdt_http_request_seconds_bucket{le="` + trimFloat(b) + `",route="/v1/jobs/{id}/advance"}`
+		v, ok := snap[key]
+		if !ok {
+			t.Fatalf("missing bucket series %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %v below previous %v: not cumulative", key, v, prev)
+		}
+		prev = v
+	}
+	if inf := snap[`cdt_http_request_seconds_bucket{le="+Inf",route="/v1/jobs/{id}/advance"}`]; inf != 1 {
+		t.Fatalf("+Inf bucket %v, want 1", inf)
+	}
+}
+
+// trimFloat renders a bucket bound the way the snapshot keys do.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// TestShedCounterAndEnvelope saturates the advance pool and checks the
+// shed path end to end: 429 with the structured "saturated" envelope
+// (retry hint mirrored into the body) and the shed counter advancing.
+func TestShedCounterAndEnvelope(t *testing.T) {
+	s := New()
+	s.MaxConcurrentAdvances = 1
+	h := s.Handler()
+	st := createJob(t, h)
+
+	if err := s.pool().Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool().Release()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs/"+st.ID+"/advance", strings.NewReader(`{"rounds":5}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated advance status %d, want 429", rec.Code)
+	}
+	var out ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error.Code != "saturated" || out.Error.Message == "" {
+		t.Fatalf("shed envelope %+v, want code saturated", out)
+	}
+	if out.Error.RetryAfterS <= 0 {
+		t.Fatalf("shed envelope retry_after_s %v, want > 0", out.Error.RetryAfterS)
+	}
+	if out.Message != out.Error.Message {
+		t.Fatalf("legacy message %q != error.message %q", out.Message, out.Error.Message)
+	}
+
+	snap := s.Metrics().Snapshot()
+	if v := snap["cdt_http_shed_total"]; v != 1 {
+		t.Fatalf("cdt_http_shed_total %v, want 1", v)
+	}
+	if v := snap[`cdt_http_requests_total{code="429",method="POST",route="/v1/jobs/{id}/advance"}`]; v != 1 {
+		t.Fatalf("429 request counter %v, want 1", v)
+	}
+}
+
+// TestRejectionCounters checks the middleware failure counters: 413s
+// increment the body-reject counter, recovered panics increment the
+// panic counter, and both land in the request counter with their
+// status codes.
+func TestRejectionCounters(t *testing.T) {
+	s := New()
+	s.MaxBodyBytes = 64
+	h := s.Handler()
+
+	big := `{"pad":"` + strings.Repeat("x", 256) + `"}`
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(big)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", rec.Code)
+	}
+
+	ph := s.harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("injected")
+	}))
+	rec = httptest.NewRecorder()
+	ph.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/poison", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic status %d, want 500", rec.Code)
+	}
+
+	snap := s.Metrics().Snapshot()
+	if v := snap["cdt_http_body_reject_total"]; v != 1 {
+		t.Fatalf("cdt_http_body_reject_total %v, want 1", v)
+	}
+	if v := snap["cdt_http_panics_total"]; v != 1 {
+		t.Fatalf("cdt_http_panics_total %v, want 1", v)
+	}
+	if v := snap[`cdt_http_requests_total{code="500",method="GET",route="other"}`]; v != 1 {
+		t.Fatalf("500 request counter %v, want 1", v)
+	}
+}
+
+// TestRouteOf pins the path → route-pattern normalization that bounds
+// label cardinality.
+func TestRouteOf(t *testing.T) {
+	cases := map[string]string{
+		"/v1/healthz":              "/v1/healthz",
+		"/v1/jobs":                 "/v1/jobs",
+		"/v1/jobs/job-7":           "/v1/jobs/{id}",
+		"/v1/jobs/job-7/advance":   "/v1/jobs/{id}/advance",
+		"/v1/jobs/job-7/snapshot":  "/v1/jobs/{id}/snapshot",
+		"/v1/jobs/job-7/estimates": "/v1/jobs/{id}/estimates",
+		"/v1/jobs/job-7/bogus":     "other",
+		"/v1/game/solve":           "/v1/game/solve",
+		"/v1/stats":                "/v1/stats",
+		"/metrics":                 "/metrics",
+		"/favicon.ico":             "other",
+	}
+	for path, want := range cases {
+		if got := routeOf(path); got != want {
+			t.Errorf("routeOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestJobStatusMetricsAndLinks checks the per-job wire surface: the
+// status envelope carries advance throughput and navigable links.
+func TestJobStatusMetricsAndLinks(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	st := createJob(t, h)
+	if st.Links.Self != "/v1/jobs/"+st.ID || st.Links.Snapshot != "/v1/jobs/"+st.ID+"/snapshot" || st.Links.Metrics != "/metrics" {
+		t.Fatalf("links %+v", st.Links)
+	}
+	if st.Metrics.RoundsAdvanced != 0 || st.Metrics.RoundsPerSec != 0 {
+		t.Fatalf("fresh job metrics %+v, want zeros", st.Metrics)
+	}
+
+	code, adv := advance(t, h, nil, st.ID, 20)
+	if code != http.StatusOK || len(adv.Played) != 20 {
+		t.Fatalf("advance: %d", code)
+	}
+	m := adv.Status.Metrics
+	if m.RoundsAdvanced != 20 {
+		t.Fatalf("rounds_advanced %d, want 20", m.RoundsAdvanced)
+	}
+	if m.RoundsPerSec <= 0 {
+		t.Fatalf("rounds_per_sec %v, want > 0", m.RoundsPerSec)
+	}
+	if m.LastAdvanceSeconds <= 0 {
+		t.Fatalf("last_advance_seconds %v, want > 0", m.LastAdvanceSeconds)
+	}
+}
+
+// TestSharedRegistry checks the broker instruments itself into a
+// caller-provided registry instead of a private one.
+func TestSharedRegistry(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("app_custom_total", "App-level counter.").Add(7)
+	s := New()
+	s.Registry = reg
+	h := s.Handler()
+	createJob(t, h)
+
+	body := scrape(t, h)
+	for _, want := range []string{"app_custom_total 7", "cdt_jobs_created_total 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("shared-registry exposition missing %q", want)
+		}
+	}
+}

@@ -19,14 +19,21 @@ import (
 // boundaries). Overload shedding for the advance pool lives in the
 // advance handler itself (429 + Retry-After).
 
-// statusWriter tracks whether a handler already wrote a status line,
-// so the panic recovery layer knows whether a 500 can still go out.
+// statusWriter tracks whether a handler already wrote a status line —
+// so the panic recovery layer knows whether a 500 can still go out —
+// and which code it wrote, so the metrics layer can label the request
+// counter. A Write without WriteHeader leaves code 0, which readers
+// treat as the implicit 200.
 type statusWriter struct {
 	http.ResponseWriter
 	wrote bool
+	code  int
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+	}
 	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -36,11 +43,13 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// harden wraps the raw mux with the middleware chain: body limits
-// first (cheapest rejection), then the request deadline, then panic
-// recovery innermost so it sees the handler's own frame.
+// harden wraps the raw mux with the middleware chain: metrics
+// outermost (it must observe the final status of every request,
+// including the rejections the inner layers produce), then body limits
+// (cheapest rejection), then the request deadline, then panic recovery
+// innermost so it sees the handler's own frame.
 func (s *Server) harden(h http.Handler) http.Handler {
-	return s.withBodyLimit(s.withDeadline(s.withRecovery(h)))
+	return s.withMetrics(s.withBodyLimit(s.withDeadline(s.withRecovery(h))))
 }
 
 // withRecovery converts a handler panic into a 500 response and a
@@ -50,7 +59,12 @@ func (s *Server) harden(h http.Handler) http.Handler {
 // the stdlib's own "abort this response" signal).
 func (s *Server) withRecovery(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		// The metrics layer already wrapped w; reuse its statusWriter
+		// so the recovery 500 lands in the request counter too.
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+		}
 		defer func() {
 			rec := recover()
 			if rec == nil {
@@ -59,6 +73,7 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
+			s.met().panics.Inc()
 			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 			if !sw.wrote {
 				httpError(sw, http.StatusInternalServerError, "internal error")
@@ -91,6 +106,7 @@ func (s *Server) withBodyLimit(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		limit := s.maxBodyBytes()
 		if r.ContentLength > limit {
+			s.met().bodyReject.Inc()
 			httpError(w, http.StatusRequestEntityTooLarge,
 				"request body %d bytes exceeds limit %d", r.ContentLength, limit)
 			return
@@ -112,13 +128,14 @@ func (s *Server) maxBodyBytes() int64 {
 // decodeJSON decodes a request body into v and writes the error
 // response itself on failure: 413 when the body-limit reader tripped,
 // 400 for malformed JSON. Returns false when the caller should stop.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	err := json.NewDecoder(r.Body).Decode(v)
 	if err == nil {
 		return true
 	}
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
+		s.met().bodyReject.Inc()
 		httpError(w, http.StatusRequestEntityTooLarge,
 			"request body exceeds limit %d bytes", tooBig.Limit)
 		return false

@@ -44,11 +44,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cmabhs"
 	"cmabhs/internal/engine"
+	"cmabhs/internal/metrics"
 )
 
 // JobRequest is the wire form of a market configuration.
@@ -182,7 +182,9 @@ type FaultRequest struct {
 	} `json:"byzantine,omitempty"`
 }
 
-// JobStatus is the wire form of a job's state.
+// JobStatus is the wire form of a job's state. Every endpoint that
+// reports a job — create, get, list, and the advance envelope — emits
+// this one shape.
 type JobStatus struct {
 	ID        string         `json:"id"`
 	Sellers   int            `json:"sellers"`
@@ -192,6 +194,30 @@ type JobStatus struct {
 	Done      bool           `json:"done"`
 	Stopped   string         `json:"stopped,omitempty"`
 	Result    *cmabhs.Result `json:"result"`
+	Metrics   JobMetrics     `json:"metrics"`
+	Links     JobLinks       `json:"links"`
+}
+
+// JobMetrics is the per-job throughput view embedded in JobStatus.
+// Rates cover advance-call wall time only — a job nobody advances has
+// zero elapsed time, not a decaying rate.
+type JobMetrics struct {
+	// RoundsAdvanced counts rounds played through the advance
+	// endpoint (excludes rounds replayed from a resumed snapshot).
+	RoundsAdvanced int64 `json:"rounds_advanced"`
+	// RoundsPerSec is RoundsAdvanced divided by cumulative advance
+	// wall time; 0 until the first advance completes.
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// LastAdvanceSeconds is the wall time of the most recent advance
+	// call.
+	LastAdvanceSeconds float64 `json:"last_advance_seconds"`
+}
+
+// JobLinks are the navigable relations of a job resource.
+type JobLinks struct {
+	Self     string `json:"self"`
+	Snapshot string `json:"snapshot"`
+	Metrics  string `json:"metrics"`
 }
 
 // AdvanceRequest asks to play up to Rounds more rounds.
@@ -218,10 +244,30 @@ type job struct {
 	k       int
 	horizon int
 	sess    *cmabhs.Session
+
+	// Advance telemetry, guarded by mu like the session itself.
+	roundsAdvanced int64
+	advanceTotal   time.Duration
+	lastAdvance    time.Duration
+}
+
+// recordAdvance folds one completed advance call into the job's
+// telemetry. Caller holds mu.
+func (j *job) recordAdvance(rounds int, took time.Duration) {
+	j.roundsAdvanced += int64(rounds)
+	j.advanceTotal += took
+	j.lastAdvance = took
 }
 
 func (j *job) status() JobStatus {
 	res := j.sess.Result()
+	jm := JobMetrics{
+		RoundsAdvanced:     j.roundsAdvanced,
+		LastAdvanceSeconds: j.lastAdvance.Seconds(),
+	}
+	if j.advanceTotal > 0 {
+		jm.RoundsPerSec = float64(j.roundsAdvanced) / j.advanceTotal.Seconds()
+	}
 	return JobStatus{
 		ID:        j.id,
 		Sellers:   j.m,
@@ -231,6 +277,12 @@ func (j *job) status() JobStatus {
 		Done:      j.sess.Done(),
 		Stopped:   j.sess.Stopped(),
 		Result:    res,
+		Metrics:   jm,
+		Links: JobLinks{
+			Self:     "/v1/jobs/" + j.id,
+			Snapshot: "/v1/jobs/" + j.id + "/snapshot",
+			Metrics:  "/metrics",
+		},
 	}
 }
 
@@ -270,15 +322,20 @@ type Server struct {
 	// before serving requests.
 	Store Store
 
+	// Registry, if non-nil, is the metrics registry the broker
+	// instruments itself into (set it before serving to share one
+	// registry across components); nil builds a private one. Either
+	// way the registry is served at GET /metrics and reachable via
+	// Metrics().
+	Registry *metrics.Registry
+
 	started time.Time
 
 	poolOnce sync.Once
 	advPool  *engine.Pool
 
-	// Service counters (atomic), exposed at GET /v1/stats.
-	statJobsCreated    atomic.Int64
-	statRoundsAdvanced atomic.Int64
-	statGamesSolved    atomic.Int64
+	metricsOnce sync.Once
+	metrics     *serverMetrics
 }
 
 // New returns an empty broker.
@@ -305,8 +362,8 @@ func (s *Server) pool() *engine.Pool {
 }
 
 // Handler returns the HTTP handler for the broker API, hardened with
-// panic recovery, per-request deadlines, and request-body limits (see
-// middleware.go).
+// request metrics, panic recovery, per-request deadlines, and
+// request-body limits (see middleware.go and metrics.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -314,14 +371,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/game/solve", s.handleSolveGame)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.harden(mux)
 }
 
 // saveToStore writes one snapshot through the configured retry
 // policy: transient store failures (a slow disk, a flaky network
 // filesystem) back off and retry instead of failing the request.
+// Every attempt is counted into the store-retry metrics.
 func (s *Server) saveToStore(ctx context.Context, id string, data []byte) error {
-	return engine.Retry(ctx, s.StoreRetry, func(ctx context.Context) error {
+	m := s.met()
+	pol := s.StoreRetry
+	inner := pol.OnAttempt
+	pol.OnAttempt = func(attempt int, err error) {
+		m.retryAttempts.Inc()
+		if err != nil {
+			m.retryFailures.Inc()
+		}
+		if inner != nil {
+			inner(attempt, err)
+		}
+	}
+	return engine.Retry(ctx, pol, func(ctx context.Context) error {
 		return s.Store.Save(id, data)
 	})
 }
@@ -363,21 +434,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
+// StatsResponse is the wire form of the service counters — the JSON
+// view of the same instruments GET /metrics exposes to Prometheus.
+type StatsResponse struct {
+	JobsLive        int64 `json:"jobs_live"`
+	JobsCreated     int64 `json:"jobs_created"`
+	RoundsAdvanced  int64 `json:"rounds_advanced"`
+	GamesSolved     int64 `json:"games_solved"`
+	AdvanceInflight int64 `json:"advance_inflight"`
+}
+
 // handleStats reports service counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	m := s.met()
 	s.mu.Lock()
 	live := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]int64{
-		"jobs_live":        int64(live),
-		"jobs_created":     s.statJobsCreated.Load(),
-		"rounds_advanced":  s.statRoundsAdvanced.Load(),
-		"games_solved":     s.statGamesSolved.Load(),
-		"advance_inflight": int64(s.pool().InUse()),
+	writeJSON(w, http.StatusOK, StatsResponse{
+		JobsLive:        int64(live),
+		JobsCreated:     int64(m.jobsCreated.Value()),
+		RoundsAdvanced:  int64(m.roundsAdvanced.Value()),
+		GamesSolved:     int64(m.gamesSolved.Value()),
+		AdvanceInflight: int64(s.pool().InUse()),
 	})
 }
 
@@ -385,7 +467,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		var req JobRequest
-		if !decodeJSON(w, r, &req) {
+		if !s.decodeJSON(w, r, &req) {
 			return
 		}
 		var sess *cmabhs.Session
@@ -431,7 +513,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		s.jobs[j.id] = j
 		s.mu.Unlock()
-		s.statJobsCreated.Add(1)
+		s.met().jobsCreated.Inc()
 		// The job is published: take its lock before reading state, a
 		// concurrent advance may already be running.
 		j.mu.Lock()
@@ -500,12 +582,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		writeJSON(w, http.StatusOK, DeleteResponse{Deleted: id})
 
 	case action == "advance" && r.Method == http.MethodPost:
 		var req AdvanceRequest
 		if r.ContentLength != 0 {
-			if !decodeJSON(w, r, &req) {
+			if !s.decodeJSON(w, r, &req) {
 				return
 			}
 		}
@@ -524,21 +606,25 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			if hint <= 0 {
 				hint = time.Second
 			}
+			s.met().shed.Inc()
 			w.Header().Set("Retry-After", retryAfter(hint))
-			httpError(w, http.StatusTooManyRequests,
+			writeError(w, http.StatusTooManyRequests, "saturated", hint,
 				"advance capacity saturated (%d in flight); retry after %s", s.pool().InUse(), retryAfter(hint)+"s")
 			return
 		}
 		defer s.pool().Release()
+		start := time.Now()
 		j.mu.Lock()
 		adv, err := j.sess.AdvanceContext(r.Context(), req.Rounds)
+		j.recordAdvance(len(adv.Played), time.Since(start))
 		st := j.status()
 		j.mu.Unlock()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		s.statRoundsAdvanced.Add(int64(len(adv.Played)))
+		s.met().roundsAdvanced.Add(uint64(len(adv.Played)))
+		s.jobRounds(id).Add(uint64(len(adv.Played)))
 		writeJSON(w, http.StatusOK, AdvanceResponse{Played: adv.Played, Stopped: adv.Stopped, Status: st})
 
 	case action == "snapshot" && r.Method == http.MethodPost:
@@ -567,7 +653,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		j.mu.Lock()
 		est := j.sess.Estimates()
 		j.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]any{"estimates": est})
+		writeJSON(w, http.StatusOK, EstimatesResponse{ID: id, Estimates: est})
 
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "unsupported %s on %q", r.Method, r.URL.Path)
@@ -674,7 +760,7 @@ func (s *Server) handleSolveGame(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SolveGameRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	gc := cmabhs.GameConfig{
@@ -694,8 +780,27 @@ func (s *Server) handleSolveGame(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.statGamesSolved.Add(1)
-	writeJSON(w, http.StatusOK, out)
+	s.met().gamesSolved.Inc()
+	writeJSON(w, http.StatusOK, SolveGameResponse{GameOutcome: out})
+}
+
+// SolveGameResponse is the wire form of a stateless solve. It embeds
+// the library outcome, so the JSON stays the flat GameOutcome shape
+// clients already decode.
+type SolveGameResponse struct {
+	*cmabhs.GameOutcome
+}
+
+// EstimatesResponse reports a job's current quality estimates, one
+// per seller in seller order.
+type EstimatesResponse struct {
+	ID        string    `json:"id,omitempty"`
+	Estimates []float64 `json:"estimates"`
+}
+
+// DeleteResponse acknowledges a job deletion.
+type DeleteResponse struct {
+	Deleted string `json:"deleted"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -765,6 +870,60 @@ func scrubNaN(v reflect.Value) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// ErrorBody is the structured half of the error envelope: a stable
+// machine-readable code, a human-readable message, and — on 429s — the
+// retry hint mirrored from the Retry-After header.
+type ErrorBody struct {
+	Code        string  `json:"code"`
+	Message     string  `json:"message"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+}
+
+// ErrorResponse is the error envelope every non-2xx response carries:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_s": n},
+//	 "message": "..."}
+//
+// The top-level message duplicates error.message for clients written
+// against the pre-envelope wire format; it is DEPRECATED (DESIGN.md
+// §11) and will be dropped in a future revision.
+type ErrorResponse struct {
+	Error   ErrorBody `json:"error"`
+	Message string    `json:"message"`
+}
+
+// writeError is the single choke point for error responses: every
+// handler path goes through it (usually via httpError) so the envelope
+// cannot drift between endpoints.
+func writeError(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	body := ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}
+	if retryAfter > 0 {
+		body.RetryAfterS = retryAfter.Seconds()
+	}
+	writeJSON(w, status, ErrorResponse{Error: body, Message: body.Message})
+}
+
+// httpError writes the envelope with the default code for the status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeError(w, status, errorCode(status), 0, format, args...)
+}
+
+// errorCode maps an HTTP status to its default machine-readable code.
+// Paths with a more specific cause pass their own to writeError (the
+// shed path sends "saturated", not "too_many_requests").
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	default:
+		return "internal"
+	}
 }

@@ -153,9 +153,15 @@ func TestJobCreationErrors(t *testing.T) {
 		{"not json", "}{", http.StatusBadRequest},
 	}
 	for _, tc := range cases {
-		var out map[string]string
+		var out ErrorResponse
 		if code := do(t, ts, http.MethodPost, "/v1/jobs", tc.req, &out); code != tc.want {
-			t.Errorf("%s: status %d, want %d (%v)", tc.name, code, tc.want, out)
+			t.Errorf("%s: status %d, want %d (%+v)", tc.name, code, tc.want, out)
+		}
+		if out.Error.Code != "invalid_request" || out.Error.Message == "" {
+			t.Errorf("%s: envelope %+v, want code invalid_request with a message", tc.name, out)
+		}
+		if out.Message != out.Error.Message {
+			t.Errorf("%s: legacy message %q != error.message %q", tc.name, out.Message, out.Error.Message)
 		}
 	}
 }

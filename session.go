@@ -34,6 +34,16 @@ func NewSession(c Config) (*Session, error) {
 // Config returns the configuration the session was built from.
 func (s *Session) Config() Config { return s.cfg }
 
+// Observe attaches (or, with nil, clears) the per-round observer,
+// taking effect from the next round played. Observers are strictly
+// passive (see Config.Observer) and, being code, never travel in a
+// Save snapshot — call Observe to re-instrument a session rebuilt by
+// ResumeSession.
+func (s *Session) Observe(obs RoundObserver) {
+	s.cfg.Observer = obs
+	s.mech.SetObserver(coreObserver(obs))
+}
+
 // Done reports whether the run has finished.
 func (s *Session) Done() bool { return s.mech.Done() }
 
@@ -59,9 +69,20 @@ func (s *Session) Step() (*Round, error) {
 
 // StepN plays up to n rounds (fewer if the run finishes) and returns
 // the records.
+//
+// Deprecated: use Advance, which also reports why a batch ended
+// early. StepN remains as a thin wrapper.
 func (s *Session) StepN(n int) ([]Round, error) {
-	adv, err := s.AdvanceContext(context.Background(), n)
+	adv, err := s.Advance(n)
 	return adv.Played, err
+}
+
+// Advance plays up to n rounds (n <= 0 means to completion). It is
+// the background-context wrapper over AdvanceContext, which is the
+// canonical form — see the package documentation's execution-model
+// note.
+func (s *Session) Advance(n int) (Advance, error) {
+	return s.AdvanceContext(context.Background(), n)
 }
 
 // Advance is the outcome of a context-aware batch advance: the rounds
