@@ -136,14 +136,18 @@ func (k kind) String() string {
 	}
 }
 
-// series is one labeled instrument inside a family.
+// series is one labeled instrument inside a family. Every field
+// except fn is set before the series is published into its family's
+// map (under the registry lock) and never mutated again; fn is an
+// atomic pointer because GaugeFunc re-registration replaces it while
+// scrapes read it without the lock.
 type series struct {
 	labels []Label
 	sig    string // rendered {a="b",...} signature, "" when unlabeled
 
 	c  *Counter
 	g  *Gauge
-	fn func() float64
+	fn atomic.Pointer[func() float64]
 	h  *Histogram
 }
 
@@ -187,17 +191,15 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // Re-registering the same series replaces fn.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
 	s := r.resolve(name, help, kindGaugeFunc, nil, labels)
-	r.mu.Lock()
-	s.fn = fn
-	r.mu.Unlock()
+	s.fn.Store(&fn)
 }
 
 // Histogram returns the histogram registered under name with the given
-// labels. buckets are ascending upper bounds; nil means
+// labels. buckets are ascending upper bounds; nil or empty means
 // DefLatencyBuckets. Every series of one family shares the first
 // registration's bucket layout.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
-	if buckets == nil {
+	if len(buckets) == 0 {
 		buckets = DefLatencyBuckets
 	}
 	s := r.resolve(name, help, kindHistogram, buckets, labels)
@@ -252,14 +254,13 @@ func (r *Registry) resolve(name, help string, k kind, buckets []float64, labels 
 // value returns the series' instantaneous scalar (counters and
 // gauges; histograms are expanded by the caller).
 func (s *series) value() float64 {
-	switch {
-	case s.c != nil:
+	if s.c != nil {
 		return float64(s.c.Value())
-	case s.fn != nil:
-		return s.fn()
-	default:
-		return s.g.Value()
 	}
+	if fn := s.fn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return s.g.Value()
 }
 
 // Snapshot flattens every series into name{labels} → value, with
@@ -269,7 +270,7 @@ func (s *series) value() float64 {
 func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64)
 	for _, f := range r.sortedFamilies() {
-		for _, s := range f.sortedSeries() {
+		for _, s := range f.series {
 			if f.kind != kindHistogram {
 				out[f.name+s.sig] = s.value()
 				continue
@@ -286,23 +287,29 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-func (r *Registry) sortedFamilies() []*family {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
+// familyView is a scrape-time copy of one family: the immutable
+// family metadata plus its series snapshotted (and sorted) while the
+// registry lock was held. Scrapes iterate these slices after the lock
+// is released, so a concurrent resolve() inserting a first-seen label
+// combination never races a map iteration.
+type familyView struct {
+	*family
+	series []*series
 }
 
-func (f *family) sortedSeries() []*series {
-	out := make([]*series, 0, len(f.series))
-	for _, s := range f.series {
-		out = append(out, s)
+func (r *Registry) sortedFamilies() []familyView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]familyView, 0, len(r.families))
+	for _, f := range r.families {
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].sig < ss[j].sig })
+		out = append(out, familyView{family: f, series: ss})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 
@@ -403,8 +410,8 @@ func validBuckets(name string, buckets []float64) []float64 {
 }
 
 func equalBuckets(a, b []float64) bool {
-	if math.IsInf(b[len(b)-1], 1) {
-		b = b[:len(b)-1]
+	if n := len(b); n > 0 && math.IsInf(b[n-1], 1) {
+		b = b[:n-1]
 	}
 	if len(a) != len(b) {
 		return false

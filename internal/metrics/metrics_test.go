@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"io"
 	"math"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -139,6 +142,85 @@ func TestConcurrentRecording(t *testing.T) {
 	if h.Count() != 8000 || h.Cumulative()[0] != 8000 {
 		t.Errorf("histogram count = %d", h.Count())
 	}
+}
+
+// TestScrapeRacesSeriesResolution reproduces the broker's hot path:
+// requests resolve first-seen label combinations (and re-register
+// GaugeFuncs) while a scraper iterates the registry. Under -race this
+// pins that scrapes snapshot series under the lock instead of
+// iterating live maps, and that GaugeFunc replacement is safe against
+// a concurrent read.
+func TestScrapeRacesSeriesResolution(t *testing.T) {
+	// Force real goroutine interleaving even on a single-core runner —
+	// with GOMAXPROCS=1 the scrape loop can run to completion between
+	// scheduler preemptions and the race window rarely opens.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	r := New()
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			_ = r.Snapshot()
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				id := strconv.Itoa(w*1000 + i)
+				r.Counter("requests_total", "", L("code", id)).Inc()
+				r.Histogram("latency_seconds", "", nil, L("route", id)).Observe(0.01)
+				depth := float64(i)
+				r.GaugeFunc("depth", "", func() float64 { return depth })
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := len(r.sortedFamilies()); got != 3 {
+		t.Fatalf("families = %d, want 3", got)
+	}
+}
+
+// TestEmptyBucketsNormalizeToDefault pins the empty-slice edge:
+// []float64{} means "defaults" exactly like nil, both on first
+// registration and on re-registration of an existing family — no raw
+// index panic out of equalBuckets.
+func TestEmptyBucketsNormalizeToDefault(t *testing.T) {
+	r := New()
+	a := r.Histogram("h_seconds", "", nil)
+	b := r.Histogram("h_seconds", "", []float64{})
+	if a != b {
+		t.Fatal("empty buckets resolved a different series than nil")
+	}
+	a.Observe(0.003)
+	if cum := a.Cumulative(); len(cum) != len(DefLatencyBuckets)+1 {
+		t.Fatalf("bucket count %d, want %d", len(cum), len(DefLatencyBuckets)+1)
+	}
+	// A custom family re-registered with empty buckets is a layout
+	// mismatch — it must fail with the descriptive panic.
+	r.Histogram("custom_seconds", "", []float64{1, 2})
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok || !strings.Contains(msg, "different buckets") {
+			t.Fatalf("panic = %v, want descriptive bucket mismatch", msg)
+		}
+	}()
+	r.Histogram("custom_seconds", "", []float64{})
 }
 
 func TestLabelValueEscaping(t *testing.T) {

@@ -30,7 +30,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteByte(' ')
 		bw.WriteString(f.kind.String())
 		bw.WriteByte('\n')
-		for _, s := range f.sortedSeries() {
+		for _, s := range f.series {
 			if f.kind != kindHistogram {
 				writeSample(bw, f.name, s.sig, s.value())
 				continue

@@ -15,8 +15,10 @@ import (
 //   - every metric is prefixed cdt_; durations are histograms in
 //     seconds with a _seconds suffix, counts are _total counters;
 //   - HTTP series carry a route label holding the route PATTERN
-//     ("/v1/jobs/{id}/advance"), never the raw path — ids must not
-//     explode cardinality;
+//     ("/v1/jobs/{id}/advance"), never the raw path — ids never reach
+//     labels, anywhere: job ids are monotonic and unbounded under
+//     create/delete churn, so an id-labeled family would leak series.
+//     Per-job numbers ride in the JobStatus metrics block instead;
 //   - values another component already tracks (pool occupancy, live
 //     jobs) are GaugeFuncs read at scrape time, not shadow counters.
 
@@ -175,12 +177,4 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", metrics.ContentType)
 	_ = s.Metrics().WritePrometheus(w)
-}
-
-// jobRounds returns the per-job rounds counter. Job-labeled series
-// are bounded by MaxJobs and persist after a job is deleted (a scrape
-// between delete and restart still sees the totals).
-func (s *Server) jobRounds(id string) *metrics.Counter {
-	return s.met().reg.Counter("cdt_job_rounds_total",
-		"Trading rounds played, per job.", metrics.L("job", id))
 }

@@ -44,7 +44,6 @@ func TestMetricsEndpoint(t *testing.T) {
 		`cdt_http_requests_total{code="200",method="POST",route="/v1/jobs/{id}/advance"} 1`,
 		`cdt_jobs_created_total 1`,
 		`cdt_rounds_advanced_total 5`,
-		`cdt_job_rounds_total{job="` + st.ID + `"} 5`,
 		`cdt_jobs_live 1`,
 		`cdt_advance_pool_active 0`,
 		`cdt_http_in_flight 1`, // the scrape request itself
@@ -53,6 +52,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+
+	// Job ids never reach labels: they are monotonic and unbounded
+	// under create/delete churn, so an id-labeled series would grow the
+	// registry without bound on a long-lived broker.
+	if strings.Contains(body, st.ID) {
+		t.Errorf("exposition leaks job id %q into a label", st.ID)
 	}
 
 	// The advance route's latency histogram saw exactly one observation

@@ -624,7 +624,6 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.met().roundsAdvanced.Add(uint64(len(adv.Played)))
-		s.jobRounds(id).Add(uint64(len(adv.Played)))
 		writeJSON(w, http.StatusOK, AdvanceResponse{Played: adv.Played, Stopped: adv.Stopped, Status: st})
 
 	case action == "snapshot" && r.Method == http.MethodPost:
