@@ -11,6 +11,14 @@
 //	cdt-bench -exp fig7-8 -scale 1      # full-scale (minutes)
 //	cdt-bench -exp fig7-8 -csv out.csv  # machine-readable output
 //	cdt-bench -exp fig7-8 -json out.json
+//	cdt-bench -bench -json bench.json   # micro-benchmark trajectory
+//
+// With -bench, the figure experiments are skipped: the fixed
+// micro-benchmark set runs instead (round advance, game solve,
+// snapshot encode, tracing overhead), printing an aligned table and —
+// with -json — writing one {name, iters, ns_per_op, allocs_per_op,
+// bytes_per_op} record per case. CI archives that file per PR as the
+// performance trajectory.
 package main
 
 import (
@@ -37,11 +45,20 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write figures as CSV to this file")
 		jsonPath = flag.String("json", "", "also write figures as JSON to this file")
 		chart    = flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
+		bench    = flag.Bool("bench", false, "run the micro-benchmark set instead of figure experiments (-json writes the trajectory)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *bench {
+		if err := runMicroBenches(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"cmabhs"
+	"cmabhs/internal/tracing"
+)
+
+// The -bench mode: instead of reproducing the paper's figures, run a
+// fixed set of micro-benchmarks over the hot paths (round advance,
+// game solve, snapshot encode, tracing overhead) and emit one record
+// per case — the performance trajectory CI archives per PR, so a
+// regression shows up as a diff between artifacts rather than an
+// anecdote.
+
+// BenchResult is one benchmark case on the wire.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchCase is one entry in the micro-benchmark registry.
+type benchCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchSession builds a mid-size session or aborts the run — bench
+// setup failures are programming errors, not conditions to ride out.
+func benchSession(m, k, rounds int) *cmabhs.Session {
+	cfg := cmabhs.RandomConfig(m, k, rounds, 1)
+	sess, err := cmabhs.NewSession(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+		os.Exit(1)
+	}
+	return sess
+}
+
+// microBenches is the short benchmark set CI runs on every PR.
+var microBenches = []benchCase{
+	{"advance_round_m50_k5", func(b *testing.B) {
+		// A horizon far beyond b.N so one session serves every iteration.
+		sess := benchSession(50, 5, 1_000_000_000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.AdvanceContext(context.Background(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"advance_round_m300_k10", func(b *testing.B) {
+		sess := benchSession(300, 10, 1_000_000_000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.AdvanceContext(context.Background(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"solve_game_closed_form_k10", func(b *testing.B) {
+		cfg := cmabhs.RandomConfig(10, 10, 1, 3)
+		gc := cmabhs.GameConfig{}
+		for _, s := range cfg.Sellers {
+			gc.Sellers = append(gc.Sellers, cmabhs.GameSeller{
+				CostQuadratic: s.CostQuadratic,
+				CostLinear:    s.CostLinear,
+				Quality:       s.ExpectedQuality,
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cmabhs.SolveGame(gc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"snapshot_save_m100", func(b *testing.B) {
+		sess := benchSession(100, 5, 1000)
+		if _, err := sess.AdvanceContext(context.Background(), 50); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Save(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"tracing_span_start_end", func(b *testing.B) {
+		tr := tracing.NewSeeded(1, 64)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, sp := tr.StartSpan(ctx, "bench")
+			sp.SetAttr("i", i)
+			sp.End()
+		}
+	}},
+	{"traceparent_parse", func(b *testing.B) {
+		const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := tracing.ParseTraceparent(h); !ok {
+				b.Fatal("parse failed")
+			}
+		}
+	}},
+}
+
+// runMicroBenches executes the registry, prints an aligned table to
+// stdout, and (with -json) writes the machine-readable trajectory.
+func runMicroBenches(jsonPath string) error {
+	results := make([]BenchResult, 0, len(microBenches))
+	fmt.Printf("%-28s %12s %14s %12s %12s\n", "benchmark", "iters", "ns/op", "B/op", "allocs/op")
+	for _, bc := range microBenches {
+		r := testing.Benchmark(bc.fn)
+		br := BenchResult{
+			Name:        bc.name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		results = append(results, br)
+		fmt.Printf("%-28s %12d %14.1f %12d %12d\n",
+			br.Name, br.Iters, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,6 +1,7 @@
 // Command cdt-server runs the CDT broker as an HTTP/JSON service.
 //
 //	cdt-server -addr :8080 [-state-dir /var/lib/cdt] [-debug-addr :6060]
+//	           [-log-format text|json] [-log-level debug|info|warn|error]
 //
 // With -state-dir set, jobs are snapshotted to disk on graceful
 // shutdown (SIGINT/SIGTERM) and on POST /v1/jobs/{id}/snapshot, and
@@ -8,8 +9,14 @@
 //
 // Prometheus metrics are served at GET /metrics on the main address.
 // With -debug-addr set, a second listener additionally serves
-// net/http/pprof profiles (and /metrics again) on a separate port that
-// can stay firewalled off from the public API.
+// net/http/pprof profiles, the in-memory trace store (GET
+// /debug/traces, /debug/traces/{id}), and /metrics again on a
+// separate port that can stay firewalled off from the public API.
+//
+// All diagnostics are structured log lines (log/slog); every request
+// produces one access line carrying trace_id, request_id, route,
+// method, code, and duration. -log-format json emits one JSON object
+// per line for log shippers.
 //
 // Example session:
 //
@@ -18,34 +25,41 @@
 //	     -d '{"random_sellers":300,"k":10,"rounds":100000,"seed":1}'
 //	curl -s -X POST localhost:8080/v1/jobs/job-1/advance -d '{"rounds":1000}'
 //	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s -N localhost:8080/v1/jobs/job-1/events        # live SSE round stream
 //	curl -s -X POST localhost:8080/v1/game/solve \
 //	     -d '{"sellers":[{"a":0.2,"b":0.1,"q":0.9},{"a":0.3,"b":0.2,"q":0.7}]}'
 //	curl -s localhost:8080/metrics | grep cdt_http_requests_total
+//	curl -s localhost:6060/debug/traces | jq '.traces[0]'
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"cmabhs/internal/metrics"
 	"cmabhs/internal/server"
+	"cmabhs/internal/tracing"
 )
 
-// debugHandler builds the -debug-addr mux: pprof profiles plus the
-// same metrics registry the main listener serves.
-func debugHandler(reg *metrics.Registry) http.Handler {
+// debugHandler builds the -debug-addr mux: pprof profiles, the trace
+// store, and the same metrics registry the main listener serves.
+func debugHandler(reg *metrics.Registry, traces http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", traces)
+	mux.Handle("/debug/traces/", traces)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", metrics.ContentType)
 		_ = reg.WritePrometheus(w)
@@ -63,9 +77,19 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline; advances return partial progress at expiry (0: none)")
 		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum request body size in bytes (413 past this)")
 		shedAfter   = flag.Duration("shed-retry-after", time.Second, "Retry-After hint sent with 429 when the advance pool is saturated")
-		debugAddr   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof and /metrics (empty: disabled)")
+		debugAddr   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof, /debug/traces, and /metrics (empty: disabled)")
+		traceCap    = flag.Int("trace-capacity", tracing.DefaultCapacity, "traces retained in the in-memory ring buffer")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	lg, err := tracing.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(lg)
 
 	srv := server.New()
 	srv.MaxJobs = *maxJobs
@@ -74,30 +98,35 @@ func main() {
 	srv.RequestTimeout = *reqTimeout
 	srv.MaxBodyBytes = *maxBody
 	srv.ShedRetryAfter = *shedAfter
+	srv.Logger = lg
+	srv.Tracer = tracing.New(*traceCap)
 	if *stateDir != "" {
 		store, err := server.NewFileStore(*stateDir)
 		if err != nil {
-			log.Fatal(err)
+			lg.Error("open state dir", "error", err)
+			os.Exit(1)
 		}
 		srv.Store = store
 		if err := srv.LoadAll(); err != nil {
-			log.Fatalf("reload jobs from %s: %v", *stateDir, err)
+			lg.Error("reload jobs", "state_dir", *stateDir, "error", err)
+			os.Exit(1)
 		}
 		if ids, err := store.List(); err == nil && len(ids) > 0 {
-			log.Printf("cdt-server reloaded %d job(s) from %s: %v", len(ids), *stateDir, ids)
+			lg.Info("reloaded jobs", "state_dir", *stateDir, "count", len(ids), "ids", fmt.Sprint(ids))
 		}
 	}
 
 	if *debugAddr != "" {
+		srv.DebugAddr = *debugAddr
 		ds := &http.Server{
 			Addr:              *debugAddr,
-			Handler:           debugHandler(srv.Metrics()),
+			Handler:           debugHandler(srv.Metrics(), tracing.Handler(srv.Tracing().Store())),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("cdt-server debug listener (pprof, metrics) on %s", *debugAddr)
+			lg.Info("debug listener up (pprof, traces, metrics)", "addr", *debugAddr)
 			if err := ds.ListenAndServe(); err != http.ErrServerClosed {
-				log.Printf("debug listener: %v", err)
+				lg.Error("debug listener", "error", err)
 			}
 		}()
 	}
@@ -113,16 +142,17 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		log.Print("cdt-server draining")
+		lg.Info("draining")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			lg.Error("shutdown", "error", err)
 		}
 	}()
-	log.Printf("cdt-server listening on %s", *addr)
+	lg.Info("listening", "addr", *addr)
 	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
-		log.Fatal(err)
+		lg.Error("serve", "error", err)
+		os.Exit(1)
 	}
 	// ListenAndServe returns as soon as Shutdown closes the listener;
 	// in-flight requests (e.g. a long advance) are still draining.
@@ -130,10 +160,10 @@ func main() {
 	if srv.Store != nil {
 		// Snapshot after the drain so in-flight advances are included.
 		if err := srv.SaveAll(); err != nil {
-			log.Printf("snapshot jobs: %v", err)
+			lg.Error("snapshot jobs", "error", err)
 		} else {
-			log.Printf("cdt-server snapshotted jobs to %s", *stateDir)
+			lg.Info("snapshotted jobs", "state_dir", *stateDir)
 		}
 	}
-	log.Print("cdt-server stopped")
+	lg.Info("stopped")
 }

@@ -14,12 +14,18 @@
 // (the snapshot carries the full configuration, so the shape flags
 // are ignored) and finishes with exactly the result the uninterrupted
 // run would have produced.
+//
+// Result tables go to stdout; diagnostics are structured log lines on
+// stderr (-log-format text|json, -log-level debug|info|warn|error),
+// sharing the broker's log schema so one shipper config covers every
+// binary.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,7 +33,14 @@ import (
 	"cmabhs"
 	"cmabhs/internal/core"
 	"cmabhs/internal/roundlog"
+	"cmabhs/internal/tracing"
 )
+
+// fatal logs a structured error line and exits.
+func fatal(msg string, err error) {
+	slog.Error(msg, "error", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -49,8 +62,17 @@ func main() {
 		tracePath  = flag.String("trace", "", "derive the seller population from this mobility-trace CSV (see cdt-trace)")
 		savePath   = flag.String("save", "", "write a resumable snapshot to this path when the run is interrupted or finishes")
 		resumePath = flag.String("resume", "", "resume from a snapshot previously written by -save (shape flags are ignored)")
+		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum diagnostic log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	lg, err := tracing.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(lg)
 
 	// Ctrl-C / SIGTERM cancels the run at the next round boundary;
 	// whatever completed by then is still summarized (and journaled)
@@ -61,7 +83,7 @@ func main() {
 	var cfg cmabhs.Config
 	if *resumePath != "" {
 		if *compare {
-			fmt.Fprintln(os.Stderr, "cdt-sim: -resume and -compare are mutually exclusive")
+			slog.Error("-resume and -compare are mutually exclusive")
 			os.Exit(1)
 		}
 		runResumed(ctx, *resumePath, *savePath, *logPath, *verbose)
@@ -70,14 +92,12 @@ func main() {
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-			os.Exit(1)
+			fatal("open mobility trace", err)
 		}
 		recs, err := cmabhs.ParseTraceCSV(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-			os.Exit(1)
+			fatal("parse mobility trace", err)
 		}
 		pois, taxis, traceCfg := cmabhs.TraceMarket(recs, *l, *m, *seed)
 		fmt.Printf("trace market      %d trips, PoIs %v, %d sellers\n", len(recs), pois, len(taxis))
@@ -103,8 +123,7 @@ func main() {
 
 	sess, err := cmabhs.NewSession(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-		os.Exit(1)
+		fatal("build session", err)
 	}
 	runSession(ctx, sess, *savePath, *logPath, *verbose)
 }
@@ -114,13 +133,11 @@ func main() {
 func runResumed(ctx context.Context, resumePath, savePath, logPath string, verbose int) {
 	data, err := os.ReadFile(resumePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-		os.Exit(1)
+		fatal("read snapshot", err)
 	}
 	sess, err := cmabhs.ResumeSession(data)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-		os.Exit(1)
+		fatal("resume snapshot", err)
 	}
 	fmt.Printf("resumed           %s at round %d of %d\n", resumePath, sess.NextRound(), sess.Config().Rounds)
 	runSession(ctx, sess, savePath, logPath, verbose)
@@ -134,13 +151,12 @@ func runSession(ctx context.Context, sess *cmabhs.Session, savePath, logPath str
 	cfg := sess.Config()
 	adv, err := sess.AdvanceContext(ctx, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-		os.Exit(1)
+		fatal("advance", err)
 	}
 	interrupted := adv.Stopped == cmabhs.StoppedCanceled
 	if savePath != "" && (interrupted || sess.Done()) {
 		if err := writeSnapshot(savePath, sess); err != nil {
-			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
+			slog.Error("write snapshot", "path", savePath, "error", err)
 		} else {
 			fmt.Printf("snapshot          %s (continue with -resume %s)\n", savePath, savePath)
 		}
@@ -151,8 +167,7 @@ func runSession(ctx context.Context, sess *cmabhs.Session, savePath, logPath str
 	}
 	if logPath != "" {
 		if err := writeJournal(logPath, res); err != nil {
-			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-			os.Exit(1)
+			fatal("write trade journal", err)
 		}
 		fmt.Printf("trade journal     %s (%d rounds)\n", logPath, res.Rounds)
 	}
@@ -222,11 +237,10 @@ func comparePolicies(ctx context.Context, base cmabhs.Config, k int, epsilon flo
 		cfg.ObservationSD = sd
 		res, err := cmabhs.RunContext(ctx, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cdt-sim:", err)
-			os.Exit(1)
+			fatal("run policy "+string(p), err)
 		}
 		if res.Stopped == cmabhs.StoppedCanceled {
-			fmt.Fprintln(os.Stderr, "cdt-sim: interrupted; comparison table is incomplete")
+			slog.Warn("interrupted; comparison table is incomplete")
 			os.Exit(130)
 		}
 		fmt.Printf("%-14s %14.0f %14.0f %12.2f %12.2f %12.3f\n",

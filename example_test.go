@@ -130,6 +130,35 @@ func ExampleSession_Save() {
 	// identical regret: true
 }
 
+// ExampleSession_Observe attaches a per-round telemetry hook. The
+// observer is strictly passive — the run's trajectory, results, and
+// snapshots are identical with or without it — and the event is
+// borrowed, so anything kept past the callback must be copied.
+func ExampleSession_Observe() {
+	sess, err := cmabhs.NewSession(cmabhs.RandomConfig(6, 2, 30, 7))
+	if err != nil {
+		panic(err)
+	}
+	events, faults := 0, 0
+	sess.Observe(func(ev *cmabhs.RoundEvent) {
+		events++
+		faults += len(ev.FailedSellers)
+		if ev.Round.Round == 1 && ev.UCB != nil {
+			panic("round 1 is pure exploration: no UCB indices yet")
+		}
+	})
+	if _, err := sess.StepN(0); err != nil { // to the horizon
+		panic(err)
+	}
+	fmt.Println("events:", events)
+	fmt.Println("fault events:", faults)
+	fmt.Println("done:", sess.Done())
+	// Output:
+	// events: 30
+	// fault events: 0
+	// done: true
+}
+
 func argmax(xs []float64) int {
 	best := 0
 	for i, x := range xs {

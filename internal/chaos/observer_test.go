@@ -2,12 +2,14 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
 	"cmabhs"
 	"cmabhs/internal/bandit"
 	"cmabhs/internal/core"
+	"cmabhs/internal/tracing"
 )
 
 // TestObserverBitIdentityUnderFaults is the observer passivity
@@ -86,6 +88,85 @@ func TestObserverBitIdentityUnderFaults(t *testing.T) {
 	last := events[len(events)-1]
 	if last.Regret <= 0 || last.ExpectedRevenue <= 0 || last.ConsumerSpend <= 0 {
 		t.Fatalf("final cumulative event not populated: %+v", last)
+	}
+}
+
+// TestObserverTracingAndStreamingPassivity is the PR-5 strictness
+// upgrade of the passivity contract: the observer now does real
+// observability work — it records a tracing span per round AND
+// publishes each event into a bounded stream buffer that nobody
+// drains (the slow-SSE-consumer worst case, so publishes drop once
+// the buffer fills) — and the mechanism must STILL produce encoded
+// snapshots bit-identical to the unobserved control at every single
+// round boundary, under every fault model at once.
+func TestObserverTracingAndStreamingPassivity(t *testing.T) {
+	s := Scenario{M: 10, K: 3, Rounds: 60, Seed: 11, Faults: allFaults(101)}
+
+	ctrl, err := core.NewMechanism(s.Config(), bandit.UCBGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := tracing.NewSeeded(77, 8)
+	ctx, root := tr.StartSpan(context.Background(), "chaos run")
+	stream := make(chan int, 4) // bounded and never drained, like a stalled SSE client
+	dropped := 0
+	cfg := s.Config()
+	cfg.Observer = func(ev *core.RoundEvent) {
+		_, sp := tr.StartSpan(ctx, "round")
+		sp.SetAttr("round", ev.Round)
+		sp.SetAttr("failed", len(ev.Failed))
+		sp.End()
+		select {
+		case stream <- ev.Round:
+		default:
+			dropped++
+		}
+	}
+	obs, err := core.NewMechanism(cfg, bandit.UCBGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rounds := 0
+	for !ctrl.Done() {
+		if _, err := ctrl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.Step(); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		a, err := ctrl.Snapshot().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := obs.Snapshot().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("snapshots diverged after round %d with tracing+streaming attached", rounds)
+		}
+	}
+	root.End()
+	if err := Equivalent(ctrl.Result(), obs.Result()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The observability side did real work, or the identity check
+	// proved too little: the stream filled and dropped, and every
+	// played round is a recorded span in the trace store.
+	if dropped != rounds-cap(stream) {
+		t.Fatalf("dropped %d events, want %d (rounds %d past a buffer of %d)",
+			dropped, rounds-cap(stream), rounds, cap(stream))
+	}
+	detail, ok := tr.Store().Trace(root.TraceID().String())
+	if !ok {
+		t.Fatal("chaos trace not recorded")
+	}
+	if len(detail.Spans) != rounds+1 { // rounds + the root span
+		t.Fatalf("%d spans recorded, want %d rounds + 1 root", len(detail.Spans), rounds)
 	}
 }
 

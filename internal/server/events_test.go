@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cmabhs/internal/metrics"
+)
+
+// TestEventHubDropAccounting pins the slow-consumer contract: a full
+// subscriber buffer drops the event for that subscriber only, counts
+// the drop per subscriber and in the shared counter, and never blocks
+// the publisher.
+func TestEventHubDropAccounting(t *testing.T) {
+	reg := metrics.New()
+	drops := reg.Counter("cdt_job_events_dropped_total", "test")
+	hub := newEventHub(drops)
+
+	slow := hub.subscribe(2)
+	fast := hub.subscribe(16)
+	for i := 1; i <= 10; i++ {
+		hub.publish(JobEvent{Round: i})
+	}
+	if got := slow.dropped.Load(); got != 8 {
+		t.Fatalf("slow subscriber dropped %d, want 8", got)
+	}
+	if got := fast.dropped.Load(); got != 0 {
+		t.Fatalf("fast subscriber dropped %d, want 0", got)
+	}
+	if got := drops.Value(); got != 8 {
+		t.Fatalf("shared drop counter %v, want 8", got)
+	}
+	// The slow subscriber kept the OLDEST two (drops happen at the
+	// tail), so the gap is visible as missing later rounds.
+	if ev := <-slow.ch; ev.Round != 1 {
+		t.Fatalf("first buffered round %d, want 1", ev.Round)
+	}
+	if len(fast.ch) != 10 {
+		t.Fatalf("fast subscriber buffered %d events, want 10", len(fast.ch))
+	}
+
+	hub.unsubscribe(slow)
+	hub.unsubscribe(fast)
+	if hub.active() {
+		t.Fatal("hub still active after both unsubscribed")
+	}
+	// Publishing to an empty hub is a no-op, not a panic.
+	hub.publish(JobEvent{Round: 99})
+}
+
+// streamEvents opens the live event stream for a job and returns the
+// response plus a line scanner over the body.
+func streamEvents(t *testing.T, ts *httptest.Server, id, query string, ctx context.Context) (*http.Response, *bufio.Scanner) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx != nil {
+		req = req.WithContext(ctx)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	return resp, bufio.NewScanner(resp.Body)
+}
+
+// TestJobEventsSSE checks the default stream framing: each round
+// arrives as an SSE "round" event whose data line decodes into the
+// JobEvent wire form, in round order.
+func TestJobEventsSSE(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st JobStatus
+	if code := do(t, ts, http.MethodPost, "/v1/jobs",
+		JobRequest{RandomSellers: 8, K: 3, Rounds: 40, Seed: 5}, &st); code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+
+	resp, sc := streamEvents(t, ts, st.ID, "", nil)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	if code := do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance",
+		AdvanceRequest{Rounds: 3}, nil); code != http.StatusOK {
+		t.Fatalf("advance status %d", code)
+	}
+
+	want := 1
+	for sc.Scan() && want <= 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			if line != "" && line != "event: round" {
+				t.Fatalf("unexpected SSE line %q", line)
+			}
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad data line %q: %v", line, err)
+		}
+		if ev.JobID != st.ID || ev.Round != want {
+			t.Fatalf("event %+v, want job %s round %d", ev, st.ID, want)
+		}
+		if len(ev.Selected) == 0 {
+			t.Fatalf("round %d event carries no selection", ev.Round)
+		}
+		want++
+	}
+	if want != 4 {
+		t.Fatalf("saw %d round events, want 3 (%v)", want-1, sc.Err())
+	}
+}
+
+// TestJobEventsNDJSON checks the NDJSON framing: one JSON object per
+// line, nothing else on the wire.
+func TestJobEventsNDJSON(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st JobStatus
+	if code := do(t, ts, http.MethodPost, "/v1/jobs",
+		JobRequest{RandomSellers: 8, K: 3, Rounds: 40, Seed: 5}, &st); code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+
+	resp, sc := streamEvents(t, ts, st.ID, "?format=ndjson", nil)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	if code := do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance",
+		AdvanceRequest{Rounds: 2}, nil); code != http.StatusOK {
+		t.Fatalf("advance status %d", code)
+	}
+
+	for want := 1; want <= 2; want++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before round %d: %v", want, sc.Err())
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if ev.Round != want {
+			t.Fatalf("round %d, want %d", ev.Round, want)
+		}
+	}
+}
+
+// TestStreamWhileAdvancing runs the advance loop and two live streams
+// concurrently — under -race this is the data-race proof for the
+// observer/hub/handler triangle, and functionally it checks a
+// subscriber that arrives mid-run still sees events.
+func TestStreamWhileAdvancing(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st JobStatus
+	if code := do(t, ts, http.MethodPost, "/v1/jobs",
+		JobRequest{RandomSellers: 10, K: 3, Rounds: 300, Seed: 9}, &st); code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	readEvents := func(query string, seen *int) {
+		defer wg.Done()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			ts.URL+"/v1/jobs/"+st.ID+"/events"+query, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("stream status %d", resp.StatusCode)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "data: ") || strings.HasPrefix(line, "{") {
+				*seen++
+			}
+		}
+	}
+	var sseSeen, ndSeen int
+	wg.Add(2)
+	go readEvents("", &sseSeen)
+	go readEvents("?format=ndjson", &ndSeen)
+	// Give both subscribers a moment to attach before the bursts.
+	time.Sleep(20 * time.Millisecond)
+
+	// Advance in bursts while both streams drain.
+	for i := 0; i < 10; i++ {
+		if code := do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance",
+			AdvanceRequest{Rounds: 20}, nil); code != http.StatusOK {
+			t.Fatalf("advance burst %d status %d", i, code)
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	if sseSeen == 0 || ndSeen == 0 {
+		t.Fatalf("streams starved: sse %d, ndjson %d", sseSeen, ndSeen)
+	}
+}
+
+// TestEventsMethodAndRoute locks the endpoint surface: POST is
+// rejected, an unknown job 404s, and the deadline middleware leaves
+// the stream alone even with a short RequestTimeout.
+func TestEventsMethodAndRoute(t *testing.T) {
+	s := New()
+	s.RequestTimeout = 50 * time.Millisecond // shorter than the streaming window below
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st JobStatus
+	if code := do(t, ts, http.MethodPost, "/v1/jobs",
+		JobRequest{RandomSellers: 6, K: 2, Rounds: 20, Seed: 3}, &st); code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+
+	if code := do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/events", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST events status %d", code)
+	}
+	if code := do(t, ts, http.MethodGet, "/v1/jobs/nope/events", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job events status %d", code)
+	}
+
+	// The stream outlives RequestTimeout: subscribe, wait past the
+	// timeout while advancing, and the events still arrive.
+	resp, sc := streamEvents(t, ts, st.ID, "?format=ndjson", nil)
+	defer resp.Body.Close()
+	time.Sleep(3 * s.RequestTimeout)
+	if code := do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance",
+		AdvanceRequest{Rounds: 1}, nil); code != http.StatusOK {
+		t.Fatal("advance failed")
+	}
+	if !sc.Scan() {
+		t.Fatalf("stream died before the first event: %v", sc.Err())
+	}
+	var ev JobEvent
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil || ev.Round != 1 {
+		t.Fatalf("event after timeout window: %q err %v", sc.Text(), err)
+	}
+}

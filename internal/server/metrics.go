@@ -41,6 +41,7 @@ var routes = []string{
 	"/v1/jobs/{id}/advance",
 	"/v1/jobs/{id}/snapshot",
 	"/v1/jobs/{id}/estimates",
+	"/v1/jobs/{id}/events",
 	"/v1/game/solve",
 	"/v1/stats",
 	"/metrics",
@@ -62,6 +63,8 @@ func routeOf(path string) string {
 				return "/v1/jobs/{id}/snapshot"
 			case "estimates":
 				return "/v1/jobs/{id}/estimates"
+			case "events":
+				return "/v1/jobs/{id}/events"
 			}
 			return "other"
 		}
@@ -87,6 +90,8 @@ type serverMetrics struct {
 
 	retryAttempts *metrics.Counter
 	retryFailures *metrics.Counter
+
+	eventsDropped *metrics.Counter
 }
 
 // Metrics returns the broker's metrics registry, building and
@@ -113,6 +118,8 @@ func (s *Server) Metrics() *metrics.Registry {
 			gamesSolved:    reg.Counter("cdt_games_solved_total", "Stateless game solves served."),
 			retryAttempts:  reg.Counter("cdt_store_retry_attempts_total", "State-store write attempts."),
 			retryFailures:  reg.Counter("cdt_store_retry_failures_total", "Failed state-store write attempts."),
+			eventsDropped: reg.Counter("cdt_job_events_dropped_total",
+				"Round events dropped because an /events subscriber could not keep up."),
 		}
 		for _, rt := range routes {
 			m.latency[rt] = reg.Histogram(mnLatency,
@@ -140,15 +147,18 @@ func (s *Server) met() *serverMetrics {
 	return s.metrics
 }
 
-// withMetrics is the outermost middleware: it times every request,
-// counts it by route pattern, method, and final status code, and
-// tracks the in-flight gauge. It installs the statusWriter the inner
-// layers (panic recovery) reuse.
+// withMetrics times every request, counts it by route pattern,
+// method, and final status code, and tracks the in-flight gauge. It
+// reuses the statusWriter the tracing layer installed (tracing wraps
+// it), creating one only when running unwrapped in tests.
 func (s *Server) withMetrics(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := s.met()
 		route := routeOf(r.URL.Path)
-		sw := &statusWriter{ResponseWriter: w}
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+		}
 		m.inFlight.Add(1)
 		start := time.Now()
 		defer func() {

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
+
+	"cmabhs/internal/tracing"
 )
 
 // This file hardens the broker against the failure modes a public
@@ -43,13 +46,22 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// harden wraps the raw mux with the middleware chain: metrics
-// outermost (it must observe the final status of every request,
-// including the rejections the inner layers produce), then body limits
+// Flush forwards to the underlying flusher so the event stream can
+// push rounds through the middleware stack as they happen.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// harden wraps the raw mux with the middleware chain: tracing
+// outermost (it assigns the request id and span every later layer —
+// and every rejection those layers produce — is correlated under),
+// then metrics (final status of every request), then body limits
 // (cheapest rejection), then the request deadline, then panic recovery
 // innermost so it sees the handler's own frame.
 func (s *Server) harden(h http.Handler) http.Handler {
-	return s.withMetrics(s.withBodyLimit(s.withDeadline(s.withRecovery(h))))
+	return s.withTracing(s.withMetrics(s.withBodyLimit(s.withDeadline(s.withRecovery(h)))))
 }
 
 // withRecovery converts a handler panic into a 500 response and a
@@ -59,7 +71,7 @@ func (s *Server) harden(h http.Handler) http.Handler {
 // the stdlib's own "abort this response" signal).
 func (s *Server) withRecovery(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// The metrics layer already wrapped w; reuse its statusWriter
+		// The tracing layer already wrapped w; reuse its statusWriter
 		// so the recovery 500 lands in the request counter too.
 		sw, ok := w.(*statusWriter)
 		if !ok {
@@ -74,7 +86,15 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 				panic(rec)
 			}
 			s.met().panics.Inc()
-			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			span := tracing.SpanFromContext(r.Context())
+			span.SetError(fmt.Errorf("panic: %v", rec))
+			s.logger().LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+				slog.String("trace_id", span.TraceID().String()),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("panic", fmt.Sprint(rec)),
+				slog.String("stack", string(debug.Stack())),
+			)
 			if !sw.wrote {
 				httpError(sw, http.StatusInternalServerError, "internal error")
 			}
@@ -86,10 +106,12 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 // withDeadline bounds every request by RequestTimeout. Handlers that
 // honor their context (the advance loop checks it at every round
 // boundary) degrade gracefully: they return the partial progress made
-// so far instead of being cut off mid-response.
+// so far instead of being cut off mid-response. The live event stream
+// is exempt — it is meant to outlive any single advance call and ends
+// when the client disconnects.
 func (s *Server) withDeadline(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.RequestTimeout > 0 {
+		if s.RequestTimeout > 0 && !strings.HasSuffix(r.URL.Path, "/events") {
 			ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)

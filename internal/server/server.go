@@ -14,6 +14,7 @@
 //	POST   /v1/jobs/{id}/advance  play up to {"rounds": n} rounds
 //	POST   /v1/jobs/{id}/snapshot durably snapshot the job, return the snapshot
 //	GET    /v1/jobs/{id}/estimates current quality estimates
+//	GET    /v1/jobs/{id}/events   live round-event stream (SSE; NDJSON with ?format=ndjson)
 //	DELETE /v1/jobs/{id}          drop the job (and its stored snapshot)
 //	POST   /v1/game/solve         stateless single-round game solve
 //
@@ -37,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"reflect"
@@ -49,6 +51,7 @@ import (
 	"cmabhs"
 	"cmabhs/internal/engine"
 	"cmabhs/internal/metrics"
+	"cmabhs/internal/tracing"
 )
 
 // JobRequest is the wire form of a market configuration.
@@ -245,6 +248,17 @@ type job struct {
 	horizon int
 	sess    *cmabhs.Session
 
+	// hub fans the job's round events out to /events subscribers. It
+	// has its own lock — subscribe/unsubscribe never waits on mu, so
+	// watching a job mid-advance is instant.
+	hub *eventHub
+
+	// traceHook, when set, receives each round event for span
+	// recording. Guarded by mu: the advance handler sets it before
+	// AdvanceContext and clears it after, under the same lock the
+	// advance itself holds.
+	traceHook func(*cmabhs.RoundEvent)
+
 	// Advance telemetry, guarded by mu like the session itself.
 	roundsAdvanced int64
 	advanceTotal   time.Duration
@@ -329,6 +343,21 @@ type Server struct {
 	// Metrics().
 	Registry *metrics.Registry
 
+	// Tracer, if non-nil, records request/round spans into its trace
+	// store (set it before serving to share the store with the debug
+	// listener); nil builds a private default-capacity one on first
+	// request. Reachable via Tracing().
+	Tracer *tracing.Tracer
+
+	// Logger, if non-nil, receives the per-request access lines and
+	// recovery diagnostics; nil falls back to slog.Default().
+	Logger *slog.Logger
+
+	// DebugAddr, if set, is reported in the healthz payload so
+	// operators can find the debug listener (/debug/pprof,
+	// /debug/traces) from the main port.
+	DebugAddr string
+
 	started time.Time
 
 	poolOnce sync.Once
@@ -336,6 +365,8 @@ type Server struct {
 
 	metricsOnce sync.Once
 	metrics     *serverMetrics
+
+	traceOnce sync.Once
 }
 
 // New returns an empty broker.
@@ -346,6 +377,25 @@ func New() *Server {
 		MaxAdvance: 100_000,
 		started:    time.Now(),
 	}
+}
+
+// newJob builds a job around a session and attaches the broker's
+// round observer. The observer is strictly passive (the simulation's
+// trajectory and snapshots are bit-identical with or without it) and
+// nearly free when nothing listens: per round it checks a nil func
+// and an atomic subscriber count, nothing more.
+func (s *Server) newJob(id string, sess *cmabhs.Session) *job {
+	cfg := sess.Config()
+	j := &job{
+		id:      id,
+		m:       len(cfg.Sellers),
+		k:       cfg.K,
+		horizon: cfg.Rounds,
+		sess:    sess,
+		hub:     newEventHub(s.met().eventsDropped),
+	}
+	sess.Observe(j.observe)
+	return j
 }
 
 // pool lazily builds the shared advance pool so MaxConcurrentAdvances
@@ -378,23 +428,36 @@ func (s *Server) Handler() http.Handler {
 // saveToStore writes one snapshot through the configured retry
 // policy: transient store failures (a slow disk, a flaky network
 // filesystem) back off and retry instead of failing the request.
-// Every attempt is counted into the store-retry metrics.
+// Every attempt is counted into the store-retry metrics and recorded
+// as a span event, so a trace of a snapshot request shows exactly how
+// many write attempts the store needed and what each one returned.
 func (s *Server) saveToStore(ctx context.Context, id string, data []byte) error {
 	m := s.met()
+	ctx, span := s.Tracing().StartSpan(ctx, "store.save")
+	span.SetAttr("job_id", id)
+	span.SetAttr("bytes", len(data))
+	defer span.End()
 	pol := s.StoreRetry
 	inner := pol.OnAttempt
 	pol.OnAttempt = func(attempt int, err error) {
 		m.retryAttempts.Inc()
+		evAttrs := map[string]any{"attempt": attempt}
 		if err != nil {
 			m.retryFailures.Inc()
+			evAttrs["error"] = err.Error()
 		}
+		span.AddEvent("attempt", evAttrs)
 		if inner != nil {
 			inner(attempt, err)
 		}
 	}
-	return engine.Retry(ctx, pol, func(ctx context.Context) error {
+	err := engine.Retry(ctx, pol, func(ctx context.Context) error {
 		return s.Store.Save(id, data)
 	})
+	if err != nil {
+		span.SetError(err)
+	}
+	return err
 }
 
 // Healthz is the wire form of the liveness probe.
@@ -406,6 +469,11 @@ type Healthz struct {
 	// configured Store, "ok" when the store lists cleanly, otherwise
 	// the error text.
 	StateStore string `json:"state_store"`
+	// Jobs is the live job count.
+	Jobs int `json:"jobs"`
+	// DebugAddr, when the debug listener is up, is its bind address
+	// (pprof, trace store).
+	DebugAddr string `json:"debug_addr,omitempty"`
 }
 
 // buildVersion returns the module build version baked in by the Go
@@ -418,11 +486,16 @@ func buildVersion() string {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	live := len(s.jobs)
+	s.mu.Unlock()
 	h := Healthz{
 		Status:        "ok",
 		Version:       buildVersion(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		StateStore:    "disabled",
+		Jobs:          live,
+		DebugAddr:     s.DebugAddr,
 	}
 	if s.Store != nil {
 		if _, err := s.Store.List(); err != nil {
@@ -496,7 +569,6 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		cfg := sess.Config()
 		s.mu.Lock()
 		if len(s.jobs) >= s.MaxJobs {
 			s.mu.Unlock()
@@ -504,13 +576,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.nextID++
-		j := &job{
-			id:      fmt.Sprintf("job-%d", s.nextID),
-			m:       len(cfg.Sellers),
-			k:       cfg.K,
-			horizon: cfg.Rounds,
-			sess:    sess,
-		}
+		j := s.newJob(fmt.Sprintf("job-%d", s.nextID), sess)
 		s.jobs[j.id] = j
 		s.mu.Unlock()
 		s.met().jobsCreated.Inc()
@@ -600,8 +666,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		// Load shedding: a saturated advance pool rejects immediately
 		// with a retry hint rather than queueing the request — bounded
 		// latency for the requests that are admitted, explicit
-		// backpressure for the ones that are not.
-		if !s.pool().TryAcquire() {
+		// backpressure for the ones that are not. The acquisition
+		// attempt gets its own span so a trace shows whether a request
+		// was admitted or shed, and against how much contention.
+		_, poolSpan := s.Tracing().StartSpan(r.Context(), "pool.acquire")
+		acquired := s.pool().TryAcquire()
+		poolSpan.SetAttr("acquired", acquired)
+		poolSpan.SetAttr("in_flight", s.pool().InUse())
+		poolSpan.End()
+		if !acquired {
 			hint := s.ShedRetryAfter
 			if hint <= 0 {
 				hint = time.Second
@@ -615,7 +688,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		defer s.pool().Release()
 		start := time.Now()
 		j.mu.Lock()
+		j.traceHook = s.roundSpanHook(r.Context(), id)
 		adv, err := j.sess.AdvanceContext(r.Context(), req.Rounds)
+		j.traceHook = nil
 		j.recordAdvance(len(adv.Played), time.Since(start))
 		st := j.status()
 		j.mu.Unlock()
@@ -647,6 +722,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			Persisted: persisted,
 			Snapshot:  json.RawMessage(data),
 		})
+
+	case action == "events" && r.Method == http.MethodGet:
+		s.handleJobEvents(w, r, j)
 
 	case action == "estimates" && r.Method == http.MethodGet:
 		j.mu.Lock()
@@ -722,14 +800,7 @@ func (s *Server) LoadAll() error {
 		if err != nil {
 			return fmt.Errorf("server: resume %s: %w", id, err)
 		}
-		cfg := sess.Config()
-		j := &job{
-			id:      id,
-			m:       len(cfg.Sellers),
-			k:       cfg.K,
-			horizon: cfg.Rounds,
-			sess:    sess,
-		}
+		j := s.newJob(id, sess)
 		s.mu.Lock()
 		s.jobs[id] = j
 		if n, ok := strings.CutPrefix(id, "job-"); ok {

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"cmabhs"
+	"cmabhs/internal/tracing"
+)
+
+// This file is the broker's request-correlation layer: every request
+// gets a trace span (outermost in the middleware chain, so sheds,
+// body rejections, and recovered panics are all captured), a
+// sanitized-or-generated X-Request-ID echoed on every response
+// including the error-envelope paths, W3C traceparent ingest so a
+// caller's trace id is joined rather than replaced, and one
+// structured access-log line per request carrying trace_id, route,
+// code, and duration. Child spans cover advance-pool acquisition,
+// store writes (one span event per retry attempt), and — through the
+// round-observer adapter below — each trading round played.
+
+// maxRequestIDLen caps an accepted caller-supplied X-Request-ID.
+const maxRequestIDLen = 64
+
+// maxRoundSpans bounds the per-round child spans one advance request
+// records; past it the request span carries a single cap notice so a
+// 100k-round advance cannot flood the trace buffer.
+const maxRoundSpans = 128
+
+// Tracing returns the broker's tracer, building a default one
+// (tracing.DefaultCapacity traces) on first use. Set the Tracer field
+// before serving to size or share it; its store feeds GET
+// /debug/traces on the debug listener.
+func (s *Server) Tracing() *tracing.Tracer {
+	s.traceOnce.Do(func() {
+		if s.Tracer == nil {
+			s.Tracer = tracing.New(0)
+		}
+	})
+	return s.Tracer
+}
+
+// logger returns the structured logger, defaulting to slog.Default.
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// sanitizeRequestID filters a caller-supplied request id down to
+// [A-Za-z0-9._-] and caps its length; anything else (including an
+// id that sanitizes to nothing) is discarded so log lines and trace
+// attributes never carry attacker-controlled bytes.
+func sanitizeRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// withTracing is the outermost middleware: it assigns the request id
+// and trace span before anything can reject the request, so every
+// response — 2xx, shed 429, 413, recovered 500 — carries both.
+func (s *Server) withTracing(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := s.Tracing()
+		reqID := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if reqID == "" {
+			reqID = tr.NewRequestID()
+		}
+		ctx := r.Context()
+		if tid, sid, ok := tracing.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = tracing.ContextWithRemote(ctx, tid, sid)
+		}
+		route := routeOf(r.URL.Path)
+		ctx, span := tr.StartSpan(ctx, "http "+r.Method+" "+route)
+		span.SetAttr("route", route)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("request_id", reqID)
+		w.Header().Set("X-Request-ID", reqID)
+		w.Header().Set("Traceparent", tracing.FormatTraceparent(span.TraceID(), span.SpanID()))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			span.SetAttr("code", code)
+			span.End()
+			s.logger().LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("trace_id", span.TraceID().String()),
+				slog.String("request_id", reqID),
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("code", code),
+				slog.Duration("duration", time.Since(start)),
+			)
+		}()
+		h.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// roundSpanHook builds the tracing RoundObserver adapter for one
+// advance request: each completed round becomes a child span of the
+// request span, backdated to the previous round boundary and carrying
+// the job id and round index as attributes. The hook is strictly
+// passive — it reads the event and writes only into the tracer.
+// Returns nil when the request carries no span to parent under.
+func (s *Server) roundSpanHook(ctx context.Context, jobID string) func(*cmabhs.RoundEvent) {
+	parent := tracing.SpanFromContext(ctx)
+	if parent == nil {
+		return nil
+	}
+	tr := s.Tracing()
+	n := 0
+	last := time.Now()
+	return func(ev *cmabhs.RoundEvent) {
+		n++
+		if n > maxRoundSpans {
+			if n == maxRoundSpans+1 {
+				parent.AddEvent("round spans capped", map[string]any{"cap": maxRoundSpans})
+			}
+			return
+		}
+		_, sp := tr.StartSpanAt(ctx, "round", last)
+		sp.SetAttr("job_id", jobID)
+		sp.SetAttr("round", ev.Round.Round)
+		if ev.Round.NoTrade {
+			sp.SetAttr("no_trade", true)
+		}
+		if len(ev.FailedSellers) > 0 {
+			sp.SetAttr("failed_sellers", len(ev.FailedSellers))
+		}
+		sp.End()
+		last = time.Now()
+	}
+}

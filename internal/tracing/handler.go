@@ -1,0 +1,59 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TraceListResponse is the wire form of GET /debug/traces.
+type TraceListResponse struct {
+	Traces       []TraceSummary `json:"traces"`
+	Evicted      uint64         `json:"evicted"`
+	DroppedSpans uint64         `json:"dropped_spans"`
+}
+
+// Handler serves the trace store for debugging:
+//
+//	GET /debug/traces          list stored traces, newest first (?limit=n)
+//	GET /debug/traces/{id}     one trace's full span list
+//
+// Mount it on the debug listener next to pprof — trace attributes can
+// carry request ids and job ids, so keep it off the public port.
+func Handler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			debugJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/traces")
+		rest = strings.Trim(rest, "/")
+		if rest == "" {
+			out := TraceListResponse{
+				Traces:       s.Traces(),
+				Evicted:      s.Evicted(),
+				DroppedSpans: s.DroppedSpans(),
+			}
+			if n, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && n >= 0 && n < len(out.Traces) {
+				out.Traces = out.Traces[:n]
+			}
+			debugJSON(w, http.StatusOK, out)
+			return
+		}
+		detail, ok := s.Trace(rest)
+		if !ok {
+			debugJSON(w, http.StatusNotFound, map[string]string{"error": "no trace " + rest})
+			return
+		}
+		debugJSON(w, http.StatusOK, detail)
+	})
+}
+
+func debugJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

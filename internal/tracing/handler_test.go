@@ -1,0 +1,82 @@
+package tracing
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerListAndDetail(t *testing.T) {
+	tr := NewSeeded(7, 8)
+	ctx, root := tr.StartSpan(context.Background(), "http POST /v1/jobs/{id}/advance")
+	_, child := tr.StartSpan(ctx, "round")
+	child.SetAttr("round", 1)
+	child.End()
+	root.End()
+	_, lone := tr.StartSpan(context.Background(), "http GET /v1/healthz")
+	lone.End()
+
+	h := Handler(tr.Store())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var list TraceListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 2 {
+		t.Fatalf("%d traces listed, want 2", len(list.Traces))
+	}
+	// Newest first: the healthz trace finished last.
+	if list.Traces[0].Name != "http GET /v1/healthz" {
+		t.Fatalf("newest-first order broken: %+v", list.Traces)
+	}
+	if list.Traces[1].Spans != 2 {
+		t.Fatalf("advance trace lists %d spans, want 2", list.Traces[1].Spans)
+	}
+
+	// ?limit trims the listing.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces?limit=1", nil))
+	list = TraceListResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 {
+		t.Fatalf("limit=1 returned %d traces", len(list.Traces))
+	}
+
+	// Detail carries the span tree.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/"+root.TraceID().String(), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail status %d", rec.Code)
+	}
+	var detail TraceDetail
+	if err := json.Unmarshal(rec.Body.Bytes(), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Spans) != 2 || detail.Spans[0].Name != "round" {
+		t.Fatalf("detail spans %+v", detail.Spans)
+	}
+	if detail.Spans[0].ParentID != root.SpanID().String() {
+		t.Fatal("child span lost its parent through the wire")
+	}
+
+	// Unknown trace and wrong method.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/ffffffffffffffffffffffffffffffff", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/traces", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", rec.Code)
+	}
+}

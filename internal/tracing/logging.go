@@ -1,0 +1,42 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured-logging half of the layer: one place the CLIs build
+// their slog handler from -log-format/-log-level flags, so every
+// binary emits the same schema (text for humans, JSON for shippers)
+// and the same level vocabulary.
+
+// NewLogger builds a slog.Logger writing to w. format is "text" or
+// "json"; level is "debug", "info", "warn", or "error". Unknown
+// values return an error so a typo in a flag fails loudly at startup
+// instead of silently logging at the wrong level.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("tracing: unknown log level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("tracing: unknown log format %q (text|json)", format)
+	}
+}
