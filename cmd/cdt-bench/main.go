@@ -19,6 +19,16 @@
 // with -json — writing one {name, iters, ns_per_op, allocs_per_op,
 // bytes_per_op} record per case. CI archives that file per PR as the
 // performance trajectory.
+//
+// Adding -baseline <file> diffs the fresh run against an archived
+// trajectory and exits non-zero when any case regressed more than
+// -regress-pct percent (default 25) on ns/op or allocs/op:
+//
+//	cdt-bench -bench -json new.json -baseline old.json
+//
+// The comparison is only meaningful when both trajectories were
+// produced on the same machine; CI builds the merge-base and the PR
+// head on one runner for exactly this reason.
 package main
 
 import (
@@ -46,6 +56,8 @@ func main() {
 		jsonPath = flag.String("json", "", "also write figures as JSON to this file")
 		chart    = flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
 		bench    = flag.Bool("bench", false, "run the micro-benchmark set instead of figure experiments (-json writes the trajectory)")
+		baseline = flag.String("baseline", "", "with -bench: compare against this archived trajectory and exit non-zero on regressions")
+		regress  = flag.Float64("regress-pct", 25, "with -baseline: fail when ns/op or allocs/op regress more than this percentage")
 	)
 	flag.Parse()
 
@@ -53,9 +65,16 @@ func main() {
 	defer stop()
 
 	if *bench {
-		if err := runMicroBenches(*jsonPath); err != nil {
+		results, err := runMicroBenches(*jsonPath)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "cdt-bench:", err)
 			os.Exit(1)
+		}
+		if *baseline != "" {
+			if err := diffAgainstBaseline(results, *baseline, *regress); err != nil {
+				fmt.Fprintln(os.Stderr, "cdt-bench:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

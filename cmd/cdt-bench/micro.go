@@ -124,7 +124,8 @@ var microBenches = []benchCase{
 
 // runMicroBenches executes the registry, prints an aligned table to
 // stdout, and (with -json) writes the machine-readable trajectory.
-func runMicroBenches(jsonPath string) error {
+// The results are returned for -baseline comparison.
+func runMicroBenches(jsonPath string) ([]BenchResult, error) {
 	results := make([]BenchResult, 0, len(microBenches))
 	fmt.Printf("%-28s %12s %14s %12s %12s\n", "benchmark", "iters", "ns/op", "B/op", "allocs/op")
 	for _, bc := range microBenches {
@@ -141,17 +142,17 @@ func runMicroBenches(jsonPath string) error {
 			br.Name, br.Iters, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
 	}
 	if jsonPath == "" {
-		return nil
+		return results, nil
 	}
 	f, err := os.Create(jsonPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
-	return f.Close()
+	return results, f.Close()
 }

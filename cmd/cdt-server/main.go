@@ -1,11 +1,17 @@
 // Command cdt-server runs the CDT broker as an HTTP/JSON service.
 //
-//	cdt-server -addr :8080 [-state-dir /var/lib/cdt] [-debug-addr :6060]
+//	cdt-server -addr :8080 [-state-dir /var/lib/cdt [-wal] [-compact-every n]]
+//	           [-shards n] [-debug-addr :6060]
 //	           [-log-format text|json] [-log-level debug|info|warn|error]
 //
 // With -state-dir set, jobs are snapshotted to disk on graceful
 // shutdown (SIGINT/SIGTERM) and on POST /v1/jobs/{id}/snapshot, and
-// reloaded at the persisted round on the next start.
+// reloaded at the persisted round on the next start. Adding -wal
+// additionally keeps a per-job write-ahead round log: every advance
+// appends the rounds it played, the tail is folded into a fresh
+// snapshot every -compact-every rounds, and recovery after a crash
+// (kill -9 included) replays the WAL tail on top of the last snapshot
+// — round-granular durability instead of last-explicit-snapshot.
 //
 // Prometheus metrics are served at GET /metrics on the main address.
 // With -debug-addr set, a second listener additionally serves
@@ -73,7 +79,10 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", 64, "maximum concurrently live jobs")
 		maxAdvance  = flag.Int("max-advance", 100_000, "maximum rounds per advance call")
 		maxInflight = flag.Int("max-concurrent-advances", 16, "maximum advance calls executing at once")
+		shards      = flag.Int("shards", 16, "job-registry lock stripes (rounded up to a power of two)")
 		stateDir    = flag.String("state-dir", "", "directory for durable job snapshots (empty: in-memory only)")
+		useWAL      = flag.Bool("wal", false, "with -state-dir: keep a per-job write-ahead round log next to the snapshots, making crash recovery round-granular")
+		compactEvry = flag.Int("compact-every", 4096, "with -wal: fold a job's WAL tail into a fresh snapshot once it holds this many rounds")
 		reqTimeout  = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline; advances return partial progress at expiry (0: none)")
 		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum request body size in bytes (413 past this)")
 		shedAfter   = flag.Duration("shed-retry-after", time.Second, "Retry-After hint sent with 429 when the advance pool is saturated")
@@ -95,13 +104,21 @@ func main() {
 	srv.MaxJobs = *maxJobs
 	srv.MaxAdvance = *maxAdvance
 	srv.MaxConcurrentAdvances = *maxInflight
+	srv.Shards = *shards
+	srv.CompactEvery = *compactEvry
 	srv.RequestTimeout = *reqTimeout
 	srv.MaxBodyBytes = *maxBody
 	srv.ShedRetryAfter = *shedAfter
 	srv.Logger = lg
 	srv.Tracer = tracing.New(*traceCap)
 	if *stateDir != "" {
-		store, err := server.NewFileStore(*stateDir)
+		var store server.Store
+		var err error
+		if *useWAL {
+			store, err = server.NewWALStore(*stateDir)
+		} else {
+			store, err = server.NewFileStore(*stateDir)
+		}
 		if err != nil {
 			lg.Error("open state dir", "error", err)
 			os.Exit(1)
@@ -163,6 +180,9 @@ func main() {
 			lg.Error("snapshot jobs", "error", err)
 		} else {
 			lg.Info("snapshotted jobs", "state_dir", *stateDir)
+		}
+		if ws, ok := srv.Store.(*server.WALStore); ok {
+			_ = ws.Close() // appends are already fsynced; just release handles
 		}
 	}
 	lg.Info("stopped")

@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmabhs/internal/server"
+)
+
+// kitchenSinkJob is a job request with every fault model active — the
+// hardest state the WAL recovery path has to carry bit-identically.
+const kitchenSinkJob = `{"random_sellers":12,"k":4,"rounds":60,"seed":31,` +
+	`"faults":{"channel":{"good_to_bad":0.2,"bad_to_good":0.5,"loss_bad":0.8},` +
+	`"churn":{"rate":0.004},` +
+	`"byzantine":{"fraction":0.25,"mode":"random"}}}`
+
+// walKill models a kill -9: the broker object and its store handles
+// are dropped with no SaveAll, and tear bytes are then sliced off the
+// end of the job's WAL segment — the torn final line a crash
+// mid-append leaves behind. It returns a fresh broker recovered from
+// the directory.
+func walKill(t *testing.T, ws *server.WALStore, dir, id string, tear int) (*server.Server, *server.WALStore) {
+	t.Helper()
+	ws.Close()
+	if tear > 0 {
+		// A crash can only tear un-synced tail bytes of the last
+		// append; the header and every previously fsynced record are
+		// durable. Clamp the tear to the record region so the injected
+		// fault stays inside what a real kill -9 can produce (a
+		// compaction may have just reset the segment to header-only,
+		// in which case the kill is clean).
+		path := filepath.Join(dir, id+".wal")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := bytes.IndexByte(data, '\n') + 1
+		if tail := len(data) - hdr; tear > tail {
+			tear = tail
+		}
+		if tear > 0 {
+			if err := os.Truncate(path, int64(len(data)-tear)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ws2, err := server.NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := recoverBroker(ws2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ws2
+}
+
+func recoverBroker(ws *server.WALStore) (*server.Server, error) {
+	s := server.New()
+	s.Store = ws
+	s.CompactEvery = 16 // small: kill points land before, on, and after compactions
+	if err := s.LoadAll(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// TestWALKillPointsBitIdentical is the tentpole chaos check: a broker
+// on a WAL store is killed WITHOUT SaveAll at several points of a
+// kitchen-sink-faults job — including kills that tear the segment's
+// final line, and one that tears deep enough to eat whole records —
+// and the recovered run's final result must be byte-identical to an
+// uninterrupted control run. Torn records are safe precisely because
+// replay is deterministic: a round the log lost is simply re-played
+// live after resume, landing on the same bits.
+func TestWALKillPointsBitIdentical(t *testing.T) {
+	ctrl := server.New()
+	ctrlID := createJob(t, ctrl.Handler(), kitchenSinkJob)
+	want := advanceAll(t, ctrl.Handler(), ctrlID, 60)
+
+	// Kill schedule: (rounds advanced before the kill, bytes torn off
+	// the segment tail). 0 = clean kill mid-run; small tears cut the
+	// final record's line; 400 is deeper than one record and eats into
+	// earlier ones, forcing a multi-round live re-play.
+	schedule := []struct{ rounds, tear int }{
+		{1, 0},    // killed one round after creation
+		{9, 7},    // torn final line
+		{17, 1},   // a compaction ran this leg: kill lands on a fresh segment
+		{15, 400}, // deep tear: several records re-played live
+		{8, 0},
+	}
+
+	dir := t.TempDir()
+	ws, err := server.NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := recoverBroker(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := createJob(t, s.Handler(), kitchenSinkJob)
+	if id != ctrlID {
+		t.Fatalf("arm ids diverged: %q vs %q", id, ctrlID)
+	}
+	played := 0
+	for i, k := range schedule {
+		advanceN(t, s.Handler(), id, k.rounds)
+		played += k.rounds
+		s, ws = walKill(t, ws, dir, id, k.tear)
+		// The recovered cursor must sit at most k.tear's worth of
+		// records behind the advance — never ahead, never at job
+		// creation.
+		st := jobStatus(t, s, id)
+		if st.NextRound > played+1 {
+			t.Fatalf("kill %d: recovered AHEAD of play: next_round %d > %d", i, st.NextRound, played+1)
+		}
+		if st.NextRound <= 1 && played > 0 {
+			t.Fatalf("kill %d: recovery fell back to job creation", i)
+		}
+		// Re-advance whatever the tear lost so every kill point starts
+		// the next leg at the same round as an uninterrupted run.
+		if lost := played + 1 - st.NextRound; lost > 0 {
+			advanceN(t, s.Handler(), id, lost)
+		}
+	}
+	got := advanceAll(t, s.Handler(), id, 60-played) // overshoot clamps at done
+	if !bytes.Equal(want, got) {
+		t.Fatalf("WAL kill/resume diverged from control:\nclean   %s\nresumed %s", want, got)
+	}
+	ws.Close()
+}
+
+// TestWALKillEveryRound sweeps the kill point across every round of a
+// short faulty job: for each k the broker is killed (no SaveAll)
+// after k rounds with a torn tail, recovered, run to completion, and
+// compared to the control. This is the WAL analogue of the mechanism
+// layer's per-round kill schedule.
+func TestWALKillEveryRound(t *testing.T) {
+	const rounds = 12
+	req := `{"random_sellers":8,"k":3,"rounds":12,"seed":5,` +
+		`"faults":{"channel":{"good_to_bad":0.3,"bad_to_good":0.6,"loss_bad":0.7},` +
+		`"byzantine":{"fraction":0.3,"mode":"random"}}}`
+
+	ctrl := server.New()
+	want := advanceAll(t, ctrl.Handler(), createJob(t, ctrl.Handler(), req), rounds)
+
+	for k := 1; k < rounds; k++ {
+		k := k
+		t.Run(fmt.Sprintf("kill_after_%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			ws, err := server.NewWALStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := recoverBroker(ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := createJob(t, s.Handler(), req)
+			advanceN(t, s.Handler(), id, k)
+			tear := (k % 3) * 5 // rotate: clean kill, 5-byte tear, 10-byte tear
+			s, ws = walKill(t, ws, dir, id, tear)
+			defer ws.Close()
+			got := advanceAll(t, s.Handler(), id, rounds) // overshoot clamps at done
+			if !bytes.Equal(want, got) {
+				t.Fatalf("kill after %d (tear %d) diverged:\nclean   %s\nresumed %s", k, tear, want, got)
+			}
+		})
+	}
+}
+
+// jobStatus fetches a job's status struct from a broker.
+func jobStatus(t *testing.T, s *server.Server, id string) server.JobStatus {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

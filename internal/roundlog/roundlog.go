@@ -59,9 +59,9 @@ func NewWriter(w io.Writer, policy string) (*Writer, error) {
 	return &Writer{w: bw, enc: enc}, nil
 }
 
-// Append journals one round record.
-func (w *Writer) Append(rec *core.RoundRecord) error {
-	return w.enc.Encode(entry{
+// newEntry converts a round record to its journal line form.
+func newEntry(rec *core.RoundRecord) entry {
+	return entry{
 		T:   rec.Round,
 		Sel: rec.Selected,
 		PJ:  rec.PJ,
@@ -72,7 +72,31 @@ func (w *Writer) Append(rec *core.RoundRecord) error {
 		PoS: rec.SellerProfits,
 		NT:  rec.NoTrade,
 		Rev: rec.Realized,
-	})
+	}
+}
+
+// record converts a journal line back to a round record. TotalTau is
+// recomputed from the sensing times; AggRMSE is not journaled (NaN).
+func (e *entry) record() core.RoundRecord {
+	return core.RoundRecord{
+		Round:         e.T,
+		Selected:      e.Sel,
+		PJ:            e.PJ,
+		P:             e.P,
+		Taus:          e.Tau,
+		PoC:           e.PoC,
+		PoP:           e.PoP,
+		SellerProfits: e.PoS,
+		NoTrade:       e.NT,
+		Realized:      e.Rev,
+		TotalTau:      numutil.SumSlice(e.Tau),
+		AggRMSE:       math.NaN(),
+	}
+}
+
+// Append journals one round record.
+func (w *Writer) Append(rec *core.RoundRecord) error {
+	return w.enc.Encode(newEntry(rec))
 }
 
 // Flush writes any buffered entries through to the underlying writer.
@@ -112,20 +136,7 @@ func Read(r io.Reader) (policy string, rounds []core.RoundRecord, err error) {
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
 			return "", nil, fmt.Errorf("roundlog: line %d: %w", line, err)
 		}
-		rounds = append(rounds, core.RoundRecord{
-			Round:         e.T,
-			Selected:      e.Sel,
-			PJ:            e.PJ,
-			P:             e.P,
-			Taus:          e.Tau,
-			PoC:           e.PoC,
-			PoP:           e.PoP,
-			SellerProfits: e.PoS,
-			NoTrade:       e.NT,
-			Realized:      e.Rev,
-			TotalTau:      numutil.SumSlice(e.Tau),
-			AggRMSE:       math.NaN(),
-		})
+		rounds = append(rounds, e.record())
 	}
 	if err := sc.Err(); err != nil {
 		return "", nil, err

@@ -1,0 +1,149 @@
+package roundlog
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"cmabhs/internal/core"
+)
+
+func segRecords(n, base int) []core.RoundRecord {
+	recs := make([]core.RoundRecord, n)
+	for i := range recs {
+		recs[i] = core.RoundRecord{
+			Round:         base + i,
+			Selected:      []int{i, i + 1},
+			PJ:            1.5 + float64(i),
+			P:             0.25 * float64(i+1),
+			Taus:          []float64{0.5, 1.25},
+			TotalTau:      1.75,
+			PoC:           10 + float64(i),
+			PoP:           5 - float64(i),
+			SellerProfits: []float64{0.1, 0.2},
+			NoTrade:       i%3 == 0,
+			Realized:      float64(i) * 1.125,
+		}
+	}
+	return recs
+}
+
+func buildSegment(t *testing.T, job string, base int, recs []core.RoundRecord) []byte {
+	t.Helper()
+	hdr, err := EncodeSegmentHeader(job, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := EncodeSegmentRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(hdr, body...)
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	recs := segRecords(5, 7)
+	data := buildSegment(t, "job-3", 7, recs)
+
+	seg, err := ReadSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Job != "job-3" || seg.Base != 7 || seg.Torn {
+		t.Fatalf("header round-trip: %+v", seg)
+	}
+	if len(seg.Rounds) != len(recs) {
+		t.Fatalf("got %d rounds, want %d", len(seg.Rounds), len(recs))
+	}
+	for i, got := range seg.Rounds {
+		want := recs[i]
+		if got.Round != want.Round || got.PJ != want.PJ || got.P != want.P ||
+			got.PoC != want.PoC || got.PoP != want.PoP || got.Realized != want.Realized ||
+			got.NoTrade != want.NoTrade {
+			t.Errorf("round %d: got %+v want %+v", i, got, want)
+		}
+		if !math.IsNaN(got.AggRMSE) {
+			t.Errorf("round %d: AggRMSE should be NaN after decode, got %v", i, got.AggRMSE)
+		}
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	data := buildSegment(t, "job-1", 1, nil)
+	seg, err := ReadSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Rounds) != 0 || seg.Torn || seg.Base != 1 {
+		t.Fatalf("empty segment: %+v", seg)
+	}
+}
+
+// A crash mid-append leaves a final line with no terminating newline:
+// it must be discarded and reported, and every preceding line kept.
+func TestSegmentTornTailNoNewline(t *testing.T) {
+	recs := segRecords(4, 1)
+	data := buildSegment(t, "job-1", 1, recs)
+	for cut := 1; cut < 40; cut += 7 {
+		torn := data[:len(data)-cut]
+		seg, err := ReadSegment(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !seg.Torn {
+			t.Fatalf("cut %d: tear not reported", cut)
+		}
+		if len(seg.Rounds) != 3 {
+			t.Fatalf("cut %d: kept %d rounds, want 3", cut, len(seg.Rounds))
+		}
+	}
+}
+
+// A torn write that happens to end at a newline (e.g. garbage bytes
+// flushed before the crash) shows up as an undecodable final line —
+// discarded the same way.
+func TestSegmentTornTailBadJSONLine(t *testing.T) {
+	data := buildSegment(t, "job-1", 1, segRecords(2, 1))
+	data = append(data, []byte("{\"t\":3,\"sel\":[1\n")...)
+	seg, err := ReadSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Torn || len(seg.Rounds) != 2 {
+		t.Fatalf("torn=%v rounds=%d, want torn with 2 rounds", seg.Torn, len(seg.Rounds))
+	}
+}
+
+// Corruption anywhere except the final line is NOT a torn tail — it
+// means lost history, and the read must fail instead of silently
+// truncating the log.
+func TestSegmentMidFileCorruptionFails(t *testing.T) {
+	recs := segRecords(3, 1)
+	hdr, _ := EncodeSegmentHeader("job-1", 1)
+	line1, _ := EncodeSegmentRecords(recs[:1])
+	line3, _ := EncodeSegmentRecords(recs[2:])
+	data := append(hdr, line1...)
+	data = append(data, []byte("not json\n")...)
+	data = append(data, line3...)
+	if _, err := ReadSegment(data); err == nil {
+		t.Fatal("mid-file corruption read back without error")
+	}
+}
+
+func TestSegmentHeaderErrors(t *testing.T) {
+	if _, err := ReadSegment(nil); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("empty file: %v", err)
+	}
+	if _, err := ReadSegment([]byte("{\"schema\":\"cdt-roundlog\",\"version\":1}\n")); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("audit-journal header accepted as segment: %v", err)
+	}
+	if _, err := ReadSegment([]byte("{\"schema\":\"cdt-wal\",\"version\":99,\"job\":\"j\",\"base\":1}\n")); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: %v", err)
+	}
+	// A header-only file whose single line is torn has no header yet.
+	hdr, _ := EncodeSegmentHeader("job-1", 1)
+	if _, err := ReadSegment(bytes.TrimSuffix(hdr, []byte("\n"))); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("torn header: %v", err)
+	}
+}

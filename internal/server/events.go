@@ -103,12 +103,17 @@ func (h *eventHub) publish(ev JobEvent) {
 
 // observe is the job's round observer, attached for the duration of
 // every advance call (it runs on the advance goroutine, which holds
-// j.mu). It fans the borrowed event out to the tracing hook and, only
-// when someone is listening, copies it onto the wire form for the
-// hub — so an unwatched, untraced advance pays two cheap checks.
+// j.mu). It fans the borrowed event out to the tracing hook, buffers
+// the round for the write-ahead log when the broker runs on a
+// RoundWAL store, and, only when someone is listening, copies it onto
+// the wire form for the hub — so an unwatched, untraced advance on a
+// snapshot-only store pays three cheap checks.
 func (j *job) observe(ev *cmabhs.RoundEvent) {
 	if j.traceHook != nil {
 		j.traceHook(ev)
+	}
+	if j.walLog {
+		j.walRecs = append(j.walRecs, coreRecord(&ev.Round))
 	}
 	if j.hub.active() {
 		j.hub.publish(j.wireEvent(ev))

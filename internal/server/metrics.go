@@ -92,6 +92,11 @@ type serverMetrics struct {
 	retryFailures *metrics.Counter
 
 	eventsDropped *metrics.Counter
+
+	walAppended     *metrics.Counter
+	walCompactions  *metrics.Counter
+	walAppendErrors *metrics.Counter
+	walReplayed     *metrics.Counter
 }
 
 // Metrics returns the broker's metrics registry, building and
@@ -120,16 +125,32 @@ func (s *Server) Metrics() *metrics.Registry {
 			retryFailures:  reg.Counter("cdt_store_retry_failures_total", "Failed state-store write attempts."),
 			eventsDropped: reg.Counter("cdt_job_events_dropped_total",
 				"Round events dropped because an /events subscriber could not keep up."),
+			walAppended: reg.Counter("cdt_wal_appended_rounds_total",
+				"Rounds appended to per-job WAL segments."),
+			walCompactions: reg.Counter("cdt_wal_compactions_total",
+				"WAL compactions: segment tails folded into fresh snapshots."),
+			walAppendErrors: reg.Counter("cdt_wal_append_errors_total",
+				"Failed WAL appends or compactions (durability degraded to the last intact prefix)."),
+			walReplayed: reg.Counter("cdt_wal_replayed_rounds_total",
+				"Rounds replayed from WAL tails during crash recovery."),
 		}
 		for _, rt := range routes {
 			m.latency[rt] = reg.Histogram(mnLatency,
 				"HTTP request latency in seconds, by route pattern.", nil, metrics.L("route", rt))
 		}
 		reg.GaugeFunc("cdt_jobs_live", "Live trading jobs.", func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(len(s.jobs))
+			return float64(s.registry().len())
 		})
+		// Per-shard occupancy. Shard indexes are a fixed, small label
+		// universe (unlike job ids), so a per-shard family is safe; a
+		// hot shard shows up as one gauge pulling away from the rest.
+		reg.GaugeFunc("cdt_registry_shards", "Job-registry stripe count.",
+			func() float64 { return float64(s.registry().shardCount()) })
+		for i := 0; i < s.registry().shardCount(); i++ {
+			reg.GaugeFunc("cdt_registry_shard_jobs", "Live jobs per registry shard.",
+				func() float64 { return float64(s.registry().shardLen(i)) },
+				metrics.L("shard", strconv.Itoa(i)))
+		}
 		reg.GaugeFunc("cdt_advance_pool_capacity", "Advance worker-pool capacity.",
 			func() float64 { return float64(s.pool().Cap()) })
 		reg.GaugeFunc("cdt_advance_pool_active", "Advance calls executing right now.",

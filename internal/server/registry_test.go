@@ -1,0 +1,261 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegistryShardRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, defaultShards}, {-3, defaultShards},
+		{1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32},
+		{maxShards, maxShards}, {maxShards + 1, maxShards},
+	}
+	for _, c := range cases {
+		if got := newRegistry(c.in).shardCount(); got != c.want {
+			t.Errorf("newRegistry(%d): %d shards, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegistryBasicOps(t *testing.T) {
+	r := newRegistry(4)
+	if r.len() != 0 {
+		t.Fatalf("fresh registry holds %d jobs", r.len())
+	}
+	j := &job{id: r.allocID()}
+	if j.id != "job-1" {
+		t.Fatalf("first id %q", j.id)
+	}
+	if !r.putIfBelow(j, 10) {
+		t.Fatal("put below cap rejected")
+	}
+	if got, ok := r.get(j.id); !ok || got != j {
+		t.Fatalf("get(%q) = %v, %v", j.id, got, ok)
+	}
+	if r.putIfBelow(&job{id: j.id}, 10) {
+		t.Fatal("duplicate id accepted")
+	}
+	if r.len() != 1 {
+		t.Fatalf("len after collision rollback: %d", r.len())
+	}
+	if r.remove(j.id) != j {
+		t.Fatal("remove of live id failed")
+	}
+	if r.remove(j.id) != nil {
+		t.Fatal("second remove succeeded")
+	}
+	if r.len() != 0 {
+		t.Fatalf("len after remove: %d", r.len())
+	}
+}
+
+func TestRegistryCapIsExact(t *testing.T) {
+	r := newRegistry(8)
+	const cap = 5
+	for i := 0; i < cap; i++ {
+		if !r.putIfBelow(&job{id: r.allocID()}, cap) {
+			t.Fatalf("insert %d rejected below cap", i)
+		}
+	}
+	if r.putIfBelow(&job{id: r.allocID()}, cap) {
+		t.Fatal("insert above cap accepted")
+	}
+	// cap<=0 means unlimited.
+	if !r.putIfBelow(&job{id: r.allocID()}, 0) {
+		t.Fatal("unlimited insert rejected")
+	}
+}
+
+// The cap must hold exactly even when every slot is contended: spawn
+// far more writers than slots and count acceptances.
+func TestRegistryCapUnderContention(t *testing.T) {
+	r := newRegistry(16)
+	const cap, writers = 10, 64
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r.putIfBelow(&job{id: r.allocID()}, cap) {
+				accepted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if accepted.Load() != cap || r.len() != cap {
+		t.Fatalf("accepted %d (len %d), want exactly %d", accepted.Load(), r.len(), cap)
+	}
+}
+
+func TestRegistrySnapshotAndObserveID(t *testing.T) {
+	r := newRegistry(4)
+	want := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		id := r.allocID()
+		want[id] = true
+		r.put(&job{id: id})
+	}
+	snap := r.snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d jobs, want %d", len(snap), len(want))
+	}
+	for _, j := range snap {
+		if !want[j.id] {
+			t.Fatalf("snapshot holds unknown id %q", j.id)
+		}
+	}
+
+	// observeID is a CAS-max: lower observations never move nextID back.
+	r.observeID(50)
+	r.observeID(7)
+	if id := r.allocID(); id != "job-51" {
+		t.Fatalf("alloc after observe: %q, want job-51", id)
+	}
+}
+
+// Satellite: hammer create/advance/status/delete across shards under
+// -race with an events subscriber attached, then prove no job was
+// lost and that a reloaded broker mints ids past everything persisted.
+func TestRegistryConcurrentChurn(t *testing.T) {
+	ws := newWALStore(t)
+	srv := New()
+	srv.Store = ws
+	srv.MaxJobs = 0 // unlimited: every create must land
+	srv.Shards = 8
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	const perWorker = 6
+	var created, deleted atomic.Int64
+
+	// One events subscriber riding along for the whole churn.
+	var seed JobStatus
+	if code := do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{
+		RandomSellers: 8, K: 2, Rounds: 10_000, Seed: 99,
+	}, &seed); code != http.StatusCreated {
+		t.Fatalf("seed job: %d", code)
+	}
+	created.Add(1)
+	sub, err := http.Get(ts.URL + "/v1/jobs/" + seed.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Body.Close()
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		buf := make([]byte, 4096)
+		for {
+			if _, err := sub.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var st JobStatus
+				if code := do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{
+					RandomSellers: 8, K: 2, Rounds: 100, Seed: int64(w*1000 + i),
+				}, &st); code != http.StatusCreated {
+					t.Errorf("worker %d create %d: %d", w, i, code)
+					return
+				}
+				created.Add(1)
+				do(t, ts, http.MethodPost, "/v1/jobs/"+st.ID+"/advance", AdvanceRequest{Rounds: 5}, nil)
+				do(t, ts, http.MethodPost, "/v1/jobs/"+seed.ID+"/advance", AdvanceRequest{Rounds: 3}, nil)
+				do(t, ts, http.MethodGet, "/v1/jobs/"+st.ID, nil, nil)
+				if i%2 == 1 {
+					if code := do(t, ts, http.MethodDelete, "/v1/jobs/"+st.ID, nil, nil); code == http.StatusOK {
+						deleted.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var jl []JobStatus
+	if code := do(t, ts, http.MethodGet, "/v1/jobs", nil, &jl); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	wantLive := created.Load() - deleted.Load()
+	if int64(len(jl)) != wantLive {
+		t.Fatalf("live jobs %d, want %d (created %d, deleted %d)",
+			len(jl), wantLive, created.Load(), deleted.Load())
+	}
+	sub.Body.Close()
+	<-subDone
+
+	// Persist everything, reload into a fresh broker, and check that
+	// the id counter resumed past every survivor: a new create must
+	// not collide.
+	if err := srv.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New()
+	srv2.Store = ws
+	if err := srv2.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var jl2 []JobStatus
+	do(t, ts2, http.MethodGet, "/v1/jobs", nil, &jl2)
+	if len(jl2) != len(jl) {
+		t.Fatalf("reloaded %d jobs, want %d", len(jl2), len(jl))
+	}
+	existing := map[string]bool{}
+	for _, j := range jl2 {
+		existing[j.ID] = true
+	}
+	var fresh JobStatus
+	if code := do(t, ts2, http.MethodPost, "/v1/jobs", JobRequest{
+		RandomSellers: 5, K: 2, Rounds: 10, Seed: 1,
+	}, &fresh); code != http.StatusCreated {
+		t.Fatalf("create after reload: %d", code)
+	}
+	if existing[fresh.ID] {
+		t.Fatalf("reloaded broker re-minted id %q", fresh.ID)
+	}
+}
+
+// Acceptance: registry throughput must scale with the shard count on
+// a multi-core box (shards=1 is the old single-mutex shape). Ids are
+// pre-minted so the parallel loop measures registry ops, not
+// formatting. Run with:
+//
+//	go test ./internal/server/ -bench RegistryChurn -benchtime 1s
+func BenchmarkRegistryChurn(b *testing.B) {
+	const idSpace = 4096
+	ids := make([]string, idSpace)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("job-%d", i)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := newRegistry(shards)
+			var ctr atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := ids[int(ctr.Add(1))%idSpace]
+					r.put(&job{id: id})
+					r.get(id)
+					r.get(id)
+					r.remove(id)
+				}
+			})
+		})
+	}
+}

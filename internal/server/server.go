@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"cmabhs"
+	"cmabhs/internal/core"
 	"cmabhs/internal/engine"
 	"cmabhs/internal/metrics"
 	"cmabhs/internal/tracing"
@@ -248,6 +249,14 @@ type job struct {
 	horizon int
 	sess    *cmabhs.Session
 
+	// walLog, when the broker runs on a RoundWAL store, makes the
+	// observer buffer each played round into walRecs; the advance
+	// handler flushes the buffer to the store after AdvanceContext
+	// returns. Both fields are guarded by mu (the observer runs on
+	// the advance goroutine, which holds it).
+	walLog  bool
+	walRecs []core.RoundRecord
+
 	// hub fans the job's round events out to /events subscribers. It
 	// has its own lock — subscribe/unsubscribe never waits on mu, so
 	// watching a job mid-advance is instant.
@@ -302,9 +311,22 @@ func (j *job) status() JobStatus {
 
 // Server is the broker service. Create with New and mount Handler.
 type Server struct {
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int
+	// reg is the sharded job table; see registry.go. Built lazily so
+	// Shards can be set any time before the first request.
+	regOnce sync.Once
+	reg     *registry
+
+	// Shards is the job-registry stripe count, rounded up to a power
+	// of two (default 16). More shards mean less lock contention under
+	// concurrent create/status/delete churn; per-shard occupancy is
+	// exported as cdt_registry_shard_jobs. Set before serving.
+	Shards int
+
+	// CompactEvery, on a RoundWAL store, folds a job's WAL tail into a
+	// fresh snapshot once the segment holds at least this many rounds
+	// (default 4096). Smaller values bound replay work on restart;
+	// larger values amortize snapshot writes further.
+	CompactEvery int
 
 	// MaxJobs bounds concurrently live jobs (default 64).
 	MaxJobs int
@@ -372,11 +394,34 @@ type Server struct {
 // New returns an empty broker.
 func New() *Server {
 	return &Server{
-		jobs:       make(map[string]*job),
 		MaxJobs:    64,
 		MaxAdvance: 100_000,
 		started:    time.Now(),
 	}
+}
+
+// registry lazily builds the sharded job table so Shards can be set
+// any time before the first request (same contract as pool).
+func (s *Server) registry() *registry {
+	s.regOnce.Do(func() { s.reg = newRegistry(s.Shards) })
+	return s.reg
+}
+
+// wal returns the Store's round-WAL extension, or nil when the store
+// is snapshot-only (or absent).
+func (s *Server) wal() RoundWAL {
+	if w, ok := s.Store.(RoundWAL); ok {
+		return w
+	}
+	return nil
+}
+
+// compactEvery returns the effective WAL compaction threshold.
+func (s *Server) compactEvery() int {
+	if s.CompactEvery > 0 {
+		return s.CompactEvery
+	}
+	return 4096
 }
 
 // newJob builds a job around a session and attaches the broker's
@@ -460,6 +505,88 @@ func (s *Server) saveToStore(ctx context.Context, id string, data []byte) error 
 	return err
 }
 
+// coreRecord copies a borrowed public round into an owned journal
+// record (RoundEvent slices are valid only during the observer call).
+func coreRecord(r *cmabhs.Round) core.RoundRecord {
+	return core.RoundRecord{
+		Round:         r.Round,
+		Selected:      append([]int(nil), r.Selected...),
+		PJ:            r.ConsumerPrice,
+		P:             r.PlatformPrice,
+		Taus:          append([]float64(nil), r.SensingTimes...),
+		TotalTau:      r.TotalTime,
+		PoC:           r.ConsumerProfit,
+		PoP:           r.PlatformProfit,
+		SellerProfits: append([]float64(nil), r.SellerProfits...),
+		NoTrade:       r.NoTrade,
+		Realized:      r.Realized,
+		AggRMSE:       r.AggregationRMSE,
+	}
+}
+
+// bootstrapWAL makes a brand-new job durable on a RoundWAL store: its
+// base snapshot is persisted and an empty WAL segment starting at the
+// next round is opened. The job is not yet published, so no lock is
+// needed; on error the job is simply not created.
+func (s *Server) bootstrapWAL(ctx context.Context, j *job, wal RoundWAL) error {
+	data, err := j.sess.Save()
+	if err != nil {
+		return err
+	}
+	if err := s.saveToStore(ctx, j.id, data); err != nil {
+		return err
+	}
+	if err := wal.ResetWAL(j.id, j.sess.NextRound()); err != nil {
+		return err
+	}
+	j.walLog = true
+	return nil
+}
+
+// flushWAL appends the rounds buffered by the observer during one
+// advance call to the job's WAL segment, then compacts — snapshot plus
+// segment reset — once the segment holds CompactEvery rounds. Caller
+// holds j.mu. WAL failures never fail the advance (the rounds are
+// played and the job stays correct in memory); they are logged and
+// counted in cdt_wal_append_errors_total, and recovery degrades to the
+// last durable snapshot + intact WAL prefix.
+func (s *Server) flushWAL(ctx context.Context, j *job) {
+	wal := s.wal()
+	if wal == nil {
+		return
+	}
+	recs := j.walRecs
+	j.walRecs = j.walRecs[:0]
+	if len(recs) == 0 {
+		return
+	}
+	size, err := wal.AppendWAL(j.id, recs)
+	if err != nil {
+		s.met().walAppendErrors.Inc()
+		s.logger().Error("wal append", "job_id", j.id, "rounds", len(recs), "error", err)
+		return
+	}
+	s.met().walAppended.Add(uint64(len(recs)))
+	if size < s.compactEvery() {
+		return
+	}
+	data, err := j.sess.Save()
+	if err == nil {
+		err = s.saveToStore(ctx, j.id, data)
+	}
+	if err == nil {
+		err = wal.ResetWAL(j.id, j.sess.NextRound())
+	}
+	if err != nil {
+		// The segment keeps growing and the next flush retries the
+		// compaction — durability is never lost, only unfolded.
+		s.met().walAppendErrors.Inc()
+		s.logger().Error("wal compact", "job_id", j.id, "error", err)
+		return
+	}
+	s.met().walCompactions.Inc()
+}
+
 // Healthz is the wire form of the liveness probe.
 type Healthz struct {
 	Status        string  `json:"status"`
@@ -474,6 +601,31 @@ type Healthz struct {
 	// DebugAddr, when the debug listener is up, is its bind address
 	// (pprof, trace store).
 	DebugAddr string `json:"debug_addr,omitempty"`
+	// StoreKind names the durability backend: "disabled", "file"
+	// (whole snapshots only), "wal" (snapshots + round WAL), or
+	// "custom" for a caller-supplied Store.
+	StoreKind string `json:"store_kind"`
+	// Shards is the job-registry stripe count.
+	Shards int `json:"shards"`
+	// WAL carries the segment/compaction counters on a "wal" store.
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// storeKind classifies the configured Store for healthz.
+func (s *Server) storeKind() string {
+	switch s.Store.(type) {
+	case nil:
+		return "disabled"
+	case *WALStore:
+		return "wal"
+	case *FileStore:
+		return "file"
+	default:
+		if s.wal() != nil {
+			return "wal"
+		}
+		return "custom"
+	}
 }
 
 // buildVersion returns the module build version baked in by the Go
@@ -486,16 +638,15 @@ func buildVersion() string {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	live := len(s.jobs)
-	s.mu.Unlock()
 	h := Healthz{
 		Status:        "ok",
 		Version:       buildVersion(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		StateStore:    "disabled",
-		Jobs:          live,
+		Jobs:          s.registry().len(),
 		DebugAddr:     s.DebugAddr,
+		StoreKind:     s.storeKind(),
+		Shards:        s.registry().shardCount(),
 	}
 	if s.Store != nil {
 		if _, err := s.Store.List(); err != nil {
@@ -503,6 +654,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		} else {
 			h.StateStore = "ok"
 		}
+	}
+	if wal := s.wal(); wal != nil {
+		st := wal.WALStats()
+		h.WAL = &st
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -524,11 +679,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.met()
-	s.mu.Lock()
-	live := len(s.jobs)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		JobsLive:        int64(live),
+		JobsLive:        int64(s.registry().len()),
 		JobsCreated:     int64(m.jobsCreated.Value()),
 		RoundsAdvanced:  int64(m.roundsAdvanced.Value()),
 		GamesSolved:     int64(m.gamesSolved.Value()),
@@ -569,16 +721,25 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		s.mu.Lock()
-		if len(s.jobs) >= s.MaxJobs {
-			s.mu.Unlock()
+		reg := s.registry()
+		j := s.newJob(reg.allocID(), sess)
+		if wal := s.wal(); wal != nil {
+			// Round-granular durability starts at birth: persist the
+			// base snapshot and open the job's WAL segment before the
+			// job is reachable, so a kill -9 one round after creation
+			// already recovers the job.
+			if err := s.bootstrapWAL(r.Context(), j, wal); err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+		}
+		if !reg.putIfBelow(j, s.MaxJobs) {
+			if s.Store != nil {
+				_ = s.Store.Delete(j.id) // roll back the bootstrap snapshot + segment
+			}
 			httpError(w, http.StatusTooManyRequests, "job limit (%d) reached", s.MaxJobs)
 			return
 		}
-		s.nextID++
-		j := s.newJob(fmt.Sprintf("job-%d", s.nextID), sess)
-		s.jobs[j.id] = j
-		s.mu.Unlock()
 		s.met().jobsCreated.Inc()
 		// The job is published: take its lock before reading state, a
 		// concurrent advance may already be running.
@@ -589,14 +750,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 	case http.MethodGet:
 		// Snapshot the registry first, then take each job's lock with
-		// the registry lock released: waiting on a job mid-advance must
+		// every shard lock released: waiting on a job mid-advance must
 		// not wedge job creation and deletion.
-		s.mu.Lock()
-		snap := make([]*job, 0, len(s.jobs))
-		for _, j := range s.jobs {
-			snap = append(snap, j)
-		}
-		s.mu.Unlock()
+		snap := s.registry().snapshot()
 		out := make([]JobStatus, 0, len(snap))
 		for _, j := range snap {
 			j.mu.Lock()
@@ -620,9 +776,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	parts := strings.Split(rest, "/")
 	id := parts[0]
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	j, ok := s.registry().get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no job %q", id)
 		return
@@ -639,9 +793,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 
 	case action == "" && r.Method == http.MethodDelete:
-		s.mu.Lock()
-		delete(s.jobs, id)
-		s.mu.Unlock()
+		s.registry().remove(id)
 		if s.Store != nil {
 			if err := s.Store.Delete(id); err != nil {
 				httpError(w, http.StatusInternalServerError, "job dropped but snapshot not deleted: %v", err)
@@ -692,6 +844,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		adv, err := j.sess.AdvanceContext(r.Context(), req.Rounds)
 		j.traceHook = nil
 		j.recordAdvance(len(adv.Played), time.Since(start))
+		if j.walLog {
+			// Flush the rounds the observer buffered to the WAL and
+			// fold the tail into a snapshot once it is long enough.
+			// Still under j.mu: the segment must see rounds in play
+			// order, and a compaction snapshot must not interleave
+			// with another advance.
+			s.flushWAL(r.Context(), j)
+		}
 		st := j.status()
 		j.mu.Unlock()
 		if err != nil {
@@ -754,12 +914,7 @@ func (s *Server) SaveAll() error {
 	if s.Store == nil {
 		return errors.New("server: no state store configured")
 	}
-	s.mu.Lock()
-	snap := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		snap = append(snap, j)
-	}
-	s.mu.Unlock()
+	snap := s.registry().snapshot()
 	var firstErr error
 	for _, j := range snap {
 		j.mu.Lock()
@@ -783,6 +938,15 @@ func (s *Server) SaveAll() error {
 // new job ids are allocated past the highest loaded one so a restart
 // never reuses an id. A snapshot that fails to resume aborts the
 // load with an error — a durable broker must not silently drop jobs.
+//
+// On a RoundWAL store, recovery is round-granular: after the snapshot
+// is resumed, the WAL tail — every logged round past the snapshot,
+// with a torn final line discarded — is replayed through the session.
+// Replay is deterministic re-execution (the mechanism's streams are
+// seeded), so each replayed round must reproduce its logged record
+// bit-for-bit; any divergence aborts the load. The caught-up state is
+// then folded into a fresh snapshot and the segment is reset, so
+// restart loops never re-replay the same tail.
 func (s *Server) LoadAll() error {
 	if s.Store == nil {
 		return errors.New("server: no state store configured")
@@ -791,6 +955,8 @@ func (s *Server) LoadAll() error {
 	if err != nil {
 		return err
 	}
+	wal := s.wal()
+	reg := s.registry()
 	for _, id := range ids {
 		data, err := s.Store.Load(id)
 		if err != nil {
@@ -800,15 +966,118 @@ func (s *Server) LoadAll() error {
 		if err != nil {
 			return fmt.Errorf("server: resume %s: %w", id, err)
 		}
-		j := s.newJob(id, sess)
-		s.mu.Lock()
-		s.jobs[id] = j
-		if n, ok := strings.CutPrefix(id, "job-"); ok {
-			if v, err := strconv.Atoi(n); err == nil && v > s.nextID {
-				s.nextID = v
+		if wal != nil {
+			replayed, err := s.replayWAL(wal, id, sess)
+			if err != nil {
+				return err
+			}
+			if replayed > 0 {
+				s.met().walReplayed.Add(uint64(replayed))
+				s.logger().Info("wal replay", "job_id", id, "rounds", replayed,
+					"next_round", sess.NextRound())
+			}
+			// Fold the replayed tail into a fresh base snapshot and
+			// restart the segment from the caught-up round.
+			data, err := sess.Save()
+			if err == nil {
+				err = s.saveToStore(context.Background(), id, data)
+			}
+			if err == nil {
+				err = wal.ResetWAL(id, sess.NextRound())
+			}
+			if err != nil {
+				return fmt.Errorf("server: recover %s: %w", id, err)
 			}
 		}
-		s.mu.Unlock()
+		j := s.newJob(id, sess)
+		j.walLog = wal != nil
+		reg.put(j)
+		if n, ok := strings.CutPrefix(id, "job-"); ok {
+			if v, err := strconv.Atoi(n); err == nil {
+				reg.observeID(int64(v))
+			}
+		}
+	}
+	return nil
+}
+
+// replayWAL advances a just-resumed session through its WAL tail and
+// verifies every replayed round reproduces the logged record exactly.
+// It returns the number of rounds replayed.
+func (s *Server) replayWAL(wal RoundWAL, id string, sess *cmabhs.Session) (int, error) {
+	seg, err := wal.LoadWAL(id)
+	if err != nil {
+		return 0, fmt.Errorf("server: recover %s: %w", id, err)
+	}
+	if seg == nil {
+		return 0, nil
+	}
+	// The segment may predate the snapshot (a crash between a
+	// compaction's snapshot save and its segment reset): entries below
+	// the snapshot's next round are already folded in and are skipped.
+	next := sess.NextRound()
+	tail := seg.Rounds[:0:0]
+	for i := range seg.Rounds {
+		if r := seg.Rounds[i].Round; r >= next {
+			if want := next + len(tail); r != want {
+				return 0, fmt.Errorf("server: recover %s: wal gap: round %d follows %d", id, r, want-1)
+			}
+			tail = append(tail, seg.Rounds[i])
+		}
+	}
+	if len(tail) == 0 {
+		return 0, nil
+	}
+	adv, err := sess.AdvanceContext(context.Background(), len(tail))
+	if err != nil {
+		return 0, fmt.Errorf("server: recover %s: replay: %w", id, err)
+	}
+	if len(adv.Played) != len(tail) {
+		return 0, fmt.Errorf("server: recover %s: replayed %d of %d logged rounds (stopped: %q)",
+			id, len(adv.Played), len(tail), adv.Stopped)
+	}
+	for i := range tail {
+		if err := sameRound(&adv.Played[i], &tail[i]); err != nil {
+			return 0, fmt.Errorf("server: recover %s: replay diverged at round %d: %w",
+				id, tail[i].Round, err)
+		}
+	}
+	return len(tail), nil
+}
+
+// sameRound checks that a replayed round reproduces its WAL record
+// bit-for-bit on every journaled money field. Replay re-executes the
+// seeded mechanism, so equality here is exact float equality, not a
+// tolerance.
+func sameRound(got *cmabhs.Round, want *core.RoundRecord) error {
+	if got.Round != want.Round {
+		return fmt.Errorf("round index %d vs %d", got.Round, want.Round)
+	}
+	checks := []struct {
+		name string
+		x, y float64
+	}{
+		{"consumer price", got.ConsumerPrice, want.PJ},
+		{"platform price", got.PlatformPrice, want.P},
+		{"consumer profit", got.ConsumerProfit, want.PoC},
+		{"platform profit", got.PlatformProfit, want.PoP},
+		{"realized revenue", got.Realized, want.Realized},
+	}
+	for _, c := range checks {
+		if c.x != c.y {
+			return fmt.Errorf("%s %g vs logged %g", c.name, c.x, c.y)
+		}
+	}
+	if got.NoTrade != want.NoTrade {
+		return fmt.Errorf("no-trade %v vs logged %v", got.NoTrade, want.NoTrade)
+	}
+	if len(got.Selected) != len(want.Selected) {
+		return fmt.Errorf("selection size %d vs logged %d", len(got.Selected), len(want.Selected))
+	}
+	for i := range got.Selected {
+		if got.Selected[i] != want.Selected[i] {
+			return fmt.Errorf("selection[%d] %d vs logged %d", i, got.Selected[i], want.Selected[i])
+		}
 	}
 	return nil
 }

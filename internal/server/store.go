@@ -139,7 +139,12 @@ func (f *FileStore) Delete(id string) error {
 	return nil
 }
 
-// List implements Store.
+// List implements Store. Only entries that look like snapshots this
+// store could have written survive the listing: foreign and partial
+// files — a leftover `*.tmp` from a crashed atomic rename, editor
+// droppings, a directory someone created in the state dir, a name
+// that would never pass checkID — are skipped rather than surfaced as
+// job ids that LoadAll would then fail to load.
 func (f *FileStore) List() ([]string, error) {
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {
@@ -151,7 +156,11 @@ func (f *FileStore) List() ([]string, error) {
 		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		ids = append(ids, strings.TrimSuffix(name, ".json"))
+		id := strings.TrimSuffix(name, ".json")
+		if checkID(id) != nil {
+			continue
+		}
+		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	return ids, nil

@@ -232,3 +232,56 @@ func TestSaveAllLoadAllWithoutStore(t *testing.T) {
 		t.Error("LoadAll without store succeeded")
 	}
 }
+
+// A state directory accumulates more than pristine snapshots over its
+// life: crashed atomic renames leave `.job-N-*.tmp` files, the WAL
+// keeps `.wal` segments alongside, operators drop backups and editors
+// drop swap files in it. List must surface only loadable snapshot
+// ids — everything else would turn LoadAll into a boot failure.
+func TestFileStoreListSkipsForeignAndPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("job-1", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("job-2", []byte(`{"a":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Seed the kinds of dirt a long-lived state dir collects.
+	for _, name := range []string{
+		".job-3-12345.tmp",     // crashed mid-rename
+		"job-1.wal",            // WAL segment riding alongside
+		"job-2.json.bak",       // operator backup
+		"notes.txt",            // stray file
+		".DS_Store",            // desktop droppings
+		"job with spaces.json", // name that can't round-trip checkID
+		"job..2.json",          // ditto
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "archive.json"), 0o755); err != nil {
+		t.Fatal(err) // a DIRECTORY named like a snapshot
+	}
+
+	ids, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"job-1", "job-2"}) {
+		t.Fatalf("list: %v, want [job-1 job-2]", ids)
+	}
+
+	// And a broker booting off this dirty dir loads cleanly.
+	srv := New()
+	srv.Store = fs
+	if err := srv.LoadAll(); err == nil {
+		// The two snapshots are junk JSON here, so LoadAll fails on
+		// content — but it must fail on CONTENT, not on foreign files.
+		t.Log("LoadAll accepted junk snapshots (fine for this test)")
+	}
+}
