@@ -401,7 +401,10 @@ func (c Config) build() (*core.Config, bandit.Policy, error) {
 	var policy bandit.Policy
 	switch c.Policy {
 	case PolicyCMABHS:
-		policy = bandit.UCBGreedy{}
+		// The incremental tournament selector ranks the exact same Eq. 19
+		// indices as bandit.UCBGreedy (bit-identical selections, same
+		// policy name) in O(K log M) amortized time without allocating.
+		policy = bandit.NewIncrementalUCB()
 	case PolicyOptimal:
 		policy = bandit.NewOracle(means)
 	case PolicyEpsilonFirst:
@@ -504,7 +507,9 @@ func coreObserver(obs RoundObserver) core.RoundObserver {
 }
 
 // publicRound converts an internal round record (NaN-bearing fields
-// sanitized for JSON users).
+// sanitized for JSON users). The Round SHARES the record's slices —
+// right for the borrowed observer path; use ownedRound when the caller
+// keeps the result.
 func publicRound(r *core.RoundRecord) Round {
 	agg := r.AggRMSE
 	if math.IsNaN(agg) {
@@ -524,6 +529,17 @@ func publicRound(r *core.RoundRecord) Round {
 		Realized:        r.Realized,
 		AggregationRMSE: agg,
 	}
+}
+
+// ownedRound converts an internal round record into a Round with its
+// own slice storage, detached from the mechanism's pooled per-round
+// buffers — what public callers that retain records receive.
+func ownedRound(r *core.RoundRecord) Round {
+	pub := publicRound(r)
+	pub.Selected = append([]int(nil), pub.Selected...)
+	pub.SensingTimes = append([]float64(nil), pub.SensingTimes...)
+	pub.SellerProfits = append([]float64(nil), pub.SellerProfits...)
+	return pub
 }
 
 // AvgConsumerProfit returns the consumer's average per-round profit,

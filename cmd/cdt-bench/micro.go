@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 
 	"cmabhs"
@@ -124,19 +125,29 @@ var microBenches = []benchCase{
 
 // runMicroBenches executes the registry, prints an aligned table to
 // stdout, and (with -json) writes the machine-readable trajectory.
-// The results are returned for -baseline comparison.
-func runMicroBenches(jsonPath string) ([]BenchResult, error) {
+// The results are returned for -baseline comparison. With reps > 1
+// every case runs reps times and each metric is reported as its
+// median across the runs — the trajectory CI diffs is a median-of-5,
+// so one descheduled run cannot fake a regression (or hide one).
+func runMicroBenches(jsonPath string, reps int) ([]BenchResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
 	results := make([]BenchResult, 0, len(microBenches))
 	fmt.Printf("%-28s %12s %14s %12s %12s\n", "benchmark", "iters", "ns/op", "B/op", "allocs/op")
 	for _, bc := range microBenches {
-		r := testing.Benchmark(bc.fn)
-		br := BenchResult{
-			Name:        bc.name,
-			Iters:       r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+		runs := make([]BenchResult, reps)
+		for i := range runs {
+			r := testing.Benchmark(bc.fn)
+			runs[i] = BenchResult{
+				Name:        bc.name,
+				Iters:       r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
 		}
+		br := medianResult(runs)
 		results = append(results, br)
 		fmt.Printf("%-28s %12d %14.1f %12d %12d\n",
 			br.Name, br.Iters, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
@@ -155,4 +166,34 @@ func runMicroBenches(jsonPath string) ([]BenchResult, error) {
 		return nil, err
 	}
 	return results, f.Close()
+}
+
+// medianResult folds repeated runs of one case into a single record by
+// taking each metric's median independently (a run that was slow on
+// ns/op was not necessarily the allocation outlier). Iters reports the
+// smallest run so the number stays honest about measurement depth.
+func medianResult(runs []BenchResult) BenchResult {
+	out := runs[0]
+	ns := make([]float64, len(runs))
+	allocs := make([]float64, len(runs))
+	bytesPer := make([]float64, len(runs))
+	for i, r := range runs {
+		ns[i] = r.NsPerOp
+		allocs[i] = float64(r.AllocsPerOp)
+		bytesPer[i] = float64(r.BytesPerOp)
+		if r.Iters < out.Iters {
+			out.Iters = r.Iters
+		}
+	}
+	out.NsPerOp = median(ns)
+	out.AllocsPerOp = int64(median(allocs))
+	out.BytesPerOp = int64(median(bytesPer))
+	return out
+}
+
+// median returns the middle value (lower-middle for even counts) of
+// xs, sorting in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[(len(xs)-1)/2]
 }

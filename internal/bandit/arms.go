@@ -72,6 +72,19 @@ func (a *Arms) Means() []float64 {
 	return append([]float64(nil), a.mean...)
 }
 
+// MeansInto copies all current estimates into dst, growing it only
+// when its capacity is short, and returns the filled slice — the
+// allocation-free form of Means for hot-path callers that own a
+// reusable buffer.
+func (a *Arms) MeansInto(dst []float64) []float64 {
+	if cap(dst) < len(a.mean) {
+		dst = make([]float64, len(a.mean))
+	}
+	dst = dst[:len(a.mean)]
+	copy(dst, a.mean)
+	return dst
+}
+
 // Deactivate withdraws arm i from selection (the seller left the
 // market). Its statistics are kept; deactivation is permanent.
 func (a *Arms) Deactivate(i int) {
@@ -224,12 +237,22 @@ func (a *Arms) Restore(st ArmsState) error {
 // breaking ties by lower index, in descending score order. It panics
 // if k is out of range.
 func TopK(scores []float64, k int) []int {
+	return TopKInto(nil, scores, k)
+}
+
+// TopKInto is TopK writing into dst (sliced to length zero and grown
+// as needed), so steady-state callers can reuse one buffer. The
+// result aliases dst when it has capacity k.
+func TopKInto(dst []int, scores []float64, k int) []int {
 	if k <= 0 || k > len(scores) {
 		panic(fmt.Sprintf("bandit: TopK k=%d with %d arms", k, len(scores)))
 	}
 	// Selection into a small ordered buffer: O(M·K) with K ≪ M; no
-	// allocation beyond the result.
-	best := make([]int, 0, k)
+	// allocation beyond the (reusable) result.
+	best := dst[:0]
+	if cap(best) < k {
+		best = make([]int, 0, k)
+	}
 	for i := range scores {
 		pos := len(best)
 		for pos > 0 {

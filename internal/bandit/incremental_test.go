@@ -1,0 +1,250 @@
+package bandit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// requireSameSelection fails unless got matches want exactly
+// (selection content and order).
+func requireSameSelection(t *testing.T, ctx string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: selected %v, want %v", ctx, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: selected %v, want %v", ctx, got, want)
+		}
+	}
+}
+
+// ucbScores evaluates the dense Eq. 19 score vector the sort-based
+// reference ranks.
+func ucbScores(arms *Arms, k int) []float64 {
+	scores := make([]float64, arms.M())
+	for i := range scores {
+		scores[i] = arms.UCB(i, k)
+	}
+	return scores
+}
+
+// TestIncrementalUCBMatchesReference: randomized equivalence of the
+// tournament selector against the sort-based topKRef oracle across
+// arm counts up to 1000, under churn, heavy ties (coarse observation
+// values force identical means, batch sizes force identical counts),
+// unobserved arms (+Inf indices), and deactivated arms (-Inf).
+func TestIncrementalUCBMatchesReference(t *testing.T) {
+	coarse := []float64{0, 0.25, 0.5, 0.5, 1} // repeats breed mean ties
+	for _, m := range []int{1, 2, 3, 7, 50, 313, 1000} {
+		rng := rand.New(rand.NewSource(int64(100 + m)))
+		arms := NewArms(m)
+		p := NewIncrementalUCB()
+		rounds := 60
+		if m >= 1000 {
+			rounds = 25
+		}
+		for round := 1; round <= rounds; round++ {
+			k := 1 + rng.Intn(m)
+			got := p.SelectK(round, arms, k)
+			want := topKRef(ucbScores(arms, k), k)
+			requireSameSelection(t, "m,round,k", got, want)
+
+			// Play a random subset, reporting each change as the
+			// mechanism would.
+			played := rng.Intn(5)
+			for j := 0; j < played; j++ {
+				i := rng.Intn(m)
+				obs := []float64{coarse[rng.Intn(len(coarse))], coarse[rng.Intn(len(coarse))]}
+				arms.Update(i, obs)
+				p.ArmChanged(i)
+			}
+			if rng.Intn(10) == 0 && arms.ActiveCount() > 1 {
+				i := rng.Intn(m)
+				arms.Deactivate(i)
+				p.ArmChanged(i)
+			}
+			if rng.Intn(25) == 0 {
+				// Bulk rewrite, as a snapshot restore does.
+				if err := arms.Restore(arms.State()); err != nil {
+					t.Fatal(err)
+				}
+				p.InvalidateSelection()
+			}
+		}
+	}
+}
+
+// TestIncrementalUCBColdStartAndExhaustedMarket: the two all-tie
+// extremes — every arm unobserved (+Inf everywhere) and every arm
+// deactivated (-Inf everywhere) — must reproduce TopK's index-order
+// tie-breaking.
+func TestIncrementalUCBColdStartAndExhaustedMarket(t *testing.T) {
+	arms := NewArms(10)
+	p := NewIncrementalUCB()
+	requireSameSelection(t, "cold start", p.SelectK(1, arms, 4), []int{0, 1, 2, 3})
+
+	for i := 0; i < 10; i++ {
+		arms.Deactivate(i)
+		p.ArmChanged(i)
+	}
+	requireSameSelection(t, "all inactive", p.SelectK(2, arms, 3), []int{0, 1, 2})
+}
+
+// TestIncrementalUCBMixedInfinities: unobserved (+Inf) arms rank
+// first in index order, then finite indices, then deactivated (-Inf)
+// arms fill out an over-sized selection — exactly as the dense TopK
+// ranks the same score vector.
+func TestIncrementalUCBMixedInfinities(t *testing.T) {
+	arms := NewArms(6)
+	arms.Update(1, []float64{0.9, 0.9})
+	arms.Update(4, []float64{0.2, 0.2})
+	arms.Deactivate(0)
+	arms.Deactivate(5)
+	// Arms 2, 3 unobserved → +Inf; arm 1 beats arm 4; arms 0, 5 → -Inf.
+	p := NewIncrementalUCB()
+	for k := 1; k <= 6; k++ {
+		got := p.SelectK(1, arms, k)
+		want := topKRef(ucbScores(arms, k), k)
+		requireSameSelection(t, "mixed", got, want)
+	}
+}
+
+// TestIncrementalUCBDetectsUnreportedMutation: a driver that updates
+// the estimator without honoring SelectionSync must not get stale
+// selections — the total-count guard forces a rebuild.
+func TestIncrementalUCBDetectsUnreportedMutation(t *testing.T) {
+	arms := NewArms(5)
+	p := NewIncrementalUCB()
+	p.SelectK(1, arms, 2)
+	for i := 0; i < 5; i++ {
+		q := 0.1 * float64(i+1)
+		arms.Update(i, []float64{q, q, q, q}) // no ArmChanged on purpose
+	}
+	got := p.SelectK(2, arms, 2)
+	want := topKRef(ucbScores(arms, 2), 2)
+	requireSameSelection(t, "unreported mutation", got, want)
+}
+
+// TestIncrementalUCBRebuildsForNewEstimator: reusing one policy value
+// across different Arms instances (as successive mechanisms might)
+// rebuilds instead of selecting from the previous estimator's tree.
+func TestIncrementalUCBRebuildsForNewEstimator(t *testing.T) {
+	p := NewIncrementalUCB()
+	a := NewArms(4)
+	a.Update(3, []float64{1, 1})
+	p.ArmChanged(3)
+	p.SelectK(1, a, 2)
+
+	b := NewArms(8)
+	b.Update(5, []float64{0.9, 0.9})
+	got := p.SelectK(1, b, 3)
+	want := topKRef(ucbScores(b, 3), 3)
+	requireSameSelection(t, "fresh estimator", got, want)
+}
+
+// TestIncrementalUCBSteadyStateAllocFree: once warm, a
+// select→play→notify round costs zero heap allocations.
+func TestIncrementalUCBSteadyStateAllocFree(t *testing.T) {
+	arms := NewArms(300)
+	obs := []float64{0.4, 0.6, 0.5}
+	for i := 0; i < 300; i++ {
+		arms.Update(i, obs)
+	}
+	p := NewIncrementalUCB()
+	round := 1
+	p.SelectK(round, arms, 10) // build the tree outside the measured region
+	allocs := testing.AllocsPerRun(200, func() {
+		round++
+		sel := p.SelectK(round, arms, 10)
+		for _, i := range sel {
+			obs[0] = 0.3 + 0.4*float64(i%2)
+			arms.Update(i, obs)
+			p.ArmChanged(i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SelectK allocates %v times per round, want 0", allocs)
+	}
+}
+
+// TestIncrementalUCBLongRunEquivalence: drive a realistic CMAB loop
+// (always play the selected set) for many rounds and require the
+// incremental policy to shadow UCBGreedy bit-for-bit, including after
+// the ln t drift has reordered unplayed arms many times.
+func TestIncrementalUCBLongRunEquivalence(t *testing.T) {
+	const m, k = 120, 7
+	rng := rand.New(rand.NewSource(77))
+	incArms, refArms := NewArms(m), NewArms(m)
+	inc, ref := NewIncrementalUCB(), UCBGreedy{}
+	truth := make([]float64, m)
+	for i := range truth {
+		truth[i] = rng.Float64()
+	}
+	obs := make([]float64, 3)
+	for round := 1; round <= 2000; round++ {
+		got := inc.SelectK(round, incArms, k)
+		want := ref.SelectK(round, refArms, k)
+		requireSameSelection(t, "long run", got, want)
+		for _, i := range got {
+			for j := range obs {
+				if rng.Float64() < truth[i] {
+					obs[j] = 1
+				} else {
+					obs[j] = 0
+				}
+			}
+			incArms.Update(i, obs)
+			refArms.Update(i, obs)
+			inc.ArmChanged(i)
+		}
+	}
+}
+
+// benchArms builds a 300-arm estimator with distinct means, the
+// generic post-exploration state of a real run (identical means are
+// the degenerate all-ties case and cost an O(M) re-rank by design).
+func benchArms() *Arms {
+	arms := NewArms(300)
+	rng := rand.New(rand.NewSource(4))
+	obs := make([]float64, 3)
+	for i := 0; i < 300; i++ {
+		for j := range obs {
+			obs[j] = rng.Float64()
+		}
+		arms.Update(i, obs)
+	}
+	return arms
+}
+
+func BenchmarkIncrementalUCBSelect300(b *testing.B) {
+	arms := benchArms()
+	p := NewIncrementalUCB()
+	p.SelectK(1, arms, 10)
+	obs := []float64{0.5, 0.6, 0.4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := p.SelectK(i+2, arms, 10)
+		for _, s := range sel {
+			arms.Update(s, obs)
+			p.ArmChanged(s)
+		}
+	}
+}
+
+// BenchmarkUCBGreedySelect300 is the same select→play loop through
+// the sort-based policy, for a like-for-like comparison.
+func BenchmarkUCBGreedySelect300(b *testing.B) {
+	arms := benchArms()
+	p := UCBGreedy{}
+	obs := []float64{0.5, 0.6, 0.4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := p.SelectK(i+2, arms, 10)
+		for _, s := range sel {
+			arms.Update(s, obs)
+		}
+	}
+}

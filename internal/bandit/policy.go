@@ -13,7 +13,10 @@ type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
 	// SelectK returns the indices of the K arms to pull in round t
-	// (1-based), given the current estimator state.
+	// (1-based), given the current estimator state. The returned
+	// slice is borrowed: a policy may reuse it on its next SelectK
+	// call, so callers that retain a selection across rounds must
+	// copy it.
 	SelectK(round int, arms *Arms, k int) []int
 }
 
@@ -55,6 +58,8 @@ func (UCB1Greedy) SelectK(round int, arms *Arms, k int) []int {
 type Oracle struct {
 	expected []float64
 	cached   []int
+	scores   []float64 // churn-branch scratch, reused across rounds
+	churnSel []int     // churn-branch result buffer, reused across rounds
 }
 
 // NewOracle builds the oracle from the true expectations.
@@ -68,19 +73,25 @@ func (*Oracle) Name() string { return "optimal" }
 // SelectK implements Policy.
 func (o *Oracle) SelectK(round int, arms *Arms, k int) []int {
 	if arms.ActiveCount() < arms.M() {
-		// Churn: re-rank among the surviving sellers each round.
-		scores := append([]float64(nil), o.expected...)
+		// Churn: re-rank among the surviving sellers each round,
+		// masking departures into a reused scratch score vector.
+		if cap(o.scores) < len(o.expected) {
+			o.scores = make([]float64, len(o.expected))
+		}
+		scores := o.scores[:len(o.expected)]
+		copy(scores, o.expected)
 		for i := range scores {
 			if !arms.Active(i) {
 				scores[i] = math.Inf(-1)
 			}
 		}
-		return TopK(scores, k)
+		o.churnSel = TopKInto(o.churnSel, scores, k)
+		return o.churnSel
 	}
 	if o.cached == nil || len(o.cached) != k {
 		o.cached = TopK(o.expected, k)
 	}
-	return append([]int(nil), o.cached...)
+	return o.cached
 }
 
 // Random selects K arms uniformly at random each round — the paper's

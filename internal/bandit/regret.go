@@ -107,8 +107,10 @@ func (r *RegretTracker) Regret() float64 { return r.regret.Sum() }
 // recorded selections (Eq. 1 with expectations substituted).
 func (r *RegretTracker) ExpectedRevenue() float64 { return r.revenue.Sum() }
 
-// OptimalSet returns the indices of S* (descending expectation).
-func (r *RegretTracker) OptimalSet() []int { return append([]int(nil), r.optimal...) }
+// OptimalSet returns the indices of S* (descending expectation). The
+// returned slice is the tracker's own (S* is fixed at construction);
+// callers must not modify it.
+func (r *RegretTracker) OptimalSet() []int { return r.optimal }
 
 // DeltaMin returns Δ_min (Eq. 36); zero when M == K.
 func (r *RegretTracker) DeltaMin() float64 { return r.deltaMin }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"cmabhs/internal/bandit"
+)
+
+// TestAdvanceSteadyStateAllocFree pins the hot-path invariant of the
+// allocation-free advance pipeline: once warm, a full trading round —
+// churn schedule, incremental top-K selection, the closed-form
+// Stackelberg game, collection, settlement, estimator updates, and
+// observer dispatch — performs zero heap allocations. (The ledger
+// journal still grows, but its amortized doubling stays below one
+// allocation per round and so rounds to zero here.)
+func TestAdvanceSteadyStateAllocFree(t *testing.T) {
+	cfg, _ := testConfig(t, 300, 10, 1<<30, 3, 9)
+	var observed int
+	cfg.Observer = func(ev *RoundEvent) { observed = ev.Round }
+	m, err := NewMechanism(cfg, bandit.NewIncrementalUCB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm every pool: round 1 explores the full population and the
+	// following rounds size the steady-state buffers.
+	if _, _, err := m.AdvanceN(ctx, 50, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := m.AdvanceN(ctx, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state advance allocates %v times per round, want 0", allocs)
+	}
+	if observed != m.Round()-1 {
+		t.Fatalf("observer saw round %d, mechanism at %d", observed, m.Round())
+	}
+}
+
+// TestAdvanceNMatchesAdvanceContext: the batched fast path and the
+// copying compatibility path must walk through identical rounds.
+func TestAdvanceNMatchesAdvanceContext(t *testing.T) {
+	cfgA, _ := testConfig(t, 20, 4, 60, 3, 11)
+	cfgB, _ := testConfig(t, 20, 4, 60, 3, 11)
+	a, err := NewMechanism(cfgA, bandit.UCBGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMechanism(cfgB, bandit.UCBGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var borrowedCopies []RoundRecord
+	played, reason, err := a.AdvanceN(ctx, 60, func(rec *RoundRecord) {
+		borrowedCopies = append(borrowedCopies, rec.Clone())
+	})
+	if err != nil || reason != "" {
+		t.Fatalf("AdvanceN: played=%d reason=%q err=%v", played, reason, err)
+	}
+	recs, reason, err := b.AdvanceContext(ctx, 60)
+	if err != nil || reason != "" {
+		t.Fatalf("AdvanceContext: reason=%q err=%v", reason, err)
+	}
+	if played != len(recs) || played != len(borrowedCopies) {
+		t.Fatalf("played %d rounds, AdvanceContext returned %d, callback saw %d", played, len(recs), len(borrowedCopies))
+	}
+	for i := range recs {
+		got, want := borrowedCopies[i], recs[i]
+		if got.Round != want.Round || got.PJ != want.PJ || got.P != want.P ||
+			got.TotalTau != want.TotalTau || got.PoC != want.PoC || got.PoP != want.PoP ||
+			got.Realized != want.Realized || got.NoTrade != want.NoTrade {
+			t.Fatalf("round %d diverged:\n got %+v\nwant %+v", want.Round, got, want)
+		}
+		for j := range want.Selected {
+			if got.Selected[j] != want.Selected[j] || got.Taus[j] != want.Taus[j] ||
+				got.SellerProfits[j] != want.SellerProfits[j] {
+				t.Fatalf("round %d seller slot %d diverged", want.Round, j)
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"cmabhs/internal/aggregate"
 	"cmabhs/internal/bandit"
@@ -172,6 +173,11 @@ func (c *Config) minQ() float64 {
 }
 
 // RoundRecord captures everything that happened in one trading round.
+//
+// Records returned by Step / handed to AdvanceN callbacks and
+// RoundObservers are BORROWED: the mechanism pools one record (and the
+// slices it references) and overwrites it next round. Callers that
+// retain a record across rounds must Clone it.
 type RoundRecord struct {
 	Round         int       // 1-based round index
 	Selected      []int     // seller ids selected this round
@@ -183,6 +189,16 @@ type RoundRecord struct {
 	NoTrade       bool      // the game admitted no profitable trade
 	Realized      float64   // Σ_i Σ_l q_{i,l}^t — this round's realized revenue
 	AggRMSE       float64   // aggregation error vs ground truth (NaN without a data layer)
+}
+
+// Clone returns a deep copy of the record, detaching it from the
+// mechanism's pooled per-round storage.
+func (r *RoundRecord) Clone() RoundRecord {
+	c := *r
+	c.Selected = append([]int(nil), r.Selected...)
+	c.Taus = append([]float64(nil), r.Taus...)
+	c.SellerProfits = append([]float64(nil), r.SellerProfits...)
+	return c
 }
 
 // Checkpoint is a snapshot of the cumulative metrics after a round.
@@ -268,6 +284,7 @@ type Mechanism struct {
 	sellerTotals []float64 // cumulative profit per seller
 
 	feedback bandit.RoundFeedback  // non-nil when the policy learns per round
+	sync     bandit.SelectionSync  // non-nil when the policy maintains selection state incrementally
 	dynModel quality.NonStationary // non-nil for drifting-quality markets
 	dynTrack *bandit.DynamicRegret // dynamic-oracle regret accumulator
 	dynNow   []float64             // scratch: expectations at the current round
@@ -277,8 +294,30 @@ type Mechanism struct {
 	obsUCB    []float64 // selection-time UCB indices, indexed by seller
 	obsFailed []int     // sellers selected this round that failed to deliver
 
+	// Hot-path pools, overwritten every round: Step hands out &rec as a
+	// borrowed record, the closed-form game solves into out, and the
+	// remaining scratch keeps a steady-state round allocation-free.
+	rec        RoundRecord
+	params     game.Params
+	out        game.Outcome
+	evt        RoundEvent
+	means      []float64 // estimate snapshot handed to the market
+	delivered  []int     // sellers that delivered this round
+	tauScratch []float64 // re-priced sensing times on delivery failures
+
+	// Churn schedule: departure rounds are fixed at construction, so
+	// round advances pop from this sorted list instead of scanning all
+	// M sellers every round.
+	churnSched []churnEvent
+	churnNext  int
+
 	next    int // next round to play, 1-based
 	stopped string
+}
+
+// churnEvent schedules one seller's permanent departure.
+type churnEvent struct {
+	round, seller int
 }
 
 // NewMechanism builds a live run from a validated configuration and
@@ -322,10 +361,27 @@ func NewMechanism(cfg *Config, policy bandit.Policy) (*Mechanism, error) {
 	if fb, ok := policy.(bandit.RoundFeedback); ok {
 		mech.feedback = fb
 	}
+	if sy, ok := policy.(bandit.SelectionSync); ok {
+		mech.sync = sy
+	}
 	if dyn, ok := cfg.Market.Quality.(quality.NonStationary); ok {
 		mech.dynModel = dyn
 		mech.dynTrack = bandit.NewDynamicRegret(cfg.Market.Job.L)
 		mech.dynNow = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		if d := mkt.DepartureRound(i); d > 0 {
+			mech.churnSched = append(mech.churnSched, churnEvent{round: d, seller: i})
+		}
+	}
+	sort.Slice(mech.churnSched, func(a, b int) bool {
+		x, y := mech.churnSched[a], mech.churnSched[b]
+		return x.round < y.round || (x.round == y.round && x.seller < y.seller)
+	})
+	// Round-1 departures were applied to the arms above; start the
+	// cursor past them.
+	for mech.churnNext < len(mech.churnSched) && mech.churnSched[mech.churnNext].round <= 1 {
+		mech.churnNext++
 	}
 	return mech, nil
 }
@@ -355,7 +411,8 @@ func (m *Mechanism) Market() *market.Market { return m.mkt }
 func (m *Mechanism) SetObserver(obs RoundObserver) { m.cfg.Observer = obs }
 
 // Step plays the next trading round and returns its record. When the
-// run is already done it returns (nil, nil).
+// run is already done it returns (nil, nil). The returned record is
+// BORROWED — overwritten by the next Step; Clone it to retain it.
 func (m *Mechanism) Step() (*RoundRecord, error) {
 	if m.Done() {
 		return nil, nil
@@ -397,7 +454,7 @@ func (m *Mechanism) account(rec *RoundRecord) {
 	}
 	m.res.RoundsPlayed++
 	if m.cfg.Observer != nil {
-		m.cfg.Observer(&RoundEvent{
+		m.evt = RoundEvent{
 			Round:           rec.Round,
 			Record:          rec,
 			UCB:             m.obsUCB,
@@ -405,10 +462,11 @@ func (m *Mechanism) account(rec *RoundRecord) {
 			Regret:          m.tracker.Regret(),
 			ExpectedRevenue: m.tracker.ExpectedRevenue(),
 			ConsumerSpend:   m.spend.Sum(),
-		})
+		}
+		m.cfg.Observer(&m.evt)
 	}
 	if m.cfg.KeepRounds {
-		m.res.Rounds = append(m.res.Rounds, *rec)
+		m.res.Rounds = append(m.res.Rounds, rec.Clone())
 	}
 	if m.nextCkpt < len(m.cfg.Checkpoints) && m.cfg.Checkpoints[m.nextCkpt] == rec.Round {
 		m.res.Checkpoints = append(m.res.Checkpoints, Checkpoint{
@@ -454,6 +512,11 @@ func (m *Mechanism) exploreRound() (*RoundRecord, error) {
 		}
 		roundRealized += numutil.SumSlice(obs[j])
 	}
+	if m.sync != nil {
+		// Every arm just (potentially) changed; one bulk invalidation
+		// beats M per-arm notifications.
+		m.sync.InvalidateSelection()
+	}
 	// Profits are accounted post-hoc against the just-learned
 	// estimates (the mechanism knows nothing before this round).
 	params := m.mkt.GameParams(all, m.arms.Means(), m.cfg.minQ())
@@ -483,12 +546,16 @@ func (m *Mechanism) exploreRound() (*RoundRecord, error) {
 
 // gameRound plays one exploit+explore round: UCB selection (or the
 // configured policy), the HS game, collection, settlement, and
-// estimator updates.
+// estimator updates. The returned record and everything it references
+// live in the mechanism's round pool — valid until the next round.
 func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
-	for i := 0; i < m.cfg.Market.M(); i++ {
-		if m.arms.Active(i) && m.mkt.Departed(i, t) {
-			m.arms.Deactivate(i)
+	for m.churnNext < len(m.churnSched) && m.churnSched[m.churnNext].round <= t {
+		i := m.churnSched[m.churnNext].seller
+		m.arms.Deactivate(i)
+		if m.sync != nil {
+			m.sync.ArmChanged(i)
 		}
+		m.churnNext++
 	}
 	k := m.cfg.K
 	if a := m.arms.ActiveCount(); a < k {
@@ -515,15 +582,16 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 	}
 	selected := m.policy.SelectK(t, m.arms, k)
 
-	params := m.mkt.GameParams(selected, m.arms.Means(), m.cfg.minQ())
-	out, err := solve(m.cfg.Solver, params)
+	m.means = m.arms.MeansInto(m.means)
+	params := m.mkt.GameParamsInto(&m.params, selected, m.means, m.cfg.minQ())
+	out, err := m.solve(params)
 	if err != nil {
 		return nil, fmt.Errorf("core: round %d game: %w", t, err)
 	}
 	m.obsFailed = m.obsFailed[:0]
-	obs := m.mkt.Collect(t, selected)
+	obs := m.mkt.CollectInto(t, selected)
 	var roundRealized float64
-	delivered := make([]int, 0, len(selected))
+	m.delivered = m.delivered[:0]
 	anyFailed := false
 	for j, i := range selected {
 		if obs[j] == nil {
@@ -531,8 +599,11 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 			m.obsFailed = append(m.obsFailed, i)
 			continue // transient delivery failure: no data, no pay
 		}
-		delivered = append(delivered, i)
+		m.delivered = append(m.delivered, i)
 		m.arms.Update(i, obs[j])
+		if m.sync != nil {
+			m.sync.ArmChanged(i)
+		}
 		if m.feedback != nil {
 			m.feedback.ObserveRound(t, i, obs[j])
 		}
@@ -542,14 +613,14 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 		// Re-price the round at the agreed prices with the failed
 		// sellers' sensing time zeroed: they deliver nothing, are
 		// paid nothing, and incur no cost.
-		taus := append([]float64(nil), out.Taus...)
+		m.tauScratch = append(m.tauScratch[:0], out.Taus...)
 		for j := range selected {
 			if obs[j] == nil {
-				taus[j] = 0
+				m.tauScratch[j] = 0
 			}
 		}
 		noTrade := out.NoTrade
-		out = params.Evaluate(out.PJ, out.P, taus)
+		out = params.EvaluateInto(out, out.PJ, out.P, m.tauScratch)
 		out.NoTrade = noTrade
 	}
 	m.tracker.Record(selected)
@@ -566,9 +637,10 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 	if err := m.mkt.Settle(t, selected, out); err != nil {
 		return nil, fmt.Errorf("core: round %d settle: %w", t, err)
 	}
-	rec := &RoundRecord{
+	rec := &m.rec
+	*rec = RoundRecord{
 		Round:         t,
-		Selected:      append([]int(nil), selected...),
+		Selected:      append(rec.Selected[:0], selected...),
 		PJ:            out.PJ,
 		P:             out.P,
 		Taus:          out.Taus,
@@ -580,7 +652,8 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 		Realized:      roundRealized,
 		AggRMSE:       math.NaN(),
 	}
-	if reports := m.mkt.CollectReadings(t, delivered, m.arms.Means()); reports != nil {
+	m.means = m.arms.MeansInto(m.means) // post-update estimates for aggregation
+	if reports := m.mkt.CollectReadings(t, m.delivered, m.means); reports != nil {
 		rec.AggRMSE = aggregate.RMSE(reports)
 	}
 	m.spend.Add(out.TotalReward())
@@ -594,32 +667,54 @@ func (m *Mechanism) gameRound(t int) (*RoundRecord, error) {
 // context picks up at the same round.
 const StoppedCanceled = "canceled"
 
-// AdvanceContext plays up to max rounds (max <= 0 means to
-// completion), checking ctx before every round. It returns the
-// records of the rounds played plus the reason the batch ended early:
-// "" when it played max rounds or the run finished, StoppedCanceled
-// when ctx was done at a round boundary. Cancellation keeps all
-// partial progress — the mechanism is NOT marked done and can be
-// advanced again.
-func (m *Mechanism) AdvanceContext(ctx context.Context, max int) ([]RoundRecord, string, error) {
-	var out []RoundRecord
-	for played := 0; max <= 0 || played < max; played++ {
+// AdvanceN is the batched advance fast path: it plays up to max rounds
+// (max <= 0 means to completion), checking ctx before every round, and
+// hands each completed round's BORROWED record to fn (nil to skip).
+// The record and its slices are overwritten by the next round — fn
+// must copy (or encode) anything it retains, exactly like a
+// RoundObserver. It returns the number of rounds played plus the
+// reason the batch ended early: "" when it played max rounds or the
+// run finished, StoppedCanceled when ctx was done at a round boundary.
+// Cancellation keeps all partial progress — the mechanism is NOT
+// marked done and can be advanced again.
+func (m *Mechanism) AdvanceN(ctx context.Context, max int, fn func(*RoundRecord)) (int, string, error) {
+	played := 0
+	for max <= 0 || played < max {
 		if m.Done() {
-			return out, "", nil
+			return played, "", nil
 		}
 		if ctx.Err() != nil {
-			return out, StoppedCanceled, nil
+			return played, StoppedCanceled, nil
 		}
 		rec, err := m.Step()
 		if err != nil {
-			return out, "", err
+			return played, "", err
 		}
 		if rec == nil { // halted (e.g. no active sellers)
-			return out, "", nil
+			return played, "", nil
 		}
-		out = append(out, *rec)
+		played++
+		if fn != nil {
+			fn(rec)
+		}
 	}
-	return out, "", nil
+	return played, "", nil
+}
+
+// AdvanceContext plays up to max rounds (max <= 0 means to
+// completion), checking ctx before every round. It returns owned deep
+// copies of the records of the rounds played plus the reason the batch
+// ended early: "" when it played max rounds or the run finished,
+// StoppedCanceled when ctx was done at a round boundary. Cancellation
+// keeps all partial progress — the mechanism is NOT marked done and
+// can be advanced again. Callers that can consume borrowed records
+// should prefer AdvanceN, which skips the per-round copies.
+func (m *Mechanism) AdvanceContext(ctx context.Context, max int) ([]RoundRecord, string, error) {
+	var out []RoundRecord
+	_, reason, err := m.AdvanceN(ctx, max, func(rec *RoundRecord) {
+		out = append(out, rec.Clone())
+	})
+	return out, reason, err
 }
 
 // Result snapshots the cumulative metrics. It may be called at any
@@ -678,14 +773,16 @@ func RunContext(ctx context.Context, cfg *Config, policy bandit.Policy) (*Result
 	return res, nil
 }
 
-// solve dispatches to the configured game solver.
-func solve(s Solver, params *game.Params) (*game.Outcome, error) {
-	switch s {
+// solve dispatches to the configured game solver. The closed-form
+// path solves into the mechanism's pooled outcome; the exact and
+// numeric ablation solvers keep their own allocation.
+func (m *Mechanism) solve(params *game.Params) (*game.Outcome, error) {
+	switch m.cfg.Solver {
 	case Exact:
 		return game.SolveExact(params)
 	case Numeric:
 		return game.NumericSolve(params)
 	default:
-		return game.Solve(params)
+		return params.SolveInto(&m.out)
 	}
 }

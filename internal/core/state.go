@@ -43,10 +43,10 @@ type State struct {
 	Stopped      string `json:"stopped,omitempty"`
 	RoundsPlayed int    `json:"rounds_played"`
 
-	Arms        bandit.ArmsState     `json:"arms"`
-	Tracker     bandit.TrackerState  `json:"tracker"`
-	PolicyState *bandit.PolicyState  `json:"policy_state,omitempty"`
-	Market      market.State         `json:"market"`
+	Arms        bandit.ArmsState    `json:"arms"`
+	Tracker     bandit.TrackerState `json:"tracker"`
+	PolicyState *bandit.PolicyState `json:"policy_state,omitempty"`
+	Market      market.State        `json:"market"`
 
 	Realized numutil.KahanState `json:"realized"`
 	CumPoC   numutil.KahanState `json:"cum_poc"`
@@ -260,6 +260,9 @@ func Resume(cfg *Config, policy bandit.Policy, st *State) (*Mechanism, error) {
 	}
 	if err := m.arms.Restore(st.Arms); err != nil {
 		return nil, err
+	}
+	if m.sync != nil {
+		m.sync.InvalidateSelection() // bulk estimator rewrite
 	}
 	if err := m.tracker.Restore(st.Tracker); err != nil {
 		return nil, err

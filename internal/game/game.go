@@ -192,28 +192,49 @@ func (p *Params) ConsumerBestPJ(co Coefficients) (pJ float64, clamped, trade boo
 	return pJ, pJ != raw, trade
 }
 
+// reset clears o for an n-seller round, reusing the capacity of its
+// slices so steady-state callers allocate nothing.
+func (o *Outcome) reset(n int) {
+	taus, profits := o.Taus, o.SellerProfits
+	if cap(taus) < n {
+		taus = make([]float64, n)
+	}
+	if cap(profits) < n {
+		profits = make([]float64, n)
+	}
+	*o = Outcome{Taus: taus[:n], SellerProfits: profits[:n]}
+	for i := 0; i < n; i++ {
+		o.Taus[i] = 0
+		o.SellerProfits[i] = 0
+	}
+}
+
 // Solve runs the backward induction and returns the full equilibrium
 // outcome. It returns an error only for invalid parameters; economic
 // degeneracy (no profitable trade) is reported via Outcome.NoTrade.
 func Solve(p *Params) (*Outcome, error) {
+	return p.SolveInto(&Outcome{})
+}
+
+// SolveInto is Solve writing the equilibrium into out (reusing its
+// slice capacity) instead of allocating a fresh Outcome. It returns
+// out for chaining.
+func (p *Params) SolveInto(out *Outcome) (*Outcome, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	co := p.Coeffs()
 	pJ, pjClamped, trade := p.ConsumerBestPJ(co)
 	if !trade {
-		out := &Outcome{
-			PJ:            pJ,
-			P:             p.PBounds.Min,
-			Taus:          make([]float64, len(p.Sellers)),
-			SellerProfits: make([]float64, len(p.Sellers)),
-			NoTrade:       true,
-			PJClamped:     pjClamped,
-		}
+		out.reset(len(p.Sellers))
+		out.PJ = pJ
+		out.P = p.PBounds.Min
+		out.NoTrade = true
+		out.PJClamped = pjClamped
 		return out, nil
 	}
 	price, pClamped := p.PlatformBestResponse(pJ, co)
-	out := p.Evaluate(pJ, price, nil)
+	p.EvaluateInto(out, pJ, price, nil)
 	out.PJClamped = pjClamped
 	out.PClamped = pClamped
 	return out, nil
@@ -224,13 +245,17 @@ func Solve(p *Params) (*Outcome, error) {
 // p; otherwise the given sensing times are used verbatim (this is how
 // the Fig. 14 deviation sweeps and the SE checks probe the game).
 func (prm *Params) Evaluate(pJ, p float64, taus []float64) *Outcome {
+	return prm.EvaluateInto(&Outcome{}, pJ, p, taus)
+}
+
+// EvaluateInto is Evaluate writing into out (reusing its slice
+// capacity) instead of allocating a fresh Outcome. taus must not
+// alias out.Taus. It returns out for chaining.
+func (prm *Params) EvaluateInto(out *Outcome, pJ, p float64, taus []float64) *Outcome {
 	n := len(prm.Sellers)
-	out := &Outcome{
-		PJ:            pJ,
-		P:             p,
-		Taus:          make([]float64, n),
-		SellerProfits: make([]float64, n),
-	}
+	out.reset(n)
+	out.PJ = pJ
+	out.P = p
 	if taus == nil {
 		for i, c := range prm.Sellers {
 			tau, clamped := SellerBestResponse(p, c, prm.Qualities[i], prm.MaxTau)

@@ -47,6 +47,7 @@ type Entry struct {
 type Ledger struct {
 	balances map[Account]float64
 	journal  []Entry
+	sellers  []Account // memoized Seller(i) strings, grown on demand
 }
 
 // New returns an empty ledger.
@@ -150,11 +151,56 @@ func (l *Ledger) SettleRound(round int, reward float64, sellerPay map[int]float6
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		if err := l.Transfer(round, Platform, Seller(id), sellerPay[id], "data collection reward"); err != nil {
+		if err := l.Transfer(round, Platform, l.sellerAccount(id), sellerPay[id], "data collection reward"); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// SettleRoundSorted is the allocation-free form of SettleRound: ids
+// and pay are parallel slices with ids sorted ascending and free of
+// duplicates (the journal order SettleRound produces). Violations are
+// rejected before anything is booked, so a failed call leaves the
+// ledger untouched.
+func (l *Ledger) SettleRoundSorted(round int, reward float64, ids []int, pay []float64) error {
+	if len(ids) != len(pay) {
+		return fmt.Errorf("ledger: %d seller ids for %d payments", len(ids), len(pay))
+	}
+	for j := 1; j < len(ids); j++ {
+		if ids[j] <= ids[j-1] {
+			return fmt.Errorf("ledger: seller ids not strictly ascending at %d", j)
+		}
+	}
+	for _, v := range pay {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w (got %v)", ErrBadAmount, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w (got %v)", ErrNegativeAmount, v)
+		}
+	}
+	if err := l.Transfer(round, Consumer, Platform, reward, "data service reward"); err != nil {
+		return err
+	}
+	for j, id := range ids {
+		if err := l.Transfer(round, Platform, l.sellerAccount(id), pay[j], "data collection reward"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sellerAccount returns Seller(i) from a memoized table so the hot
+// settle path does not re-format the account string every round.
+func (l *Ledger) sellerAccount(i int) Account {
+	if i < 0 {
+		return Seller(i) // out-of-model id; format directly
+	}
+	for len(l.sellers) <= i {
+		l.sellers = append(l.sellers, Seller(len(l.sellers)))
+	}
+	return l.sellers[i]
 }
 
 // Commission returns the platform's net take for a round: reward in

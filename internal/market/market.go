@@ -172,6 +172,12 @@ type Market struct {
 	ledger   *ledger.Ledger
 	inj      *faults.Injector // nil when nothing is injected
 	delivery *rng.Source      // the legacy i.i.d. delivery stream, nil unless DeliveryRate < 1
+
+	// Hot-path scratch, reused across rounds (see CollectInto/Settle).
+	obsRows   [][]float64
+	obsArena  []float64
+	settleIDs []int
+	settlePay []float64
 }
 
 // New builds a market from a validated configuration, assembling the
@@ -212,6 +218,13 @@ func (m *Market) Departed(i, t int) bool {
 	d := m.inj.DepartureRound(i)
 	return d > 0 && t >= d
 }
+
+// DepartureRound returns the round at whose start seller i permanently
+// departs (scripted departures and renewal churn combined), or 0 when
+// it never leaves. Departure rounds are fixed at construction, so the
+// mechanism can precompute its churn schedule instead of scanning all
+// sellers every round.
+func (m *Market) DepartureRound(i int) int { return m.inj.DepartureRound(i) }
 
 // Faults exposes the assembled fault injector (nil when the market
 // injects nothing), for inspection by tests and diagnostics.
@@ -297,9 +310,24 @@ func (m *Market) Restore(st State) error {
 // are floored at minQ (degenerate all-zero estimates would otherwise
 // break the model's q̄ > 0 requirement); pass 0 to keep raw values.
 func (m *Market) GameParams(selected []int, estimates []float64, minQ float64) *game.Params {
-	p := &game.Params{
-		Sellers:   make([]economics.SellerCost, len(selected)),
-		Qualities: make([]float64, len(selected)),
+	return m.GameParamsInto(&game.Params{}, selected, estimates, minQ)
+}
+
+// GameParamsInto is GameParams writing into a caller-owned Params,
+// reusing its Sellers/Qualities capacity so a steady-state round
+// assembles the game without allocating. All fields of p are
+// overwritten; it returns p.
+func (m *Market) GameParamsInto(p *game.Params, selected []int, estimates []float64, minQ float64) *game.Params {
+	n := len(selected)
+	if cap(p.Sellers) < n {
+		p.Sellers = make([]economics.SellerCost, n)
+	}
+	if cap(p.Qualities) < n {
+		p.Qualities = make([]float64, n)
+	}
+	*p = game.Params{
+		Sellers:   p.Sellers[:n],
+		Qualities: p.Qualities[:n],
 		Platform:  m.cfg.Platform,
 		Consumer:  m.cfg.Consumer,
 		PJBounds:  m.cfg.PJBounds,
@@ -343,6 +371,35 @@ func (m *Market) Collect(round int, selected []int) [][]float64 {
 	return obs
 }
 
+// CollectInto is Collect backed by market-owned scratch: rows live in
+// one arena reused across rounds, so a steady-state collection makes
+// zero heap allocations. The returned slice and its rows are BORROWED
+// — valid only until the next CollectInto call — and draw the exact
+// same random observations as Collect would.
+func (m *Market) CollectInto(round int, selected []int) [][]float64 {
+	n, l := len(selected), m.cfg.Job.L
+	if cap(m.obsRows) < n {
+		m.obsRows = make([][]float64, n)
+	}
+	m.obsRows = m.obsRows[:n]
+	if cap(m.obsArena) < n*l {
+		m.obsArena = make([]float64, n*l)
+	}
+	arena := m.obsArena[:n*l]
+	for j, i := range selected {
+		m.obsRows[j] = nil
+		if !m.inj.Delivers(round, i, m.cfg.Job.T) {
+			continue // failure or missed deadline: nil row
+		}
+		row := arena[j*l : (j+1)*l : (j+1)*l]
+		for p := range row {
+			row[p] = m.inj.Corrupt(i, p, round, m.cfg.Quality.Observe(i, p, round))
+		}
+		m.obsRows[j] = row
+	}
+	return m.obsRows
+}
+
 // CollectReadings produces the raw-data readings of a round when the
 // data layer is configured: every selected seller reads every PoI
 // with noise set by its TRUE quality, weighted for aggregation by its
@@ -371,11 +428,26 @@ func (m *Market) CollectReadings(round int, selected []int, estimates []float64)
 
 // Settle books the round's payments from the game outcome: the
 // consumer pays p^J·Στ to the platform, the platform pays p·τ_i to
-// seller i (Definition 5).
+// seller i (Definition 5). Journal order is deterministic (sellers in
+// ascending id), and the sort + transfers run on market-owned scratch
+// so a steady-state settlement does not allocate.
 func (m *Market) Settle(round int, selected []int, out *game.Outcome) error {
-	pay := make(map[int]float64, len(selected))
-	for j, i := range selected {
-		pay[i] = out.SellerReward(j)
+	n := len(selected)
+	if cap(m.settleIDs) < n {
+		m.settleIDs = make([]int, n)
+		m.settlePay = make([]float64, n)
 	}
-	return m.ledger.SettleRound(round, out.TotalReward(), pay)
+	ids, pay := m.settleIDs[:n], m.settlePay[:n]
+	for j, i := range selected {
+		// Insertion sort by id: selections are small (K sellers) and
+		// round 1's full-population selection arrives already sorted.
+		p := out.SellerReward(j)
+		q := j
+		for q > 0 && ids[q-1] > i {
+			ids[q], pay[q] = ids[q-1], pay[q-1]
+			q--
+		}
+		ids[q], pay[q] = i, p
+	}
+	return m.ledger.SettleRoundSorted(round, out.TotalReward(), ids, pay)
 }

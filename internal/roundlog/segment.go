@@ -52,14 +52,29 @@ func EncodeSegmentHeader(job string, base int) ([]byte, error) {
 // append to a segment. Each line is newline-terminated; a crash mid
 // write tears at most the final line, which ReadSegment discards.
 func EncodeSegmentRecords(recs []core.RoundRecord) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	var buf []byte
 	for i := range recs {
-		if err := enc.Encode(newEntry(&recs[i])); err != nil {
+		var err error
+		if buf, err = AppendSegmentRecord(buf, &recs[i]); err != nil {
 			return nil, err
 		}
 	}
-	return buf.Bytes(), nil
+	return buf, nil
+}
+
+// AppendSegmentRecord renders one round record as a newline-terminated
+// entry line and appends it to dst, returning the extended buffer. It
+// only READS the record, so callers holding a borrowed record (the
+// mechanism's pooled per-round storage) can encode it in place instead
+// of deep-copying rounds they never retain; bytes produced are
+// identical to EncodeSegmentRecords.
+func AppendSegmentRecord(dst []byte, rec *core.RoundRecord) ([]byte, error) {
+	line, err := json.Marshal(newEntry(rec))
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, line...)
+	return append(dst, '\n'), nil
 }
 
 // Segment is a decoded WAL segment.

@@ -147,3 +147,36 @@ func TestSegmentHeaderErrors(t *testing.T) {
 		t.Errorf("torn header: %v", err)
 	}
 }
+
+// TestAppendSegmentRecordIncremental: encoding one record at a time
+// into a shared buffer — the broker observer's zero-copy WAL feed —
+// must produce the exact bytes of the batch encoder and must leave the
+// borrowed record's slices untouched.
+func TestAppendSegmentRecordIncremental(t *testing.T) {
+	recs := segRecords(6, 3)
+	batch, err := EncodeSegmentRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incr []byte
+	for i := range recs {
+		selBefore := append([]int(nil), recs[i].Selected...)
+		if incr, err = AppendSegmentRecord(incr, &recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(intsAsBytes(selBefore), intsAsBytes(recs[i].Selected)) {
+			t.Fatalf("record %d mutated by encoder", i)
+		}
+	}
+	if !bytes.Equal(batch, incr) {
+		t.Fatalf("incremental encoding diverged from batch:\n%s\nvs\n%s", incr, batch)
+	}
+}
+
+func intsAsBytes(xs []int) []byte {
+	out := make([]byte, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, byte(x))
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 
 	"cmabhs"
 	"cmabhs/internal/metrics"
+	"cmabhs/internal/roundlog"
 )
 
 // Live round-event streaming: GET /v1/jobs/{id}/events serves the
@@ -103,17 +104,24 @@ func (h *eventHub) publish(ev JobEvent) {
 
 // observe is the job's round observer, attached for the duration of
 // every advance call (it runs on the advance goroutine, which holds
-// j.mu). It fans the borrowed event out to the tracing hook, buffers
-// the round for the write-ahead log when the broker runs on a
-// RoundWAL store, and, only when someone is listening, copies it onto
-// the wire form for the hub — so an unwatched, untraced advance on a
-// snapshot-only store pays three cheap checks.
+// j.mu). It fans the borrowed event out to the tracing hook, encodes
+// the round in place onto the write-ahead buffer when the broker runs
+// on a RoundWAL store (the borrowed slices are read, never retained),
+// and, only when someone is listening, copies it onto the wire form
+// for the hub — so an unwatched, untraced advance on a snapshot-only
+// store pays three cheap checks.
 func (j *job) observe(ev *cmabhs.RoundEvent) {
 	if j.traceHook != nil {
 		j.traceHook(ev)
 	}
 	if j.walLog {
-		j.walRecs = append(j.walRecs, coreRecord(&ev.Round))
+		rec := walRecord(&ev.Round)
+		if buf, err := roundlog.AppendSegmentRecord(j.walBuf, &rec); err != nil {
+			j.walErrs++ // reported at flush time, never fails the advance
+		} else {
+			j.walBuf = buf
+			j.walCount++
+		}
 	}
 	if j.hub.active() {
 		j.hub.publish(j.wireEvent(ev))

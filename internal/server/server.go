@@ -250,12 +250,17 @@ type job struct {
 	sess    *cmabhs.Session
 
 	// walLog, when the broker runs on a RoundWAL store, makes the
-	// observer buffer each played round into walRecs; the advance
-	// handler flushes the buffer to the store after AdvanceContext
-	// returns. Both fields are guarded by mu (the observer runs on
-	// the advance goroutine, which holds it).
-	walLog  bool
-	walRecs []core.RoundRecord
+	// observer encode each played round straight into walBuf as WAL
+	// entry lines (no per-round record copies — the borrowed event is
+	// read in place); the advance handler flushes the buffer to the
+	// store after AdvanceContext returns. All three fields are guarded
+	// by mu (the observer runs on the advance goroutine, which holds
+	// it). walErrs counts rounds whose encoding failed; they are
+	// reported at flush time like append failures.
+	walLog   bool
+	walBuf   []byte
+	walCount int
+	walErrs  int
 
 	// hub fans the job's round events out to /events subscribers. It
 	// has its own lock — subscribe/unsubscribe never waits on mu, so
@@ -505,19 +510,21 @@ func (s *Server) saveToStore(ctx context.Context, id string, data []byte) error 
 	return err
 }
 
-// coreRecord copies a borrowed public round into an owned journal
-// record (RoundEvent slices are valid only during the observer call).
-func coreRecord(r *cmabhs.Round) core.RoundRecord {
+// walRecord views a borrowed public round as a journal record WITHOUT
+// copying its slices. The view is valid only while the observer call
+// that borrowed the round is running — exactly the window in which the
+// WAL encoder reads it.
+func walRecord(r *cmabhs.Round) core.RoundRecord {
 	return core.RoundRecord{
 		Round:         r.Round,
-		Selected:      append([]int(nil), r.Selected...),
+		Selected:      r.Selected,
 		PJ:            r.ConsumerPrice,
 		P:             r.PlatformPrice,
-		Taus:          append([]float64(nil), r.SensingTimes...),
+		Taus:          r.SensingTimes,
 		TotalTau:      r.TotalTime,
 		PoC:           r.ConsumerProfit,
 		PoP:           r.PlatformProfit,
-		SellerProfits: append([]float64(nil), r.SellerProfits...),
+		SellerProfits: r.SellerProfits,
 		NoTrade:       r.NoTrade,
 		Realized:      r.Realized,
 		AggRMSE:       r.AggregationRMSE,
@@ -555,18 +562,22 @@ func (s *Server) flushWAL(ctx context.Context, j *job) {
 	if wal == nil {
 		return
 	}
-	recs := j.walRecs
-	j.walRecs = j.walRecs[:0]
-	if len(recs) == 0 {
+	buf, n, encErrs := j.walBuf, j.walCount, j.walErrs
+	j.walBuf, j.walCount, j.walErrs = j.walBuf[:0], 0, 0
+	if encErrs > 0 {
+		s.met().walAppendErrors.Add(uint64(encErrs))
+		s.logger().Error("wal encode", "job_id", j.id, "rounds", encErrs)
+	}
+	if n == 0 {
 		return
 	}
-	size, err := wal.AppendWAL(j.id, recs)
+	size, err := wal.AppendWALEncoded(j.id, buf, n)
 	if err != nil {
 		s.met().walAppendErrors.Inc()
-		s.logger().Error("wal append", "job_id", j.id, "rounds", len(recs), "error", err)
+		s.logger().Error("wal append", "job_id", j.id, "rounds", n, "error", err)
 		return
 	}
-	s.met().walAppended.Add(uint64(len(recs)))
+	s.met().walAppended.Add(uint64(n))
 	if size < s.compactEvery() {
 		return
 	}

@@ -35,6 +35,12 @@ type RoundWAL interface {
 	// returns the total records the segment now holds.
 	AppendWAL(id string, recs []core.RoundRecord) (int, error)
 
+	// AppendWALEncoded durably appends n records that the caller has
+	// already rendered as segment entry lines (see
+	// roundlog.AppendSegmentRecord) — the zero-copy feed the broker's
+	// observer uses. It returns the total records the segment holds.
+	AppendWALEncoded(id string, data []byte, n int) (int, error)
+
 	// LoadWAL reads id's segment, discarding a torn final line. A
 	// missing segment returns (nil, nil): the job predates the WAL or
 	// was just reset by a crash between snapshot and reset.
@@ -165,25 +171,34 @@ func (w *WALStore) ResetWAL(id string, base int) error {
 	return nil
 }
 
-// AppendWAL implements RoundWAL. The whole batch is encoded first and
-// written with one Write + one fsync, so an advance of n rounds costs
-// one disk round-trip, not n.
+// AppendWAL implements RoundWAL: the batch is rendered to entry lines
+// and handed to AppendWALEncoded.
 func (w *WALStore) AppendWAL(id string, recs []core.RoundRecord) (int, error) {
 	if err := checkID(id); err != nil {
 		return 0, err
 	}
-	if len(recs) == 0 {
-		w.mu.Lock()
-		var n int
-		if seg, ok := w.open[id]; ok {
-			n = seg.entries
-		}
-		w.mu.Unlock()
-		return n, nil
-	}
 	data, err := roundlog.EncodeSegmentRecords(recs)
 	if err != nil {
 		return 0, fmt.Errorf("server: wal append %s: %w", id, err)
+	}
+	return w.AppendWALEncoded(id, data, len(recs))
+}
+
+// AppendWALEncoded implements RoundWAL. The whole pre-encoded batch is
+// written with one Write + one fsync, so an advance of n rounds costs
+// one disk round-trip, not n.
+func (w *WALStore) AppendWALEncoded(id string, data []byte, n int) (int, error) {
+	if err := checkID(id); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		w.mu.Lock()
+		var have int
+		if seg, ok := w.open[id]; ok {
+			have = seg.entries
+		}
+		w.mu.Unlock()
+		return have, nil
 	}
 	w.mu.Lock()
 	seg, ok := w.open[id]
@@ -198,11 +213,11 @@ func (w *WALStore) AppendWAL(id string, recs []core.RoundRecord) (int, error) {
 		return seg.entries, fmt.Errorf("server: wal append %s: %w", id, err)
 	}
 	w.mu.Lock()
-	seg.entries += len(recs)
-	n := seg.entries
+	seg.entries += n
+	total := seg.entries
 	w.mu.Unlock()
-	w.appended.Add(uint64(len(recs)))
-	return n, nil
+	w.appended.Add(uint64(n))
+	return total, nil
 }
 
 // LoadWAL implements RoundWAL.

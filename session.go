@@ -54,7 +54,7 @@ func (s *Session) NextRound() int { return s.mech.Round() }
 func (s *Session) Stopped() string { return s.mech.Stopped() }
 
 // Step plays one trading round and returns its record; (nil, nil)
-// when the run is already done.
+// when the run is already done. The caller owns the returned record.
 func (s *Session) Step() (*Round, error) {
 	rec, err := s.mech.Step()
 	if err != nil {
@@ -63,7 +63,7 @@ func (s *Session) Step() (*Round, error) {
 	if rec == nil {
 		return nil, nil
 	}
-	r := publicRound(rec)
+	r := ownedRound(rec)
 	return &r, nil
 }
 
@@ -102,14 +102,14 @@ type Advance struct {
 // where this one left off. This is what lets a broker abort a
 // long-running advance on client disconnect without losing progress.
 func (s *Session) AdvanceContext(ctx context.Context, n int) (Advance, error) {
-	recs, reason, err := s.mech.AdvanceContext(ctx, n)
-	adv := Advance{Stopped: reason}
-	if len(recs) > 0 {
-		adv.Played = make([]Round, len(recs))
-		for i := range recs {
-			adv.Played[i] = publicRound(&recs[i])
-		}
-	}
+	// Ride the mechanism's batched fast path: each round's pooled
+	// record is converted to an owned public Round in place, skipping
+	// the intermediate internal-record copies.
+	var adv Advance
+	_, reason, err := s.mech.AdvanceN(ctx, n, func(rec *core.RoundRecord) {
+		adv.Played = append(adv.Played, ownedRound(rec))
+	})
+	adv.Stopped = reason
 	if err != nil {
 		return adv, fmt.Errorf("cmabhs: %w", err)
 	}
