@@ -1,6 +1,7 @@
 // Command cdt-server runs the CDT broker as an HTTP/JSON service.
 //
 //	cdt-server -addr :8080 [-state-dir /var/lib/cdt [-wal] [-compact-every n]]
+//	           [-node-id a -peers a=http://...,b=http://... [-lease-ttl 10s]]
 //	           [-shards n] [-debug-addr :6060]
 //	           [-log-format text|json] [-log-level debug|info|warn|error]
 //
@@ -12,6 +13,16 @@
 // snapshot every -compact-every rounds, and recovery after a crash
 // (kill -9 included) replays the WAL tail on top of the last snapshot
 // — round-granular durability instead of last-explicit-snapshot.
+//
+// With -peers and -node-id set (requires -state-dir; the directory
+// must be shared by every listed node), the broker runs as one node
+// of a multi-node cluster: each job is owned by exactly one node via
+// a lease it renews every -lease-ttl/3, requests landing on a
+// non-owner are transparently proxied to the owner (traces stitch
+// across the hop), graceful shutdown releases leases so peers adopt
+// the jobs immediately, and a crashed node's jobs fail over to their
+// hash-designated successors after the lease expires. See DESIGN.md
+// §15 and the README multi-node runbook.
 //
 // Prometheus metrics are served at GET /metrics on the main address.
 // With -debug-addr set, a second listener additionally serves
@@ -86,6 +97,9 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 2*time.Minute, "per-request deadline; advances return partial progress at expiry (0: none)")
 		maxBody     = flag.Int64("max-body-bytes", 1<<20, "maximum request body size in bytes (413 past this)")
 		shedAfter   = flag.Duration("shed-retry-after", time.Second, "Retry-After hint sent with 429 when the advance pool is saturated")
+		nodeID      = flag.String("node-id", "", "with -peers: this node's id in the peer list")
+		peersFlag   = flag.String("peers", "", "static cluster topology as comma-separated id=url pairs sharing -state-dir (empty: single-node)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "with -peers: job lease lifetime; crash failover begins once a lease is this stale")
 		debugAddr   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof, /debug/traces, and /metrics (empty: disabled)")
 		traceCap    = flag.Int("trace-capacity", tracing.DefaultCapacity, "traces retained in the in-memory ring buffer")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
@@ -111,6 +125,18 @@ func main() {
 	srv.ShedRetryAfter = *shedAfter
 	srv.Logger = lg
 	srv.Tracer = tracing.New(*traceCap)
+	if *peersFlag != "" {
+		peers, err := server.ParsePeers(*peersFlag)
+		if err != nil {
+			lg.Error("parse -peers", "error", err)
+			os.Exit(2)
+		}
+		srv.Cluster = &server.Cluster{
+			NodeID:   *nodeID,
+			Peers:    peers,
+			LeaseTTL: *leaseTTL,
+		}
+	}
 	if *stateDir != "" {
 		var store server.Store
 		var err error
@@ -124,6 +150,10 @@ func main() {
 			os.Exit(1)
 		}
 		srv.Store = store
+		if err := srv.ValidateCluster(); err != nil {
+			lg.Error("cluster config", "error", err)
+			os.Exit(2)
+		}
 		if err := srv.LoadAll(); err != nil {
 			lg.Error("reload jobs", "state_dir", *stateDir, "error", err)
 			os.Exit(1)
@@ -131,6 +161,9 @@ func main() {
 		if ids, err := store.List(); err == nil && len(ids) > 0 {
 			lg.Info("reloaded jobs", "state_dir", *stateDir, "count", len(ids), "ids", fmt.Sprint(ids))
 		}
+	} else if srv.Cluster != nil {
+		lg.Error("cluster config", "error", fmt.Errorf("-peers requires -state-dir (the shared store)"))
+		os.Exit(2)
 	}
 
 	if *debugAddr != "" {
@@ -155,6 +188,13 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if srv.Cluster != nil {
+		// Background cluster duties: lease renewals, orphan adoption
+		// (crash failover without waiting for a request), lease GC.
+		go srv.RunLeaseLoop(ctx)
+		lg.Info("cluster mode", "node_id", srv.Cluster.NodeID,
+			"peers", *peersFlag, "lease_ttl", leaseTTL.String())
+	}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -181,6 +221,10 @@ func main() {
 		} else {
 			lg.Info("snapshotted jobs", "state_dir", *stateDir)
 		}
+		// Release leases AFTER the snapshots are durable: peers adopt
+		// the jobs immediately (no TTL wait) and resume from the state
+		// just saved.
+		srv.ReleaseOwnedLeases()
 		if ws, ok := srv.Store.(*server.WALStore); ok {
 			_ = ws.Close() // appends are already fsynced; just release handles
 		}

@@ -28,19 +28,32 @@ const SegmentSchema = "cdt-wal"
 // SegmentVersion identifies the segment schema.
 const SegmentVersion = 1
 
-// segmentHeader is the first line of every WAL segment.
+// segmentHeader is the first line of every WAL segment. Epoch is the
+// lease epoch of the broker node that opened the segment; 0 (omitted,
+// keeping single-node headers byte-identical to the pre-lease format)
+// means the segment was opened outside any ownership protocol.
 type segmentHeader struct {
 	Schema  string `json:"schema"`
 	Version int    `json:"version"`
 	Job     string `json:"job"`
-	Base    int    `json:"base"` // 1-based round index the segment starts at
+	Base    int    `json:"base"`            // 1-based round index the segment starts at
+	Epoch   int64  `json:"epoch,omitempty"` // lease epoch of the writer, 0 when unowned
 }
 
 // EncodeSegmentHeader renders the header line (newline-terminated) for
 // a segment holding rounds base, base+1, ... of job.
 func EncodeSegmentHeader(job string, base int) ([]byte, error) {
+	return EncodeSegmentHeaderEpoch(job, base, 0)
+}
+
+// EncodeSegmentHeaderEpoch is EncodeSegmentHeader with the writer's
+// lease epoch stamped into the header. A recovering node compares the
+// stamp against its own lease: a segment from a HIGHER epoch means
+// another owner already advanced past this node's view of the job, so
+// resuming from it would fork history.
+func EncodeSegmentHeaderEpoch(job string, base int, epoch int64) ([]byte, error) {
 	data, err := json.Marshal(segmentHeader{
-		Schema: SegmentSchema, Version: SegmentVersion, Job: job, Base: base,
+		Schema: SegmentSchema, Version: SegmentVersion, Job: job, Base: base, Epoch: epoch,
 	})
 	if err != nil {
 		return nil, err
@@ -79,8 +92,9 @@ func AppendSegmentRecord(dst []byte, rec *core.RoundRecord) ([]byte, error) {
 
 // Segment is a decoded WAL segment.
 type Segment struct {
-	Job  string // job id from the header
-	Base int    // first round the segment may hold
+	Job   string // job id from the header
+	Base  int    // first round the segment may hold
+	Epoch int64  // lease epoch of the node that opened it (0: unowned)
 	// Rounds are the decoded records in append order.
 	Rounds []core.RoundRecord
 	// Torn reports that the final line was incomplete or undecodable
@@ -103,7 +117,7 @@ func ReadSegment(data []byte) (*Segment, error) {
 	if h.Version != SegmentVersion {
 		return nil, fmt.Errorf("%w (%d)", ErrVersion, h.Version)
 	}
-	seg := &Segment{Job: h.Job, Base: h.Base, Torn: torn}
+	seg := &Segment{Job: h.Job, Base: h.Base, Epoch: h.Epoch, Torn: torn}
 	for i, ln := range lines[1:] {
 		if len(ln) == 0 {
 			continue

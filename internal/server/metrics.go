@@ -97,6 +97,25 @@ type serverMetrics struct {
 	walCompactions  *metrics.Counter
 	walAppendErrors *metrics.Counter
 	walReplayed     *metrics.Counter
+
+	// Cluster instruments, registered only when Server.Cluster is set
+	// so the single-node /metrics surface is unchanged. Every code
+	// path that touches them is cluster-gated.
+	leasesLost         *metrics.Counter
+	leaseRenewFailures *metrics.Counter
+	leaseTakeovers     *metrics.Counter
+	proxyRejected      *metrics.Counter
+	proxyErrors        *metrics.Counter
+	proxiedByRoute     map[string]*metrics.Counter // by route pattern
+}
+
+// proxied returns the cdt_proxied_requests_total counter for a route
+// pattern (falling back to "other" for anything outside the universe).
+func (m *serverMetrics) proxied(route string) *metrics.Counter {
+	if c, ok := m.proxiedByRoute[route]; ok {
+		return c
+	}
+	return m.proxiedByRoute["other"]
 }
 
 // Metrics returns the broker's metrics registry, building and
@@ -157,6 +176,26 @@ func (s *Server) Metrics() *metrics.Registry {
 			func() float64 { return float64(s.pool().InUse()) })
 		reg.GaugeFunc("cdt_advance_pool_waiting", "Acquire calls queued behind a full advance pool.",
 			func() float64 { return float64(s.pool().Waiting()) })
+		if s.clustered() {
+			m.leasesLost = reg.Counter("cdt_leases_lost_total",
+				"Jobs evicted because their lease was stolen by another node.")
+			m.leaseRenewFailures = reg.Counter("cdt_lease_renew_failures_total",
+				"Failed lease renewals (lost leases and store errors).")
+			m.leaseTakeovers = reg.Counter("cdt_lease_takeovers_total",
+				"Leases this node acquired for jobs it did not create (adoption and failover).")
+			m.proxyRejected = reg.Counter("cdt_proxy_rejected_total",
+				"Requests answered 503 because job ownership was in transition.")
+			m.proxyErrors = reg.Counter("cdt_proxy_errors_total",
+				"Proxied requests that failed to reach the owning peer.")
+			m.proxiedByRoute = make(map[string]*metrics.Counter, len(routes))
+			for _, rt := range routes {
+				m.proxiedByRoute[rt] = reg.Counter("cdt_proxied_requests_total",
+					"Requests proxied to the owning peer, by route pattern.",
+					metrics.L("route", rt))
+			}
+			reg.GaugeFunc("cdt_leases_held", "Job leases this node currently holds.",
+				func() float64 { return float64(s.leasesHeld.Load()) })
+		}
 		s.metrics = m
 	})
 	return s.metrics.reg

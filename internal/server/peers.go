@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Peer topology. A cluster is a STATIC list of brokers sharing one
+// state directory; each job id maps onto the list with rendezvous
+// (highest-random-weight) hashing. HRW gives every job a full,
+// deterministic preference order over the peers — rank 0 is the job's
+// home, rank 1 its designated successor, and so on — that every node
+// computes identically with no coordination. Ownership itself is
+// proven by leases (lease.go); the HRW ranking only decides who should
+// ACQUIRE: rank 0 adopts unowned jobs, and when an owner's lease
+// expires, the highest-ranked peer that is not the lapsed owner is the
+// failover successor.
+
+// Peer is one broker in the static cluster topology.
+type Peer struct {
+	// ID is the node's stable name; it appears in lease records, job
+	// ids (`job-<id>-<n>`), and log lines, so it must satisfy the same
+	// charset as a snapshot id.
+	ID string
+	// URL is the node's base API URL (scheme://host:port), the target
+	// misrouted requests are proxied to.
+	URL string
+}
+
+// ParsePeers parses the -peers flag form: comma-separated `id=url`
+// entries, e.g. `a=http://127.0.0.1:8080,b=http://127.0.0.1:8081`.
+func ParsePeers(s string) ([]Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("server: empty peer list")
+	}
+	var peers []Peer
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("server: peer %q: want id=url", part)
+		}
+		if err := checkID(id); err != nil {
+			return nil, fmt.Errorf("server: peer id %q: letters, digits, '-', '_' only", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("server: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("server: empty peer list")
+	}
+	return peers, nil
+}
+
+// rankPeers orders peers by descending HRW weight for a job id: the
+// stable per-job preference list every node agrees on. Ties (FNV
+// collisions) break by peer id so the order is total.
+func rankPeers(peers []Peer, jobID string) []Peer {
+	type weighted struct {
+		p Peer
+		w uint64
+	}
+	ws := make([]weighted, len(peers))
+	for i, p := range peers {
+		ws[i] = weighted{p: p, w: hashID(p.ID + "\x00" + jobID)}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].w != ws[j].w {
+			return ws[i].w > ws[j].w
+		}
+		return ws[i].p.ID < ws[j].p.ID
+	})
+	out := make([]Peer, len(peers))
+	for i, w := range ws {
+		out[i] = w.p
+	}
+	return out
+}
+
+// claimantOf returns the peer that should hold jobID's lease given the
+// current lease state: the recorded owner while the lease is live, the
+// HRW home when no lease exists, and the highest-ranked peer that is
+// NOT the lapsed owner once the lease expires — the hash-designated
+// successor a crash fails over to.
+func claimantOf(peers []Peer, jobID string, l *Lease, expired bool) Peer {
+	rank := rankPeers(peers, jobID)
+	if l == nil {
+		return rank[0]
+	}
+	if !expired {
+		for _, p := range rank {
+			if p.ID == l.Owner {
+				return p
+			}
+		}
+		return rank[0] // owner not in the static list (topology changed)
+	}
+	for _, p := range rank {
+		if p.ID != l.Owner {
+			return p
+		}
+	}
+	return rank[0] // single-node cluster: the owner succeeds itself
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:8080, b=http://h2:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "a" || peers[1].URL != "http://h2:8080" {
+		t.Fatalf("parsed: %+v", peers)
+	}
+	for _, bad := range []string{"", "a", "a=", "=url", "a=u,a=v", "a/b=u"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRankPeersDeterministicAndOrderIndependent(t *testing.T) {
+	peers := []Peer{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	shuffled := []Peer{{ID: "c"}, {ID: "a"}, {ID: "b"}}
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		r1 := rankPeers(peers, id)
+		r2 := rankPeers(shuffled, id)
+		for k := range r1 {
+			if r1[k].ID != r2[k].ID {
+				t.Fatalf("HRW ranking depends on input order for %s: %v vs %v", id, r1, r2)
+			}
+		}
+	}
+}
+
+func TestRankPeersSpreadsJobs(t *testing.T) {
+	peers := []Peer{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	homes := map[string]int{}
+	for i := 0; i < 300; i++ {
+		homes[rankPeers(peers, fmt.Sprintf("job-%d", i))[0].ID]++
+	}
+	for _, p := range peers {
+		if homes[p.ID] == 0 {
+			t.Fatalf("HRW never homes a job on %s: %v", p.ID, homes)
+		}
+	}
+}
+
+func TestClaimantOf(t *testing.T) {
+	peers := []Peer{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	id := "job-x"
+	home := rankPeers(peers, id)[0]
+
+	// Unowned → the HRW home.
+	if got := claimantOf(peers, id, nil, false); got.ID != home.ID {
+		t.Fatalf("unowned claimant %s, want home %s", got.ID, home.ID)
+	}
+
+	// Live lease → the recorded owner, wherever it ranks.
+	for _, p := range peers {
+		l := &Lease{Job: id, Owner: p.ID, Epoch: 1}
+		if got := claimantOf(peers, id, l, false); got.ID != p.ID {
+			t.Fatalf("live claimant %s, want owner %s", got.ID, p.ID)
+		}
+	}
+
+	// Expired lease → the best-ranked peer that is NOT the lapsed
+	// owner, even when the lapsed owner is the HRW home.
+	l := &Lease{Job: id, Owner: home.ID, Epoch: 1}
+	succ := claimantOf(peers, id, l, true)
+	if succ.ID == home.ID {
+		t.Fatalf("successor is the lapsed owner %s", home.ID)
+	}
+	if want := rankPeers(peers, id)[1]; succ.ID != want.ID {
+		t.Fatalf("successor %s, want rank-1 peer %s", succ.ID, want.ID)
+	}
+
+	// Owner outside the topology (shrunk cluster) → back to the home.
+	gone := &Lease{Job: id, Owner: "zz", Epoch: 1, ExpiryUnixNano: time.Now().Add(time.Hour).UnixNano()}
+	if got := claimantOf(peers, id, gone, false); got.ID != home.ID {
+		t.Fatalf("foreign-owner claimant %s, want home %s", got.ID, home.ID)
+	}
+
+	// Single-peer cluster: the owner succeeds itself.
+	solo := []Peer{{ID: "a"}}
+	if got := claimantOf(solo, id, &Lease{Owner: "a"}, true); got.ID != "a" {
+		t.Fatalf("solo successor %s", got.ID)
+	}
+}

@@ -48,6 +48,11 @@ type registry struct {
 	// increments it; observeID advances it past reloaded ids so a
 	// restart never reuses one.
 	nextID atomic.Int64
+
+	// prefix is the namespace allocID mints in; empty means "job-".
+	// Clustered brokers set "job-<node>-" (at construction, before any
+	// allocID) so two nodes sharing a store never mint the same id.
+	prefix string
 }
 
 // newRegistry builds a registry with n shards, rounded up to a power
@@ -188,10 +193,14 @@ func (r *registry) snapshot() []*job {
 	return out
 }
 
-// allocID mints the next "job-N" id. Monotonic across the process
+// allocID mints the next "<prefix>N" id. Monotonic across the process
 // lifetime, including past any ids observeID has seen.
 func (r *registry) allocID() string {
-	return fmt.Sprintf("job-%d", r.nextID.Add(1))
+	p := r.prefix
+	if p == "" {
+		p = "job-"
+	}
+	return fmt.Sprintf("%s%d", p, r.nextID.Add(1))
 }
 
 // observeID advances the id counter to at least n, so ids reloaded

@@ -43,9 +43,9 @@ import (
 	"net/http"
 	"reflect"
 	"runtime/debug"
-	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cmabhs"
@@ -200,6 +200,10 @@ type JobStatus struct {
 	Result    *cmabhs.Result `json:"result"`
 	Metrics   JobMetrics     `json:"metrics"`
 	Links     JobLinks       `json:"links"`
+	// Lease reports which node owns the job and for how long; present
+	// only on clustered brokers, so the single-node wire format is
+	// unchanged.
+	Lease *JobLeaseStatus `json:"lease,omitempty"`
 }
 
 // JobMetrics is the per-job throughput view embedded in JobStatus.
@@ -222,6 +226,9 @@ type JobLinks struct {
 	Self     string `json:"self"`
 	Snapshot string `json:"snapshot"`
 	Metrics  string `json:"metrics"`
+	// Owner is the owning node's direct URL for this job (clustered
+	// brokers only): following it skips the proxy hop.
+	Owner string `json:"owner,omitempty"`
 }
 
 // AdvanceRequest asks to play up to Rounds more rounds.
@@ -248,6 +255,11 @@ type job struct {
 	k       int
 	horizon int
 	sess    *cmabhs.Session
+
+	// lease is this node's ownership claim on a clustered broker (nil
+	// single-node). Guarded by mu; the renewal loop refreshes it in
+	// place and fencing reads it before every store write.
+	lease *Lease
 
 	// walLog, when the broker runs on a RoundWAL store, makes the
 	// observer encode each played round straight into walBuf as WAL
@@ -314,6 +326,23 @@ func (j *job) status() JobStatus {
 	}
 }
 
+// statusLocked renders j's wire status plus the cluster decorations —
+// the lease block and the owner link. Caller holds j.mu.
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := j.status()
+	if s.clustered() && j.lease != nil {
+		st.Lease = &JobLeaseStatus{
+			Owner:            j.lease.Owner,
+			Epoch:            j.lease.Epoch,
+			ExpiresInSeconds: j.lease.Expiry().Sub(s.Cluster.now()).Seconds(),
+		}
+		if p, ok := s.Cluster.peer(j.lease.Owner); ok {
+			st.Links.Owner = p.URL + "/v1/jobs/" + j.id
+		}
+	}
+	return st
+}
+
 // Server is the broker service. Create with New and mount Handler.
 type Server struct {
 	// reg is the sharded job table; see registry.go. Built lazily so
@@ -363,6 +392,15 @@ type Server struct {
 	// before serving requests.
 	Store Store
 
+	// Cluster, if non-nil, runs this broker as one node of a
+	// multi-node deployment sharing the Store (see cluster.go): every
+	// job it serves is backed by a lease it renews, requests for jobs
+	// a peer owns are transparently proxied to that peer, and a
+	// crashed peer's jobs fail over to their hash-designated
+	// successors. Requires a LeaseStore-capable Store; set it (and
+	// validate with ValidateCluster) before serving or loading.
+	Cluster *Cluster
+
 	// Registry, if non-nil, is the metrics registry the broker
 	// instruments itself into (set it before serving to share one
 	// registry across components); nil builds a private one. Either
@@ -394,6 +432,13 @@ type Server struct {
 	metrics     *serverMetrics
 
 	traceOnce sync.Once
+
+	// takeoverMu serializes cluster takeovers so concurrent requests
+	// for the same orphaned job race once, not once each.
+	takeoverMu sync.Mutex
+	// leasesHeld counts leases this node currently holds (exported as
+	// cdt_leases_held and healthz jobs_owned).
+	leasesHeld atomic.Int64
 }
 
 // New returns an empty broker.
@@ -408,7 +453,10 @@ func New() *Server {
 // registry lazily builds the sharded job table so Shards can be set
 // any time before the first request (same contract as pool).
 func (s *Server) registry() *registry {
-	s.regOnce.Do(func() { s.reg = newRegistry(s.Shards) })
+	s.regOnce.Do(func() {
+		s.reg = newRegistry(s.Shards)
+		s.reg.prefix = s.jobIDPrefix()
+	})
 	return s.reg
 }
 
@@ -481,7 +529,12 @@ func (s *Server) Handler() http.Handler {
 // Every attempt is counted into the store-retry metrics and recorded
 // as a span event, so a trace of a snapshot request shows exactly how
 // many write attempts the store needed and what each one returned.
-func (s *Server) saveToStore(ctx context.Context, id string, data []byte) error {
+//
+// lease, when non-nil, is the ownership claim the write runs under:
+// the save goes through the store's FencedSave, and a fencing
+// rejection (the lease was stolen) is permanent — retrying cannot
+// bring the job back, so the loop stops immediately.
+func (s *Server) saveToStore(ctx context.Context, id string, data []byte, lease *Lease) error {
 	m := s.met()
 	ctx, span := s.Tracing().StartSpan(ctx, "store.save")
 	span.SetAttr("job_id", id)
@@ -502,6 +555,15 @@ func (s *Server) saveToStore(ctx context.Context, id string, data []byte) error 
 		}
 	}
 	err := engine.Retry(ctx, pol, func(ctx context.Context) error {
+		if lease != nil {
+			if ls := s.leaseStore(); ls != nil {
+				err := ls.FencedSave(id, data, lease.Owner, lease.Epoch)
+				if errors.Is(err, ErrLeaseLost) {
+					return engine.Permanent(err)
+				}
+				return err
+			}
+		}
 		return s.Store.Save(id, data)
 	})
 	if err != nil {
@@ -540,14 +602,29 @@ func (s *Server) bootstrapWAL(ctx context.Context, j *job, wal RoundWAL) error {
 	if err != nil {
 		return err
 	}
-	if err := s.saveToStore(ctx, j.id, data); err != nil {
+	if err := s.saveToStore(ctx, j.id, data, j.lease); err != nil {
 		return err
 	}
-	if err := wal.ResetWAL(j.id, j.sess.NextRound()); err != nil {
+	if err := s.resetSegment(wal, j.id, j.sess.NextRound(), j.lease); err != nil {
 		return err
 	}
 	j.walLog = true
 	return nil
+}
+
+// resetSegment resets id's WAL segment; on a lease-owned job it uses
+// the fenced variant when the store offers one (WALStore does), so a
+// zombie's reset cannot truncate a successor's segment, and the fresh
+// header carries the owner's epoch.
+func (s *Server) resetSegment(wal RoundWAL, id string, base int, lease *Lease) error {
+	if lease != nil {
+		if fw, ok := wal.(interface {
+			ResetWALFenced(id string, base int, owner string, epoch int64) error
+		}); ok {
+			return fw.ResetWALFenced(id, base, lease.Owner, lease.Epoch)
+		}
+	}
+	return wal.ResetWAL(id, base)
 }
 
 // flushWAL appends the rounds buffered by the observer during one
@@ -557,10 +634,16 @@ func (s *Server) bootstrapWAL(ctx context.Context, j *job, wal RoundWAL) error {
 // played and the job stays correct in memory); they are logged and
 // counted in cdt_wal_append_errors_total, and recovery degrades to the
 // last durable snapshot + intact WAL prefix.
-func (s *Server) flushWAL(ctx context.Context, j *job) {
+//
+// On a lease-owned job the flush is epoch-fenced: the lease is checked
+// before the append, and a lost lease (stolen by a successor) makes
+// flushWAL report leaseLost=true WITHOUT writing — the buffered rounds
+// belong to a generation that no longer owns the job. The caller must
+// then evict the job (evictLostJob) after releasing j.mu.
+func (s *Server) flushWAL(ctx context.Context, j *job) (leaseLost bool) {
 	wal := s.wal()
 	if wal == nil {
-		return
+		return false
 	}
 	buf, n, encErrs := j.walBuf, j.walCount, j.walErrs
 	j.walBuf, j.walCount, j.walErrs = j.walBuf[:0], 0, 0
@@ -568,34 +651,43 @@ func (s *Server) flushWAL(ctx context.Context, j *job) {
 		s.met().walAppendErrors.Add(uint64(encErrs))
 		s.logger().Error("wal encode", "job_id", j.id, "rounds", encErrs)
 	}
+	if err := s.fence(j); err != nil {
+		s.logger().Warn("wal flush fenced", "job_id", j.id, "error", err)
+		return true
+	}
 	if n == 0 {
-		return
+		return false
 	}
 	size, err := wal.AppendWALEncoded(j.id, buf, n)
 	if err != nil {
 		s.met().walAppendErrors.Inc()
 		s.logger().Error("wal append", "job_id", j.id, "rounds", n, "error", err)
-		return
+		return false
 	}
 	s.met().walAppended.Add(uint64(n))
 	if size < s.compactEvery() {
-		return
+		return false
 	}
 	data, err := j.sess.Save()
 	if err == nil {
-		err = s.saveToStore(ctx, j.id, data)
+		err = s.saveToStore(ctx, j.id, data, j.lease)
 	}
 	if err == nil {
-		err = wal.ResetWAL(j.id, j.sess.NextRound())
+		err = s.resetSegment(wal, j.id, j.sess.NextRound(), j.lease)
+	}
+	if errors.Is(err, ErrLeaseLost) {
+		s.logger().Warn("wal compact fenced", "job_id", j.id, "error", err)
+		return true
 	}
 	if err != nil {
 		// The segment keeps growing and the next flush retries the
 		// compaction — durability is never lost, only unfolded.
 		s.met().walAppendErrors.Inc()
 		s.logger().Error("wal compact", "job_id", j.id, "error", err)
-		return
+		return false
 	}
 	s.met().walCompactions.Inc()
+	return false
 }
 
 // Healthz is the wire form of the liveness probe.
@@ -620,6 +712,9 @@ type Healthz struct {
 	Shards int `json:"shards"`
 	// WAL carries the segment/compaction counters on a "wal" store.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Cluster carries the node identity, topology, and lease counters
+	// on a multi-node broker.
+	Cluster *ClusterHealthz `json:"cluster,omitempty"`
 }
 
 // storeKind classifies the configured Store for healthz.
@@ -669,6 +764,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if wal := s.wal(); wal != nil {
 		st := wal.WALStats()
 		h.WAL = &st
+	}
+	if s.clustered() {
+		ch := &ClusterHealthz{
+			NodeID:    s.Cluster.NodeID,
+			JobsOwned: int(s.leasesHeld.Load()),
+			LeaseTTLS: s.Cluster.ttl().Seconds(),
+		}
+		for _, p := range s.Cluster.Peers {
+			ch.Peers = append(ch.Peers, p.ID)
+		}
+		if ls := s.leaseStore(); ls != nil {
+			st := ls.LeaseStats()
+			ch.Leases = &st
+		}
+		h.Cluster = ch
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -734,28 +844,47 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		reg := s.registry()
 		j := s.newJob(reg.allocID(), sess)
+		if s.clustered() {
+			// A job is born owned: its lease is taken before anything
+			// is persisted or published, so a peer scanning the shared
+			// store never adopts a half-created job.
+			lease, err := s.leaseStore().AcquireLease(j.id, s.Cluster.NodeID, s.Cluster.ttl())
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			j.lease = &lease
+		}
 		if wal := s.wal(); wal != nil {
 			// Round-granular durability starts at birth: persist the
 			// base snapshot and open the job's WAL segment before the
 			// job is reachable, so a kill -9 one round after creation
 			// already recovers the job.
 			if err := s.bootstrapWAL(r.Context(), j, wal); err != nil {
+				if j.lease != nil {
+					_ = s.leaseStore().ReleaseLease(j.id, j.lease.Owner, j.lease.Epoch)
+				}
 				httpError(w, http.StatusInternalServerError, "%v", err)
 				return
 			}
 		}
 		if !reg.putIfBelow(j, s.MaxJobs) {
 			if s.Store != nil {
-				_ = s.Store.Delete(j.id) // roll back the bootstrap snapshot + segment
+				// Roll back the bootstrap snapshot + segment (and, in
+				// cluster mode, the lease record alongside them).
+				_ = s.Store.Delete(j.id)
 			}
 			httpError(w, http.StatusTooManyRequests, "job limit (%d) reached", s.MaxJobs)
 			return
+		}
+		if j.lease != nil {
+			s.leasesHeld.Add(1)
 		}
 		s.met().jobsCreated.Inc()
 		// The job is published: take its lock before reading state, a
 		// concurrent advance may already be running.
 		j.mu.Lock()
-		st := j.status()
+		st := s.statusLocked(j)
 		j.mu.Unlock()
 		writeJSON(w, http.StatusCreated, st)
 
@@ -767,7 +896,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		out := make([]JobStatus, 0, len(snap))
 		for _, j := range snap {
 			j.mu.Lock()
-			out = append(out, j.status())
+			out = append(out, s.statusLocked(j))
 			j.mu.Unlock()
 		}
 		// Stable order for clients.
@@ -788,6 +917,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	parts := strings.Split(rest, "/")
 	id := parts[0]
 	j, ok := s.registry().get(id)
+	if !ok && s.clustered() {
+		// Not served here — but in a cluster "here" is one node of
+		// many: take the job over if this node may claim it, or proxy
+		// the request to the node that owns it (see proxy.go).
+		var handled bool
+		j, handled = s.routeJob(w, r, id)
+		if handled {
+			return
+		}
+		ok = j != nil
+	}
 	if !ok {
 		httpError(w, http.StatusNotFound, "no job %q", id)
 		return
@@ -799,13 +939,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case action == "" && r.Method == http.MethodGet:
 		j.mu.Lock()
-		st := j.status()
+		st := s.statusLocked(j)
 		j.mu.Unlock()
 		writeJSON(w, http.StatusOK, st)
 
 	case action == "" && r.Method == http.MethodDelete:
-		s.registry().remove(id)
+		if removed := s.registry().remove(id); removed != nil && removed.leaseFor() != nil {
+			s.leasesHeld.Add(-1)
+		}
 		if s.Store != nil {
+			// Store.Delete also removes the job's lease record, so a
+			// deleted job leaves no ownership to dispute.
 			if err := s.Store.Delete(id); err != nil {
 				httpError(w, http.StatusInternalServerError, "job dropped but snapshot not deleted: %v", err)
 				return
@@ -843,7 +987,6 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 				hint = time.Second
 			}
 			s.met().shed.Inc()
-			w.Header().Set("Retry-After", retryAfter(hint))
 			writeError(w, http.StatusTooManyRequests, "saturated", hint,
 				"advance capacity saturated (%d in flight); retry after %s", s.pool().InUse(), retryAfter(hint)+"s")
 			return
@@ -855,16 +998,26 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		adv, err := j.sess.AdvanceContext(r.Context(), req.Rounds)
 		j.traceHook = nil
 		j.recordAdvance(len(adv.Played), time.Since(start))
+		var leaseLost bool
 		if j.walLog {
 			// Flush the rounds the observer buffered to the WAL and
 			// fold the tail into a snapshot once it is long enough.
 			// Still under j.mu: the segment must see rounds in play
 			// order, and a compaction snapshot must not interleave
 			// with another advance.
-			s.flushWAL(r.Context(), j)
+			leaseLost = s.flushWAL(r.Context(), j)
 		}
-		st := j.status()
+		st := s.statusLocked(j)
 		j.mu.Unlock()
+		if leaseLost {
+			// The lease was stolen mid-advance: the successor owns the
+			// job now. Evict it here and tell the client to re-resolve
+			// (a retry will be proxied to the new owner).
+			s.evictLostJob(j, ErrLeaseLost)
+			writeError(w, http.StatusServiceUnavailable, "lease_lost", s.inTransitionRetry(nil),
+				"job %q moved to another node mid-advance; retry", id)
+			return
+		}
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -875,6 +1028,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	case action == "snapshot" && r.Method == http.MethodPost:
 		j.mu.Lock()
 		data, err := j.sess.Save()
+		l := j.lease
 		j.mu.Unlock()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)
@@ -882,7 +1036,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 		persisted := false
 		if s.Store != nil {
-			if err := s.saveToStore(r.Context(), id, data); err != nil {
+			if err := s.saveToStore(r.Context(), id, data, l); err != nil {
+				if errors.Is(err, ErrLeaseLost) {
+					s.evictLostJob(j, err)
+					writeError(w, http.StatusServiceUnavailable, "lease_lost", s.inTransitionRetry(nil),
+						"job %q moved to another node: %v", id, err)
+					return
+				}
 				httpError(w, http.StatusInternalServerError, "%v", err)
 				return
 			}
@@ -930,12 +1090,19 @@ func (s *Server) SaveAll() error {
 	for _, j := range snap {
 		j.mu.Lock()
 		data, err := j.sess.Save()
+		l := j.lease
 		j.mu.Unlock()
 		if err == nil {
 			// Shutdown snapshots retry too: losing a job's state to
 			// one transient write failure is the worst outcome a
 			// durable broker can produce.
-			err = s.saveToStore(context.Background(), j.id, data)
+			err = s.saveToStore(context.Background(), j.id, data, l)
+		}
+		if errors.Is(err, ErrLeaseLost) {
+			// The job moved while shutting down: its durability is the
+			// successor's problem now, not a save failure.
+			s.evictLostJob(j, err)
+			continue
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("server: save %s: %w", j.id, err)
@@ -958,6 +1125,11 @@ func (s *Server) SaveAll() error {
 // bit-for-bit; any divergence aborts the load. The caught-up state is
 // then folded into a fresh snapshot and the segment is reset, so
 // restart loops never re-replay the same tail.
+// On a clustered broker, LoadAll adopts only the jobs this node may
+// claim — its HRW homes among the unowned, anything whose lease it
+// already holds, and expired leases it is the designated successor for
+// — acquiring each lease before the load. Jobs a live peer owns are
+// left alone.
 func (s *Server) LoadAll() error {
 	if s.Store == nil {
 		return errors.New("server: no state store configured")
@@ -966,62 +1138,108 @@ func (s *Server) LoadAll() error {
 	if err != nil {
 		return err
 	}
-	wal := s.wal()
+	if s.clustered() {
+		return s.loadAllClustered(ids)
+	}
 	reg := s.registry()
 	for _, id := range ids {
-		data, err := s.Store.Load(id)
+		j, err := s.loadStoredJob(context.Background(), id, nil)
 		if err != nil {
 			return err
 		}
-		sess, err := cmabhs.ResumeSession(data)
-		if err != nil {
-			return fmt.Errorf("server: resume %s: %w", id, err)
-		}
-		if wal != nil {
-			replayed, err := s.replayWAL(wal, id, sess)
-			if err != nil {
-				return err
-			}
-			if replayed > 0 {
-				s.met().walReplayed.Add(uint64(replayed))
-				s.logger().Info("wal replay", "job_id", id, "rounds", replayed,
-					"next_round", sess.NextRound())
-			}
-			// Fold the replayed tail into a fresh base snapshot and
-			// restart the segment from the caught-up round.
-			data, err := sess.Save()
-			if err == nil {
-				err = s.saveToStore(context.Background(), id, data)
-			}
-			if err == nil {
-				err = wal.ResetWAL(id, sess.NextRound())
-			}
-			if err != nil {
-				return fmt.Errorf("server: recover %s: %w", id, err)
-			}
-		}
-		j := s.newJob(id, sess)
-		j.walLog = wal != nil
 		reg.put(j)
-		if n, ok := strings.CutPrefix(id, "job-"); ok {
-			if v, err := strconv.Atoi(n); err == nil {
-				reg.observeID(int64(v))
-			}
+		s.observeLoadedID(id)
+	}
+	return nil
+}
+
+// loadAllClustered is boot-time adoption in a cluster: a per-job claim
+// lost to a racing peer is skipped, not fatal — the peer winning the
+// race is the system working.
+func (s *Server) loadAllClustered(ids []string) error {
+	ls := s.leaseStore()
+	for _, id := range ids {
+		l, err := ls.LoadLease(id)
+		if err != nil {
+			return err
+		}
+		if !s.claimable(id, l) {
+			continue
+		}
+		lease, err := ls.AcquireLease(id, s.Cluster.NodeID, s.Cluster.ttl())
+		if errors.Is(err, ErrLeaseHeld) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := s.adoptJob(context.Background(), id, lease); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// loadStoredJob resumes one stored job: snapshot load, WAL-tail replay
+// with bit-for-bit verification, and (on a WAL store) folding the
+// caught-up state into a fresh base snapshot. The job is returned
+// unpublished. lease, when non-nil, is the ownership claim the load
+// runs under: saves are fenced with it, the reset segment header
+// carries its epoch, and a WAL segment stamped with a LATER epoch
+// aborts the load — it belongs to a successor generation this claim
+// cannot fold.
+func (s *Server) loadStoredJob(ctx context.Context, id string, lease *Lease) (*job, error) {
+	data, err := s.Store.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := cmabhs.ResumeSession(data)
+	if err != nil {
+		return nil, fmt.Errorf("server: resume %s: %w", id, err)
+	}
+	wal := s.wal()
+	if wal != nil {
+		replayed, err := s.replayWAL(wal, id, sess, lease)
+		if err != nil {
+			return nil, err
+		}
+		if replayed > 0 {
+			s.met().walReplayed.Add(uint64(replayed))
+			s.logger().Info("wal replay", "job_id", id, "rounds", replayed,
+				"next_round", sess.NextRound())
+		}
+		// Fold the replayed tail into a fresh base snapshot and
+		// restart the segment from the caught-up round.
+		data, err := sess.Save()
+		if err == nil {
+			err = s.saveToStore(ctx, id, data, lease)
+		}
+		if err == nil {
+			err = s.resetSegment(wal, id, sess.NextRound(), lease)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("server: recover %s: %w", id, err)
+		}
+	}
+	j := s.newJob(id, sess)
+	j.walLog = wal != nil
+	return j, nil
+}
+
 // replayWAL advances a just-resumed session through its WAL tail and
 // verifies every replayed round reproduces the logged record exactly.
 // It returns the number of rounds replayed.
-func (s *Server) replayWAL(wal RoundWAL, id string, sess *cmabhs.Session) (int, error) {
+func (s *Server) replayWAL(wal RoundWAL, id string, sess *cmabhs.Session, lease *Lease) (int, error) {
 	seg, err := wal.LoadWAL(id)
 	if err != nil {
 		return 0, fmt.Errorf("server: recover %s: %w", id, err)
 	}
 	if seg == nil {
 		return 0, nil
+	}
+	if lease != nil && seg.Epoch > lease.Epoch {
+		return 0, fmt.Errorf("server: recover %s: wal segment from epoch %d but lease is epoch %d",
+			id, seg.Epoch, lease.Epoch)
 	}
 	// The segment may predate the snapshot (a crash between a
 	// compaction's snapshot save and its segment reset): entries below
@@ -1221,8 +1439,8 @@ func scrubNaN(v reflect.Value) {
 }
 
 // ErrorBody is the structured half of the error envelope: a stable
-// machine-readable code, a human-readable message, and — on 429s — the
-// retry hint mirrored from the Retry-After header.
+// machine-readable code, a human-readable message, and — on 429s and
+// 503s — the retry hint mirrored from the Retry-After header.
 type ErrorBody struct {
 	Code        string  `json:"code"`
 	Message     string  `json:"message"`
@@ -1244,11 +1462,14 @@ type ErrorResponse struct {
 
 // writeError is the single choke point for error responses: every
 // handler path goes through it (usually via httpError) so the envelope
-// cannot drift between endpoints.
-func writeError(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+// cannot drift between endpoints. A positive retry hint sets BOTH the
+// Retry-After header and the envelope's retry_after_s — callers must
+// not set the header themselves, or the two can drift.
+func writeError(w http.ResponseWriter, status int, code string, after time.Duration, format string, args ...any) {
 	body := ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}
-	if retryAfter > 0 {
-		body.RetryAfterS = retryAfter.Seconds()
+	if after > 0 {
+		body.RetryAfterS = after.Seconds()
+		w.Header().Set("Retry-After", retryAfter(after))
 	}
 	writeJSON(w, status, ErrorResponse{Error: body, Message: body.Message})
 }
@@ -1273,6 +1494,8 @@ func errorCode(status int) string {
 		return "body_too_large"
 	case http.StatusTooManyRequests:
 		return "too_many_requests"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
 	default:
 		return "internal"
 	}

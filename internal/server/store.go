@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Store persists job snapshots across broker restarts. Implementations
@@ -27,9 +28,18 @@ type Store interface {
 
 // FileStore is a directory-backed Store: one `<id>.json` file per
 // job, written via a temp file and os.Rename so readers and crash
-// recovery never observe a partial snapshot.
+// recovery never observe a partial snapshot. It also implements the
+// LeaseStore extension (see lease.go): multi-node deployments keep a
+// `<id>.json.lease` ownership record next to each snapshot.
 type FileStore struct {
 	dir string
+
+	// Now, when set, replaces wall time in every lease expiry decision
+	// — the injection point the clock-skew and failover tests use. Set
+	// it before the store is shared; nil means time.Now.
+	Now func() time.Time
+
+	leaseCounters
 }
 
 // NewFileStore creates (if needed) the directory and returns the
@@ -122,11 +132,14 @@ func (f *FileStore) Load(id string) ([]byte, error) {
 
 // Delete implements Store. The removal is fsynced for the same
 // reason Save fsyncs the rename: a deleted job must not resurrect
-// after a power loss.
+// after a power loss. The job's lease record and any leftover lease
+// lock go with it — a deleted job has no ownership to dispute.
 func (f *FileStore) Delete(id string) error {
 	if err := checkID(id); err != nil {
 		return err
 	}
+	os.Remove(f.leasePath(id))
+	os.Remove(f.lockPath(id))
 	if err := os.Remove(f.path(id)); err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil
@@ -141,10 +154,12 @@ func (f *FileStore) Delete(id string) error {
 
 // List implements Store. Only entries that look like snapshots this
 // store could have written survive the listing: foreign and partial
-// files — a leftover `*.tmp` from a crashed atomic rename, editor
-// droppings, a directory someone created in the state dir, a name
-// that would never pass checkID — are skipped rather than surfaced as
-// job ids that LoadAll would then fail to load.
+// files — a leftover `*.tmp` from a crashed atomic rename or lease
+// write, lease records and lock files (`*.lease`, `*.lease.lock`,
+// orphaned or not), editor droppings, a directory someone created in
+// the state dir, a name that would never pass checkID — are skipped
+// rather than surfaced as job ids that LoadAll would then fail to
+// load.
 func (f *FileStore) List() ([]string, error) {
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {

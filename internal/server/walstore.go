@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cmabhs/internal/core"
 	"cmabhs/internal/roundlog"
@@ -108,6 +109,33 @@ func (w *WALStore) Save(id string, data []byte) error { return w.fs.Save(id, dat
 func (w *WALStore) Load(id string) ([]byte, error)    { return w.fs.Load(id) }
 func (w *WALStore) List() ([]string, error)           { return w.fs.List() }
 
+// The LeaseStore extension delegates to the snapshot FileStore too:
+// leases live next to the snapshots they guard.
+func (w *WALStore) AcquireLease(id, owner string, ttl time.Duration) (Lease, error) {
+	return w.fs.AcquireLease(id, owner, ttl)
+}
+func (w *WALStore) RenewLease(id, owner string, epoch int64, ttl time.Duration) (Lease, error) {
+	return w.fs.RenewLease(id, owner, epoch, ttl)
+}
+func (w *WALStore) ReleaseLease(id, owner string, epoch int64) error {
+	return w.fs.ReleaseLease(id, owner, epoch)
+}
+func (w *WALStore) LoadLease(id string) (*Lease, error) { return w.fs.LoadLease(id) }
+func (w *WALStore) CheckLease(id, owner string, epoch int64) error {
+	return w.fs.CheckLease(id, owner, epoch)
+}
+func (w *WALStore) FencedSave(id string, data []byte, owner string, epoch int64) error {
+	return w.fs.FencedSave(id, data, owner, epoch)
+}
+func (w *WALStore) SweepLeases() (int, error) { return w.fs.SweepLeases() }
+func (w *WALStore) LeaseStats() LeaseStats    { return w.fs.LeaseStats() }
+
+// SetNow injects a clock into the underlying FileStore's lease-expiry
+// decisions (tests drive failover with it); nil restores wall time.
+func (w *WALStore) SetNow(fn func() time.Time) { w.fs.Now = fn }
+
+var _ LeaseStore = (*WALStore)(nil)
+
 // Delete removes id's snapshot and its WAL segment, closing the open
 // handle first.
 func (w *WALStore) Delete(id string) error {
@@ -132,10 +160,42 @@ func (w *WALStore) Delete(id string) error {
 // entries below the snapshot round) or the new one — never a torn
 // header.
 func (w *WALStore) ResetWAL(id string, base int) error {
+	return w.resetWAL(id, base, 0)
+}
+
+// ResetWALEpoch is ResetWAL with the owner's lease epoch stamped into
+// the segment header (see roundlog.EncodeSegmentHeaderEpoch); the
+// clustered broker uses it so recovery can detect segments written by
+// a later ownership generation.
+func (w *WALStore) ResetWALEpoch(id string, base int, epoch int64) error {
+	return w.resetWAL(id, base, epoch)
+}
+
+// ResetWALFenced is ResetWALEpoch executed under the job's lease lock
+// with a fencing check first: a zombie owner whose lease was stolen
+// cannot truncate its successor's segment.
+func (w *WALStore) ResetWALFenced(id string, base int, owner string, epoch int64) error {
 	if err := checkID(id); err != nil {
 		return err
 	}
-	hdr, err := roundlog.EncodeSegmentHeader(id, base)
+	return w.fs.withLeaseLock(id, func() error {
+		cur, err := w.fs.loadLeaseLocked(id)
+		if err != nil {
+			return err
+		}
+		if cur == nil || cur.Owner != owner || cur.Epoch != epoch {
+			w.fs.leaseFenced.Add(1)
+			return leaseLostErr(id, owner, epoch, cur)
+		}
+		return w.resetWAL(id, base, epoch)
+	})
+}
+
+func (w *WALStore) resetWAL(id string, base int, epoch int64) error {
+	if err := checkID(id); err != nil {
+		return err
+	}
+	hdr, err := roundlog.EncodeSegmentHeaderEpoch(id, base, epoch)
 	if err != nil {
 		return fmt.Errorf("server: wal reset %s: %w", id, err)
 	}
