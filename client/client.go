@@ -1,0 +1,464 @@
+// Package client is the typed Go client for the CDT broker API — the
+// one canonical way programs talk to cdt-server. Every consumer in
+// this repository (cdt-loadgen, cdt-sim's -server mode, the
+// brokerservice example, the CI smoke paths) goes through it, so the
+// wire surface has a single place to evolve.
+//
+// Basic use:
+//
+//	c := client.New("http://localhost:8080")
+//	st, err := c.CreateJob(ctx, client.JobRequest{RandomSellers: 300, K: 10, Rounds: 100000, Seed: 1})
+//	adv, err := c.Advance(ctx, st.ID, 1000)
+//
+// Errors: every non-2xx response decodes the broker's unified error
+// envelope into *APIError, carrying the machine-readable Code, the
+// HTTP status, and the Retry-After hint on shed (429) and
+// in-transition (503) responses. Unwrap with errors.As.
+//
+// Retry: calls are wrapped in engine.Retry-backed backoff (capped
+// exponential, full jitter). 429 and 503 responses and transport
+// errors are retried; the Retry-After hint, when present, raises the
+// backoff floor so the client never comes back earlier than the
+// broker asked. Everything else is permanent and fails immediately.
+//
+// Ownership: against a multi-node broker the client is lease-aware.
+// Job statuses carry links.owner (the owning node's direct URL); the
+// client remembers it per job and sends subsequent job-scoped calls
+// straight to the owner, skipping the proxy hop. A 503 with code
+// ownership_transition/lease_lost/owner_unreachable drops the cached
+// owner and retries through the original base URL, which re-resolves
+// ownership.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cmabhs/internal/engine"
+	"cmabhs/internal/server"
+)
+
+// The wire types are the broker's own, re-exported so client code
+// never imports an internal package. One definition, one wire format.
+type (
+	// JobRequest configures POST /v1/jobs.
+	JobRequest = server.JobRequest
+	// SellerSpec is one seller on the wire.
+	SellerSpec = server.SellerSpec
+	// FaultRequest enables the fault-injection layer for a job.
+	FaultRequest = server.FaultRequest
+	// JobStatus is every job-reporting endpoint's response shape.
+	JobStatus = server.JobStatus
+	// AdvanceResponse is POST /v1/jobs/{id}/advance's response.
+	AdvanceResponse = server.AdvanceResponse
+	// SnapshotResponse is POST /v1/jobs/{id}/snapshot's response.
+	SnapshotResponse = server.SnapshotResponse
+	// EstimatesResponse is GET /v1/jobs/{id}/estimates's response.
+	EstimatesResponse = server.EstimatesResponse
+	// DeleteResponse is DELETE /v1/jobs/{id}'s response.
+	DeleteResponse = server.DeleteResponse
+	// StatsResponse is GET /v1/stats's response.
+	StatsResponse = server.StatsResponse
+	// SolveGameRequest configures POST /v1/game/solve.
+	SolveGameRequest = server.SolveGameRequest
+	// SolveGameResponse is POST /v1/game/solve's response.
+	SolveGameResponse = server.SolveGameResponse
+	// Healthz is GET /v1/healthz's response.
+	Healthz = server.Healthz
+	// JobEvent is one round event on the live stream (see Events).
+	JobEvent = server.JobEvent
+	// RetryPolicy tunes the client's backoff; see engine.RetryPolicy.
+	RetryPolicy = engine.RetryPolicy
+)
+
+// APIError is the decoded error envelope of a non-2xx broker
+// response:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_s": n}}
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error code ("saturated",
+	// "not_found", "ownership_transition", ...).
+	Code string
+	// Message is the human-readable error text.
+	Message string
+	// RetryAfter is the broker's retry hint (Retry-After header /
+	// retry_after_s envelope field); zero when absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cdt: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether retrying the same call can succeed —
+// load shedding (429) and ownership transitions (503).
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// ownershipCodes are the 503 codes that mean "the job moved": the
+// cached owner URL is stale and must be re-resolved through the base.
+func ownershipCode(code string) bool {
+	switch code {
+	case "ownership_transition", "lease_lost", "owner_unreachable":
+		return true
+	}
+	return false
+}
+
+// Client talks to one broker deployment. It is safe for concurrent
+// use. Create with New.
+type Client struct {
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	// onResponse, if set, observes every HTTP response (including
+	// error and retried ones) before the client consumes it.
+	onResponse func(*http.Response)
+
+	// owners caches each job's owner base URL learned from
+	// links.owner, so clustered deployments are hit direct instead of
+	// through the proxy hop.
+	mu     sync.Mutex
+	owners map[string]string
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (default
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry replaces the retry/backoff policy. The zero policy means
+// 3 attempts with jittered exponential backoff from 50ms; set
+// MaxAttempts to 1 to disable retries.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithResponseHook observes every HTTP response the client receives,
+// before decoding — including retried attempts and error responses.
+// Load generators count proxy hops (X-CDT-Proxied-By) and status
+// distributions through it. The hook must not read the body and must
+// be safe for concurrent use.
+func WithResponseHook(fn func(*http.Response)) Option {
+	return func(c *Client) { c.onResponse = fn }
+}
+
+// New returns a client for the broker at baseURL (scheme://host:port,
+// no trailing slash required).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:   strings.TrimRight(baseURL, "/"),
+		hc:     http.DefaultClient,
+		owners: make(map[string]string),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the base URL the client was created with.
+func (c *Client) BaseURL() string { return c.base }
+
+// ownerBase returns the cached owner base URL for a job, or the
+// client base.
+func (c *Client) ownerBase(jobID string) string {
+	if jobID == "" {
+		return c.base
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.owners[jobID]; ok {
+		return b
+	}
+	return c.base
+}
+
+// dropOwner forgets a job's cached owner (the job moved, or the
+// cached node stopped answering for it).
+func (c *Client) dropOwner(jobID string) {
+	if jobID == "" {
+		return
+	}
+	c.mu.Lock()
+	delete(c.owners, jobID)
+	c.mu.Unlock()
+}
+
+// learnOwner caches the owner base URL a job status advertises.
+// links.owner is the owning node's direct URL for the job
+// ("http://node/v1/jobs/{id}"); the base is everything before the
+// path.
+func (c *Client) learnOwner(st *JobStatus) {
+	if st == nil || st.Links.Owner == "" || st.ID == "" {
+		return
+	}
+	suffix := "/v1/jobs/" + st.ID
+	base, ok := strings.CutSuffix(st.Links.Owner, suffix)
+	if !ok || base == "" {
+		return
+	}
+	c.mu.Lock()
+	if base == c.base {
+		delete(c.owners, st.ID)
+	} else {
+		c.owners[st.ID] = base
+	}
+	c.mu.Unlock()
+}
+
+// call is the request core every method goes through: marshal in (if
+// non-nil), send method path, decode the 2xx body into out (if
+// non-nil) or an *APIError otherwise — all under the retry policy.
+// jobID, when non-empty, routes through the cached owner base.
+func (c *Client) call(ctx context.Context, method, path, jobID string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	pol := c.retry
+	// hint carries the last attempt's Retry-After into the backoff:
+	// the sleep is never shorter than what the broker asked for. The
+	// call is synchronous, so plain assignment is race-free.
+	var hint time.Duration
+	innerSleep := pol.Sleep
+	pol.Sleep = func(ctx context.Context, d time.Duration) error {
+		if hint > d {
+			d = hint
+		}
+		if innerSleep != nil {
+			return innerSleep(ctx, d)
+		}
+		return sleepCtx(ctx, d)
+	}
+	return engine.Retry(ctx, pol, func(ctx context.Context) error {
+		hint = 0
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.ownerBase(jobID)+path, rd)
+		if err != nil {
+			return engine.Permanent(fmt.Errorf("client: %w", err))
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// Transport errors are retryable, but a cached owner that
+			// stopped answering must not pin the job: fall back to the
+			// base URL (whose proxy re-resolves ownership).
+			c.dropOwner(jobID)
+			return fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		defer resp.Body.Close()
+		if c.onResponse != nil {
+			c.onResponse(resp)
+		}
+		if resp.StatusCode >= 300 {
+			apiErr := decodeAPIError(resp)
+			if ownershipCode(apiErr.Code) {
+				c.dropOwner(jobID)
+			}
+			if apiErr.Temporary() {
+				hint = apiErr.RetryAfter
+				return apiErr
+			}
+			return engine.Permanent(apiErr)
+		}
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return engine.Permanent(fmt.Errorf("client: decode %s %s: %w", method, path, err))
+		}
+		return nil
+	})
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// decodeAPIError turns a non-2xx response into *APIError. The
+// Retry-After header wins over the envelope mirror when both are
+// present (they are written from one choke point server-side, so
+// normally they agree).
+func decodeAPIError(resp *http.Response) *APIError {
+	e := &APIError{Status: resp.StatusCode}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error struct {
+			Code        string  `json:"code"`
+			Message     string  `json:"message"`
+			RetryAfterS float64 `json:"retry_after_s"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+		e.RetryAfter = time.Duration(env.Error.RetryAfterS * float64(time.Second))
+	} else {
+		e.Code = "unknown"
+		e.Message = strings.TrimSpace(string(raw))
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// Healthz probes the broker.
+func (c *Client) Healthz(ctx context.Context) (*Healthz, error) {
+	var out Healthz
+	if err := c.call(ctx, http.MethodGet, "/v1/healthz", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateJob publishes a data collection job.
+func (c *Client) CreateJob(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.call(ctx, http.MethodPost, "/v1/jobs", "", &req, &out); err != nil {
+		return nil, err
+	}
+	c.learnOwner(&out)
+	return &out, nil
+}
+
+// ListJobsOptions pages GET /v1/jobs. The zero value lists every job.
+type ListJobsOptions struct {
+	// Limit caps the page size; 0 means no cap.
+	Limit int
+	// After resumes listing past this job id (exclusive) — pass the
+	// last id of the previous page.
+	After string
+}
+
+// Jobs lists job summaries, optionally paged. Page until a short (or
+// empty) page comes back:
+//
+//	opts := client.ListJobsOptions{Limit: 100}
+//	for {
+//		page, err := c.Jobs(ctx, opts)
+//		...
+//		if len(page) < opts.Limit { break }
+//		opts.After = page[len(page)-1].ID
+//	}
+func (c *Client) Jobs(ctx context.Context, opts ListJobsOptions) ([]JobStatus, error) {
+	path := "/v1/jobs"
+	q := make([]string, 0, 2)
+	if opts.Limit > 0 {
+		q = append(q, "limit="+strconv.Itoa(opts.Limit))
+	}
+	if opts.After != "" {
+		q = append(q, "after="+opts.After)
+	}
+	if len(q) > 0 {
+		path += "?" + strings.Join(q, "&")
+	}
+	var out []JobStatus
+	if err := c.call(ctx, http.MethodGet, path, "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.call(ctx, http.MethodGet, "/v1/jobs/"+id, id, nil, &out); err != nil {
+		return nil, err
+	}
+	c.learnOwner(&out)
+	return &out, nil
+}
+
+// Advance plays up to rounds more rounds of a job.
+func (c *Client) Advance(ctx context.Context, id string, rounds int) (*AdvanceResponse, error) {
+	var out AdvanceResponse
+	req := server.AdvanceRequest{Rounds: rounds}
+	if err := c.call(ctx, http.MethodPost, "/v1/jobs/"+id+"/advance", id, &req, &out); err != nil {
+		return nil, err
+	}
+	c.learnOwner(&out.Status)
+	return &out, nil
+}
+
+// Snapshot durably snapshots a job and returns the snapshot payload
+// (resumable via CreateJob with JobRequest.Snapshot).
+func (c *Client) Snapshot(ctx context.Context, id string) (*SnapshotResponse, error) {
+	var out SnapshotResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/jobs/"+id+"/snapshot", id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Estimates returns a job's current per-seller quality estimates.
+func (c *Client) Estimates(ctx context.Context, id string) (*EstimatesResponse, error) {
+	var out EstimatesResponse
+	if err := c.call(ctx, http.MethodGet, "/v1/jobs/"+id+"/estimates", id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delete drops a job (and its stored snapshot).
+func (c *Client) Delete(ctx context.Context, id string) (*DeleteResponse, error) {
+	var out DeleteResponse
+	if err := c.call(ctx, http.MethodDelete, "/v1/jobs/"+id, id, nil, &out); err != nil {
+		return nil, err
+	}
+	c.dropOwner(id)
+	return &out, nil
+}
+
+// Stats reports the broker's service counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.call(ctx, http.MethodGet, "/v1/stats", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveGame solves one stateless single-round Stackelberg game.
+func (c *Client) SolveGame(ctx context.Context, req SolveGameRequest) (*SolveGameResponse, error) {
+	var out SolveGameResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/game/solve", "", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,386 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmabhs/internal/server"
+)
+
+// envelope writes the broker's unified error envelope the way
+// writeError does, so decode tests exercise the real wire shape.
+func envelope(w http.ResponseWriter, status int, code, msg string, retryAfterS float64) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfterS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfterS)))
+	}
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":%q,"retry_after_s":%g}}`, code, msg, retryAfterS)
+}
+
+// TestRetryAfterHonored sheds the first two attempts with a 1-second
+// Retry-After and checks the client's backoff never undercuts the
+// hint: every recorded sleep is at least the broker's ask, even though
+// the policy's own base delay is a millisecond.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			envelope(w, http.StatusTooManyRequests, "saturated", "advance pool exhausted", 1)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.StatsResponse{})
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := New(ts.URL, WithRetry(RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond, // hint must override this floor
+		Jitter:      -1,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return nil // instant clock: record, don't wait
+		},
+	}))
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats after shedding: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts %d, want 3", got)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps %v, want 2 entries", sleeps)
+	}
+	for i, d := range sleeps {
+		if d < time.Second {
+			t.Errorf("sleep %d = %v undercuts Retry-After of 1s", i, d)
+		}
+	}
+}
+
+// TestAPIErrorDecode checks every interesting status decodes into a
+// typed *APIError with the envelope's code and hint intact, and that
+// only 429/503 are retried — a 500 burns exactly one attempt.
+func TestAPIErrorDecode(t *testing.T) {
+	cases := []struct {
+		name        string
+		status      int
+		code        string
+		retryAfterS float64
+		wantCalls   int64 // with MaxAttempts=2
+	}{
+		{"too-large", http.StatusRequestEntityTooLarge, "body_too_large", 0, 1},
+		{"shed", http.StatusTooManyRequests, "saturated", 2, 2},
+		{"internal", http.StatusInternalServerError, "internal", 0, 1},
+		{"transition", http.StatusServiceUnavailable, "ownership_transition", 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int64
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				envelope(w, tc.status, tc.code, "boom", tc.retryAfterS)
+			}))
+			defer ts.Close()
+
+			c := New(ts.URL, WithRetry(RetryPolicy{
+				MaxAttempts: 2,
+				Jitter:      -1,
+				Sleep:       func(context.Context, time.Duration) error { return nil },
+			}))
+			_, err := c.Stats(context.Background())
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error %v (%T) is not *APIError", err, err)
+			}
+			if apiErr.Status != tc.status || apiErr.Code != tc.code {
+				t.Fatalf("decoded %+v, want status %d code %q", apiErr, tc.status, tc.code)
+			}
+			if want := time.Duration(tc.retryAfterS * float64(time.Second)); apiErr.RetryAfter != want {
+				t.Fatalf("RetryAfter %v, want %v", apiErr.RetryAfter, want)
+			}
+			if got := calls.Load(); got != tc.wantCalls {
+				t.Fatalf("attempts %d, want %d (Temporary=%v)", got, tc.wantCalls, apiErr.Temporary())
+			}
+		})
+	}
+}
+
+// TestAPIErrorRawBody checks non-envelope error bodies (a proxy's
+// plain-text 502, say) still produce a usable *APIError.
+func TestAPIErrorRawBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 1}))
+	_, err := c.Stats(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not *APIError", err)
+	}
+	if apiErr.Status != http.StatusBadGateway || apiErr.Code != "unknown" || apiErr.Message != "bad gateway" {
+		t.Fatalf("decoded %+v", apiErr)
+	}
+}
+
+// TestEventsSSE checks the SSE iterator end to end against the real
+// broker: heartbeat comments are consumed silently and round events
+// come out typed and in order.
+func TestEventsSSE(t *testing.T) {
+	s := server.New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.CreateJob(ctx, JobRequest{RandomSellers: 10, K: 3, Rounds: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Events(ctx, st.ID, EventsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+
+	if _, err := c.Advance(ctx, st.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		ev, err := es.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev.JobID != st.ID || ev.Round != i {
+			t.Fatalf("event %d = job %q round %d", i, ev.JobID, ev.Round)
+		}
+		if len(ev.Selected) == 0 && !ev.NoTrade {
+			t.Fatalf("event %d has no selection and no no-trade flag", i)
+		}
+	}
+}
+
+// TestEventsReconnect serves synthetic SSE with heartbeats, cuts the
+// connection after every event, and checks the reconnecting iterator
+// rides through the cuts and counts them.
+func TestEventsReconnect(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, ": keep-alive\n\n") // heartbeat before any event
+		fl.Flush()
+		fmt.Fprintf(w, "event: round\ndata: {\"job_id\":\"j1\",\"round\":%d}\n\n", n)
+		fl.Flush()
+		// Handler returns: the server closes the connection after one
+		// event, forcing the client to redial for the next.
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	es, err := c.Events(ctx, "j1", EventsOptions{Reconnect: true, ReconnectDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+
+	for want := 1; want <= 3; want++ {
+		ev, err := es.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", want, err)
+		}
+		if ev.Round != want {
+			t.Fatalf("round %d, want %d", ev.Round, want)
+		}
+	}
+	if es.Reconnects() != 2 {
+		t.Fatalf("reconnects %d, want 2", es.Reconnects())
+	}
+}
+
+// TestEventsNoReconnect checks the default iterator surfaces the
+// broken connection instead of silently redialing.
+func TestEventsNoReconnect(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "data: {\"round\":1}\n\n")
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	es, err := c.Events(context.Background(), "j1", EventsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	if _, err := es.Next(); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	if _, err := es.Next(); err == nil {
+		t.Fatal("want error after server closed the stream")
+	}
+}
+
+// TestResponseHookProxiedBy checks WithResponseHook sees every
+// response's headers — the loadgen counts multi-node proxy hops
+// (X-CDT-Proxied-By) through it — and that the events stream exposes
+// the same header via Header().
+func TestResponseHookProxiedBy(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-CDT-Proxied-By", "node-2")
+		if r.URL.Path == "/v1/jobs/j1/events" {
+			w.Header().Set("Content-Type", "text/event-stream")
+			fmt.Fprint(w, "data: {\"round\":1}\n\n")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.StatsResponse{})
+	}))
+	defer ts.Close()
+
+	var proxied atomic.Int64
+	c := New(ts.URL, WithResponseHook(func(resp *http.Response) {
+		if resp.Header.Get("X-CDT-Proxied-By") != "" {
+			proxied.Add(1)
+		}
+	}))
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Events(context.Background(), "j1", EventsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	if got := es.Header().Get("X-CDT-Proxied-By"); got != "node-2" {
+		t.Fatalf("stream Header X-CDT-Proxied-By = %q, want node-2", got)
+	}
+	if got := proxied.Load(); got != 2 {
+		t.Fatalf("hook saw %d proxied responses, want 2 (stats + events)", got)
+	}
+}
+
+// TestOwnerFollowing checks the lease-aware path: a job status
+// advertising links.owner redirects subsequent job-scoped calls to the
+// owner node directly, and an ownership_transition 503 drops the
+// cached owner and falls back to the base URL.
+func TestOwnerFollowing(t *testing.T) {
+	var ownerCalls, baseCalls atomic.Int64
+	var failOwner atomic.Bool
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerCalls.Add(1)
+		if failOwner.Load() {
+			envelope(w, http.StatusServiceUnavailable, "ownership_transition", "lease moving", 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1"})
+	}))
+	defer owner.Close()
+
+	baseHandler := func(w http.ResponseWriter, r *http.Request) {
+		baseCalls.Add(1)
+		st := server.JobStatus{ID: "j1"}
+		st.Links.Owner = owner.URL + "/v1/jobs/j1"
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	}
+	base := httptest.NewServer(http.HandlerFunc(baseHandler))
+	defer base.Close()
+
+	c := New(base.URL, WithRetry(RetryPolicy{
+		MaxAttempts: 2,
+		Jitter:      -1,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}))
+	ctx := context.Background()
+
+	// First status goes to the base, which advertises the owner.
+	if _, err := c.Job(ctx, "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if baseCalls.Load() != 1 || ownerCalls.Load() != 0 {
+		t.Fatalf("after first call: base %d owner %d", baseCalls.Load(), ownerCalls.Load())
+	}
+	// Second goes straight to the owner.
+	if _, err := c.Job(ctx, "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if ownerCalls.Load() != 1 {
+		t.Fatalf("owner calls %d, want 1 (owner-following)", ownerCalls.Load())
+	}
+	// Owner enters transition: the retry must fall back to the base.
+	failOwner.Store(true)
+	if _, err := c.Job(ctx, "j1"); err != nil {
+		t.Fatalf("transition fallback: %v", err)
+	}
+	if baseCalls.Load() != 2 {
+		t.Fatalf("base calls %d, want 2 (fallback after transition)", baseCalls.Load())
+	}
+}
+
+// TestPaginationAgainstBroker pages the real broker's job listing
+// through the client and checks the pages tile the full set exactly.
+func TestPaginationAgainstBroker(t *testing.T) {
+	s := server.New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx := context.Background()
+	want := make(map[string]bool)
+	for i := 0; i < 7; i++ {
+		st, err := c.CreateJob(ctx, JobRequest{RandomSellers: 5, K: 2, Rounds: 10, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[st.ID] = true
+	}
+	got := make(map[string]bool)
+	opts := ListJobsOptions{Limit: 3}
+	for pages := 0; ; pages++ {
+		if pages > 10 {
+			t.Fatal("pagination did not terminate")
+		}
+		page, err := c.Jobs(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range page {
+			if got[st.ID] {
+				t.Fatalf("job %s appeared twice across pages", st.ID)
+			}
+			got[st.ID] = true
+		}
+		if len(page) < opts.Limit {
+			break
+		}
+		opts.After = page[len(page)-1].ID
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paged %d jobs, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("job %s missing from paged listing", id)
+		}
+	}
+}

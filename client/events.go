@@ -1,0 +1,199 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// EventsOptions tunes the live round-event stream.
+type EventsOptions struct {
+	// NDJSON requests newline-delimited JSON framing instead of SSE.
+	NDJSON bool
+	// Reconnect makes the iterator redial transparently when the
+	// stream breaks (server restart, proxy hop cut, idle timeout)
+	// instead of surfacing the error. Rounds played while disconnected
+	// are NOT replayed — the stream is live, not a log.
+	Reconnect bool
+	// ReconnectDelay is the pause before each redial (default 250ms).
+	ReconnectDelay time.Duration
+}
+
+// EventStream iterates a job's live round events
+// (GET /v1/jobs/{id}/events). Create with Client.Events, read with
+// Next, and Close when done. Not safe for concurrent Next calls.
+type EventStream struct {
+	c      *Client
+	id     string
+	opts   EventsOptions
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	resp       *http.Response
+	br         *bufio.Reader
+	header     http.Header
+	reconnects int
+}
+
+// Events opens a job's live round-event stream. The stream lives
+// until Close (or ctx cancellation); with opts.Reconnect it survives
+// broken connections by redialing.
+func (c *Client) Events(ctx context.Context, id string, opts EventsOptions) (*EventStream, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	s := &EventStream{c: c, id: id, opts: opts, ctx: ctx, cancel: cancel}
+	if err := s.connect(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// connect dials (or redials) the stream endpoint.
+func (s *EventStream) connect() error {
+	path := "/v1/jobs/" + s.id + "/events"
+	if s.opts.NDJSON {
+		path += "?format=ndjson"
+	}
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet, s.c.ownerBase(s.id)+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if s.opts.NDJSON {
+		req.Header.Set("Accept", "application/x-ndjson")
+	} else {
+		req.Header.Set("Accept", "text/event-stream")
+	}
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		s.c.dropOwner(s.id)
+		return fmt.Errorf("client: events %s: %w", s.id, err)
+	}
+	if s.c.onResponse != nil {
+		s.c.onResponse(resp)
+	}
+	if resp.StatusCode >= 300 {
+		apiErr := decodeAPIError(resp)
+		resp.Body.Close()
+		if ownershipCode(apiErr.Code) {
+			s.c.dropOwner(s.id)
+		}
+		return apiErr
+	}
+	s.resp = resp
+	s.br = bufio.NewReader(resp.Body)
+	s.header = resp.Header
+	return nil
+}
+
+// Header returns the response headers of the current connection —
+// e.g. X-CDT-Proxied-By when the stream is relayed through a
+// non-owner node.
+func (s *EventStream) Header() http.Header { return s.header }
+
+// Reconnects counts how many times the stream redialed.
+func (s *EventStream) Reconnects() int { return s.reconnects }
+
+// Next blocks for the next round event. SSE heartbeats are consumed
+// silently. When the connection breaks it either redials
+// (opts.Reconnect) or returns the read error; a cancelled context
+// returns its error.
+func (s *EventStream) Next() (JobEvent, error) {
+	for {
+		ev, err := s.read()
+		if err == nil {
+			return ev, nil
+		}
+		if ctxErr := s.ctx.Err(); ctxErr != nil {
+			return JobEvent{}, ctxErr
+		}
+		if !s.opts.Reconnect {
+			return JobEvent{}, err
+		}
+		s.resp.Body.Close()
+		delay := s.opts.ReconnectDelay
+		if delay <= 0 {
+			delay = 250 * time.Millisecond
+		}
+		if err := sleepCtx(s.ctx, delay); err != nil {
+			return JobEvent{}, err
+		}
+		if err := s.connect(); err != nil {
+			// The job may be mid-failover; keep trying until ctx ends.
+			continue
+		}
+		s.reconnects++
+	}
+}
+
+// read consumes one event frame from the current connection.
+func (s *EventStream) read() (JobEvent, error) {
+	if s.opts.NDJSON {
+		return s.readNDJSON()
+	}
+	return s.readSSE()
+}
+
+func (s *EventStream) readNDJSON() (JobEvent, error) {
+	for {
+		line, err := s.br.ReadBytes('\n')
+		if err != nil {
+			return JobEvent{}, err
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return JobEvent{}, fmt.Errorf("client: decode event: %w", err)
+		}
+		return ev, nil
+	}
+}
+
+// readSSE parses Server-Sent Events framing: fields accumulate until
+// a blank line dispatches the event. Comment lines (leading ':' —
+// the broker's keep-alive heartbeats) are skipped.
+func (s *EventStream) readSSE() (JobEvent, error) {
+	var data []byte
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return JobEvent{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if len(data) == 0 {
+				continue // heartbeat frame or padding
+			}
+			var ev JobEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return JobEvent{}, fmt.Errorf("client: decode event: %w", err)
+			}
+			return ev, nil
+		case strings.HasPrefix(line, ":"):
+			continue // comment / keep-alive
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		default:
+			// "event:", "id:", unknown fields — framing only.
+		}
+	}
+}
+
+// Close ends the stream and releases the connection.
+func (s *EventStream) Close() error {
+	s.cancel()
+	if s.resp != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(s.resp.Body, 1<<16))
+		return s.resp.Body.Close()
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Command cdt-loadgen is an open-loop load generator and capacity
+// probe for a running cdt-server.
+//
+//	cdt-loadgen -target http://localhost:8080 \
+//	            [-rate 100] [-duration 10s] [-jobs 4] [-subscribers 0] \
+//	            [-mix advance=70,status=15,...] [-advance-rounds 25] \
+//	            [-sellers 20] [-k 5] [-seed 1] [-op-timeout 30s] \
+//	            [-json report.json] [-keep-jobs]
+//	            [-max-p99 0] [-max-5xx -1] [-max-shed-rate -1]
+//	cdt-loadgen -target ... -sweep [-sweep-start 50] [-sweep-factor 1.5]
+//	            [-sweep-steps 10] [-sweep-step-duration 10s]
+//	            [-sweep-p99 1s] [-sweep-shed 0.05]
+//
+// The generator schedules request arrivals up front from a seeded
+// Poisson process, so arrival times never depend on response latency:
+// measured tails include the queueing a closed-loop driver would hide
+// (coordinated omission). The same seed replays the identical offered
+// schedule. See DESIGN.md §16 for the methodology and the README
+// "Capacity & load testing" runbook for how to read the numbers.
+//
+// Fixed-rate mode prints a human summary to stdout (and, with -json, a
+// machine report to a file; "-" writes JSON to stdout instead). The
+// -max-* flags turn the run into an assertion: exit 1 when the report
+// crosses any bound — CI smoke uses -max-5xx 0 -max-p99 2s.
+//
+// -sweep mode steps the offered rate by -sweep-factor per step until
+// p99, shed rate, or error rate crosses its threshold, then reports
+// the last sustainable rate and the knee.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cmabhs/internal/loadgen"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "broker base URL (required), e.g. http://localhost:8080")
+		rate        = flag.Float64("rate", 100, "offered arrival rate in requests/second")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to schedule arrivals for")
+		jobs        = flag.Int("jobs", 4, "base job population targeted by job-scoped ops")
+		subscribers = flag.Int("subscribers", 0, "live SSE event streams attached per job for the whole run")
+		mixFlag     = flag.String("mix", "", "traffic mix as op=weight pairs (default: read-mostly steady state; ops: "+loadgen.DefaultMix().String()+")")
+		advRounds   = flag.Int("advance-rounds", 25, "rounds requested per advance call")
+		sellers     = flag.Int("sellers", 20, "sellers per created job")
+		k           = flag.Int("k", 5, "winners per round for created jobs")
+		seed        = flag.Int64("seed", 1, "schedule seed; same seed replays the identical offered load")
+		opTimeout   = flag.Duration("op-timeout", 30*time.Second, "per-request deadline")
+		keepJobs    = flag.Bool("keep-jobs", false, "leave created jobs on the broker after the run")
+		jsonOut     = flag.String("json", "", "write the machine-readable report to this file (\"-\": stdout)")
+
+		maxP99  = flag.Duration("max-p99", 0, "assert overall p99 stays at or under this (0: no assertion)")
+		max5xx  = flag.Int64("max-5xx", -1, "assert at most this many 5xx+transport failures (-1: no assertion)")
+		maxShed = flag.Float64("max-shed-rate", -1, "assert the shed (429) rate stays at or under this fraction (-1: no assertion)")
+
+		sweep         = flag.Bool("sweep", false, "saturation sweep: step the rate until the broker saturates")
+		sweepStart    = flag.Float64("sweep-start", 50, "sweep: first step's rate")
+		sweepFactor   = flag.Float64("sweep-factor", 1.5, "sweep: rate multiplier between steps")
+		sweepSteps    = flag.Int("sweep-steps", 10, "sweep: maximum steps")
+		sweepStepDur  = flag.Duration("sweep-step-duration", 10*time.Second, "sweep: duration of each step")
+		sweepP99      = flag.Duration("sweep-p99", time.Second, "sweep: p99 saturation threshold")
+		sweepShedRate = flag.Float64("sweep-shed", 0.05, "sweep: shed-rate saturation threshold")
+	)
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "cdt-loadgen: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mix := loadgen.DefaultMix()
+	if *mixFlag != "" {
+		var err error
+		if mix, err = loadgen.ParseMix(*mixFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-loadgen:", err)
+			os.Exit(2)
+		}
+	}
+	cfg := loadgen.Config{
+		Target:        *target,
+		Rate:          *rate,
+		Duration:      *duration,
+		Seed:          *seed,
+		Mix:           mix,
+		Jobs:          *jobs,
+		Subscribers:   *subscribers,
+		Sellers:       *sellers,
+		K:             *k,
+		AdvanceRounds: *advRounds,
+		OpTimeout:     *opTimeout,
+		KeepJobs:      *keepJobs,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *sweep {
+		res, err := loadgen.RunSweep(ctx, loadgen.SweepConfig{
+			Config:            cfg,
+			StartRate:         *sweepStart,
+			Factor:            *sweepFactor,
+			MaxSteps:          *sweepSteps,
+			StepDuration:      *sweepStepDur,
+			P99Threshold:      *sweepP99,
+			ShedRateThreshold: *sweepShedRate,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-loadgen: sweep:", err)
+			os.Exit(1)
+		}
+		for _, step := range res.Steps {
+			sat := ""
+			if step.Saturated {
+				sat = "  SATURATED (" + step.Why + ")"
+			}
+			fmt.Printf("rate %8.1f req/s  p99 %7.1fms  shed %5.2f%%  err %5.2f%%%s\n",
+				step.Rate, step.Report.P99S*1e3, step.Report.ShedRate*100, step.Report.ErrorRate*100, sat)
+		}
+		if res.Saturated {
+			fmt.Printf("sustained %.1f req/s, knee at %.1f req/s\n", res.Sustained, res.Knee)
+		} else {
+			fmt.Printf("no saturation up to %.1f req/s (raise -sweep-steps or -sweep-factor)\n", res.Sustained)
+		}
+		writeJSON(*jsonOut, res)
+		return
+	}
+
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Human())
+	writeJSON(*jsonOut, rep)
+
+	failed := false
+	if *maxP99 > 0 && rep.P99S > maxP99.Seconds() {
+		fmt.Fprintf(os.Stderr, "cdt-loadgen: ASSERT p99 %.3fs > %s\n", rep.P99S, *maxP99)
+		failed = true
+	}
+	if *max5xx >= 0 && int64(rep.Errors5xx+rep.Transport) > *max5xx {
+		fmt.Fprintf(os.Stderr, "cdt-loadgen: ASSERT 5xx+transport %d > %d\n", rep.Errors5xx+rep.Transport, *max5xx)
+		failed = true
+	}
+	if *maxShed >= 0 && rep.ShedRate > *maxShed {
+		fmt.Fprintf(os.Stderr, "cdt-loadgen: ASSERT shed rate %.4f > %.4f\n", rep.ShedRate, *maxShed)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeJSON writes v to path ("-" for stdout; empty: skipped).
+func writeJSON(path string, v any) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-loadgen: encode report:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cdt-loadgen: write report:", err)
+		os.Exit(1)
+	}
+}

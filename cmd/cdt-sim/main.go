@@ -15,6 +15,13 @@
 // are ignored) and finishes with exactly the result the uninterrupted
 // run would have produced.
 //
+// With -server URL the simulation runs on a cdt-server broker instead
+// of in-process: the shape flags become a job request, rounds are
+// advanced remotely in -remote-chunk batches, and the identical
+// summary is printed from the job's final result. The session lives on
+// the broker, so a Ctrl-C here leaves the job resumable over there
+// (it is deleted only after a completed run).
+//
 // Result tables go to stdout; diagnostics are structured log lines on
 // stderr (-log-format text|json, -log-level debug|info|warn|error),
 // sharing the broker's log schema so one shipper config covers every
@@ -23,6 +30,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -31,6 +39,7 @@ import (
 	"syscall"
 
 	"cmabhs"
+	"cmabhs/client"
 	"cmabhs/internal/core"
 	"cmabhs/internal/roundlog"
 	"cmabhs/internal/tracing"
@@ -64,6 +73,8 @@ func main() {
 		resumePath = flag.String("resume", "", "resume from a snapshot previously written by -save (shape flags are ignored)")
 		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum diagnostic log level: debug, info, warn, or error")
+		serverURL  = flag.String("server", "", "run the simulation on this cdt-server broker instead of in-process, e.g. http://localhost:8080")
+		chunk      = flag.Int("remote-chunk", 10_000, "with -server: rounds advanced per remote call")
 	)
 	flag.Parse()
 
@@ -79,6 +90,29 @@ func main() {
 	// below as a partial result.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *serverURL != "" {
+		if *compare || *resumePath != "" || *savePath != "" || *tracePath != "" || *logPath != "" {
+			slog.Error("-server supports only the basic shape flags (not -compare/-resume/-save/-trace/-log)")
+			os.Exit(1)
+		}
+		runRemote(ctx, *serverURL, *chunk, client.JobRequest{
+			RandomSellers: *m,
+			K:             *k,
+			Rounds:        *n,
+			PoIs:          *l,
+			Seed:          *seed,
+			Policy:        *policy,
+			Epsilon:       *epsilon,
+			Solver:        *solver,
+			Omega:         *omega,
+			Theta:         *theta,
+			Lambda:        *lambda,
+			ObservationSD: *sd,
+			CollectData:   *verbose > 0,
+		}, *verbose)
+		return
+	}
 
 	var cfg cmabhs.Config
 	if *resumePath != "" {
@@ -172,15 +206,21 @@ func runSession(ctx context.Context, sess *cmabhs.Session, savePath, logPath str
 		fmt.Printf("trade journal     %s (%d rounds)\n", logPath, res.Rounds)
 	}
 
+	printSummary(res, len(cfg.Sellers), cfg.K, cfg.PoIs, verbose)
+}
+
+// printSummary renders the run summary — shared by the in-process and
+// -server paths, so both print the identical table.
+func printSummary(res *cmabhs.Result, sellers, k, pois, verbose int) {
 	fmt.Printf("policy            %s\n", res.Policy)
-	fmt.Printf("rounds            %d (M=%d, K=%d, L=%d)\n", res.Rounds, len(cfg.Sellers), cfg.K, cfg.PoIs)
+	fmt.Printf("rounds            %d (M=%d, K=%d, L=%d)\n", res.Rounds, sellers, k, pois)
 	fmt.Printf("realized revenue  %.2f\n", res.RealizedRevenue)
 	fmt.Printf("expected revenue  %.2f\n", res.ExpectedRevenue)
 	fmt.Printf("regret            %.2f (Theorem 19 bound %.3g)\n", res.Regret, res.RegretBound)
 	fmt.Printf("consumer profit   %.2f total, %.4f per round\n", res.ConsumerProfit, res.AvgConsumerProfit())
 	fmt.Printf("platform profit   %.2f total, %.4f per round\n", res.PlatformProfit, res.AvgPlatformProfit())
 	fmt.Printf("seller profit     %.2f total, %.4f per selected seller per round\n",
-		res.SellerProfit, res.AvgSellerProfit(cfg.K))
+		res.SellerProfit, res.AvgSellerProfit(k))
 
 	if verbose > 0 {
 		fmt.Println("\nround  selected           p^J      p        sum(tau)  PoC       PoP")
@@ -195,6 +235,44 @@ func runSession(ctx context.Context, sess *cmabhs.Session, savePath, logPath str
 			fmt.Printf("%-6d %-18s %-8.3f %-8.3f %-9.3f %-9.3f %-9.3f\n",
 				r.Round, sel, r.ConsumerPrice, r.PlatformPrice, r.TotalTime, r.ConsumerProfit, r.PlatformProfit)
 		}
+	}
+}
+
+// runRemote runs the simulation on a broker through the typed client:
+// create the job, advance it in chunks until done, print the same
+// summary from the final status, and delete the job. An interrupt
+// leaves the job live on the broker (its id was printed) so it can be
+// inspected or resumed there.
+func runRemote(ctx context.Context, baseURL string, chunk int, req client.JobRequest, verbose int) {
+	c := client.New(baseURL)
+	st, err := c.CreateJob(ctx, req)
+	if err != nil {
+		fatal("create remote job", err)
+	}
+	fmt.Printf("remote job        %s%s (%d sellers, K=%d, %d rounds)\n",
+		baseURL, st.Links.Self, st.Sellers, st.K, st.Rounds)
+	if chunk <= 0 {
+		chunk = 10_000
+	}
+	for !st.Done {
+		adv, err := c.Advance(ctx, st.ID, chunk)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("interrupted       job %s left live on the broker at round %d\n", st.ID, st.NextRound)
+				os.Exit(130)
+			}
+			fatal("advance remote job", err)
+		}
+		st = &adv.Status
+		slog.Info("advanced", "job", st.ID, "next_round", st.NextRound,
+			"rounds", st.Rounds, "rounds_per_sec", st.Metrics.RoundsPerSec)
+	}
+	if st.Result == nil {
+		fatal("remote job finished without a result", fmt.Errorf("job %s", st.ID))
+	}
+	printSummary(st.Result, st.Sellers, st.K, req.PoIs, verbose)
+	if _, err := c.Delete(ctx, st.ID); err != nil {
+		slog.Warn("delete remote job", "job", st.ID, "error", err)
 	}
 }
 

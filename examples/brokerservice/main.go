@@ -1,23 +1,25 @@
 // Brokerservice runs the CDT broker as an in-process HTTP service
-// and drives a complete trading job through its JSON API — what a
-// data consumer integrating against a hosted CMAB-HS deployment
-// would do.
+// and drives a complete trading job through the typed Go client —
+// what a data consumer integrating against a hosted CMAB-HS
+// deployment would do.
 //
 //	go run ./examples/brokerservice
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 
+	"cmabhs/client"
 	"cmabhs/internal/server"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Host the broker on a loopback port.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -31,20 +33,30 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Println("broker listening on", base)
 
-	// 2. Publish a data collection job: 100 random sellers, hire 5
+	// 2. Connect the typed client. It decodes the unified error
+	//    envelope into *client.APIError and retries shed (429) and
+	//    in-transition (503) responses with the broker's Retry-After
+	//    hint, so the integration code below is just the happy path.
+	c := client.New(base)
+
+	// 3. Publish a data collection job: 100 random sellers, hire 5
 	//    per round, 2,000 rounds, with a spending budget.
-	var st server.JobStatus
-	post(base+"/v1/jobs", server.JobRequest{
+	st, err := c.CreateJob(ctx, client.JobRequest{
 		RandomSellers: 100, K: 5, Rounds: 2000, Seed: 9, Budget: 2e6,
-	}, &st)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("created %s: %d sellers, K=%d, %d rounds\n", st.ID, st.Sellers, st.K, st.Rounds)
 
-	// 3. Advance in chunks, watching the consumer's spend and the
+	// 4. Advance in chunks, watching the consumer's spend and the
 	//    learning progress.
 	for !st.Done {
-		var adv server.AdvanceResponse
-		post(base+"/v1/jobs/"+st.ID+"/advance", server.AdvanceRequest{Rounds: 500}, &adv)
-		st = adv.Status
+		adv, err := c.Advance(ctx, st.ID, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = &adv.Status
 		fmt.Printf("  round %5d: revenue %10.0f, regret %8.0f, spend %10.0f\n",
 			st.NextRound-1, st.Result.RealizedRevenue, st.Result.Regret, st.Result.ConsumerSpend)
 	}
@@ -52,43 +64,22 @@ func main() {
 		fmt.Println("job halted early:", st.Stopped)
 	}
 
-	// 4. Price one hypothetical round directly (stateless endpoint).
-	var game map[string]any
-	post(base+"/v1/game/solve", server.SolveGameRequest{
-		Sellers: []server.SellerSpec{
+	// 5. Price one hypothetical round directly (stateless endpoint) —
+	//    the response is typed, no map indexing.
+	game, err := c.SolveGame(ctx, client.SolveGameRequest{
+		Sellers: []client.SellerSpec{
 			{CostQuadratic: 0.2, CostLinear: 0.1, ExpectedQuality: 0.9},
 			{CostQuadratic: 0.3, CostLinear: 0.2, ExpectedQuality: 0.7},
 		},
-	}, &game)
-	fmt.Printf("one-shot game: p^J*=%.3f p*=%.3f\n", game["ConsumerPrice"], game["PlatformPrice"])
-
-	// 5. Clean up.
-	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+st.ID, nil)
-	resp, err := http.DefaultClient.Do(req)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp.Body.Close()
+	fmt.Printf("one-shot game: p^J*=%.3f p*=%.3f\n", game.ConsumerPrice, game.PlatformPrice)
+
+	// 6. Clean up.
+	if _, err := c.Delete(ctx, st.ID); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("job deleted")
-}
-
-// post issues a JSON POST and decodes the response.
-func post(url string, body, out any) {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var e map[string]string
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("%s: %d %v", url, resp.StatusCode, e)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		log.Fatal(err)
-	}
 }

@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// hist is an HDR-style latency histogram: geometric buckets from 1µs
+// to ~2 minutes with 7% resolution, wait-free to record into (one
+// atomic increment per observation). Quantiles are read by walking
+// the cumulative counts; the reported value is the bucket's upper
+// bound, so quantiles are conservative (never under-reported) within
+// the 7% bucket width. The true maximum is tracked exactly.
+type hist struct {
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sumNS  atomic.Uint64
+	maxNS  atomic.Uint64
+}
+
+const (
+	histMin    = time.Microsecond
+	histGrowth = 1.07
+)
+
+// histBounds[i] is bucket i's upper bound; the last bucket is a
+// catch-all for anything slower.
+var histBounds = buildHistBounds()
+
+func buildHistBounds() []time.Duration {
+	var out []time.Duration
+	for b := float64(histMin); b < float64(130*time.Second); b *= histGrowth {
+		out = append(out, time.Duration(b))
+	}
+	return append(out, time.Duration(math.MaxInt64))
+}
+
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+func newHist() *hist {
+	return &hist{counts: make([]atomic.Uint64, len(histBounds))}
+}
+
+func bucketFor(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histMin))*invLogGrowth) + 1
+	if i >= len(histBounds) {
+		return len(histBounds) - 1
+	}
+	return i
+}
+
+func (h *hist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketFor(d)].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(uint64(d))
+	for {
+		cur := h.maxNS.Load()
+		if uint64(d) <= cur || h.maxNS.CompareAndSwap(cur, uint64(d)) {
+			return
+		}
+	}
+}
+
+// quantile returns the latency at quantile q in [0,1]; zero when the
+// histogram is empty. Reads race benignly with concurrent observes
+// (loadgen reports after the run has drained).
+func (h *hist) quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if v := histBounds[i]; i < len(h.counts)-1 && v < h.max() {
+				return v
+			}
+			// Last bucket, or the conservative bound overshot the true
+			// maximum: the exact max is the tighter honest answer.
+			return h.max()
+		}
+	}
+	return h.max()
+}
+
+func (h *hist) max() time.Duration { return time.Duration(h.maxNS.Load()) }
+
+func (h *hist) mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}

@@ -1,0 +1,184 @@
+// Package loadgen is an open-loop load generator and capacity probe
+// for the CDT broker. It schedules request arrivals from a seeded
+// Poisson process — arrival times are fixed up front, independent of
+// how long responses take — so measured tail latency includes the
+// waiting a closed-loop (request → response → next request) driver
+// silently hides (coordinated omission). Traffic is a configurable
+// mix of job operations across a population of concurrent jobs, plus
+// optional SSE subscribers per job; results are per-route latency
+// quantiles, throughput, and shed/error rates; RunSweep steps the
+// arrival rate until the broker saturates and reports the knee.
+//
+// Everything rides the public typed client (cmabhs/client): loadgen
+// is the wire surface's canonical heavy consumer.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmabhs/internal/rng"
+)
+
+// Op is one request kind in the traffic mix. Its string form is both
+// the -mix key and the report's route label.
+type Op string
+
+const (
+	OpCreate    Op = "create"    // POST /v1/jobs
+	OpAdvance   Op = "advance"   // POST /v1/jobs/{id}/advance
+	OpStatus    Op = "status"    // GET  /v1/jobs/{id}
+	OpSnapshot  Op = "snapshot"  // POST /v1/jobs/{id}/snapshot
+	OpEstimates Op = "estimates" // GET  /v1/jobs/{id}/estimates
+	OpStats     Op = "stats"     // GET  /v1/stats
+	OpList      Op = "list"      // GET  /v1/jobs?limit=
+	OpDelete    Op = "delete"    // DELETE /v1/jobs/{id}
+	OpSolve     Op = "solve"     // POST /v1/game/solve
+)
+
+// allOps is the canonical op order: mix parsing, op drawing, and
+// report rendering all iterate it, so the schedule is deterministic
+// and reports are stably ordered.
+var allOps = []Op{OpCreate, OpAdvance, OpStatus, OpSnapshot, OpEstimates, OpStats, OpList, OpDelete, OpSolve}
+
+// Mix maps each op to its relative weight. Weights need not sum to
+// anything particular; zero/absent ops never fire.
+type Mix map[Op]float64
+
+// DefaultMix is a read-mostly steady-state profile: mostly advances,
+// some status polling, light snapshot/stats/list traffic, and a
+// trickle of create/delete churn.
+func DefaultMix() Mix {
+	return Mix{
+		OpAdvance: 70, OpStatus: 15, OpSnapshot: 4, OpStats: 4,
+		OpList: 3, OpCreate: 2, OpDelete: 2,
+	}
+}
+
+// ParseMix parses "advance=70,status=15,create=5" into a Mix.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q is not op=weight", part)
+		}
+		op := Op(strings.TrimSpace(k))
+		if !validOp(op) {
+			return nil, fmt.Errorf("loadgen: unknown op %q (valid: %s)", k, opList())
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("loadgen: bad weight %q for op %q", v, k)
+		}
+		m[op] = w
+	}
+	if m.total() <= 0 {
+		return nil, fmt.Errorf("loadgen: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+func validOp(op Op) bool {
+	for _, o := range allOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func opList() string {
+	out := make([]string, len(allOps))
+	for i, o := range allOps {
+		out[i] = string(o)
+	}
+	return strings.Join(out, "|")
+}
+
+func (m Mix) total() float64 {
+	var t float64
+	for _, w := range m {
+		if w > 0 {
+			t += w
+		}
+	}
+	return t
+}
+
+// String renders the mix in canonical op order ("advance=70,...").
+func (m Mix) String() string {
+	parts := make([]string, 0, len(m))
+	for _, op := range allOps {
+		if w := m[op]; w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", op, w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Arrival is one scheduled request: fire op against job index Job
+// (population slot; ignored by job-less ops) at offset At from the
+// run's start.
+type Arrival struct {
+	At  time.Duration
+	Op  Op
+	Job int
+}
+
+// BuildSchedule precomputes the full open-loop arrival schedule:
+// inter-arrival gaps are Exponential(rate) (a Poisson process at
+// `rate` per second), each arrival's op is drawn from the mix and its
+// job slot uniformly from [0, jobs). Everything is derived from seed
+// via split streams, so the same inputs produce the identical
+// schedule — a run is replayable bit-for-bit.
+func BuildSchedule(seed int64, rate float64, d time.Duration, mix Mix, jobs int) []Arrival {
+	if rate <= 0 || d <= 0 || jobs <= 0 {
+		return nil
+	}
+	base := rng.New(seed)
+	arrivals := base.Split(1)
+	opsrc := base.Split(2)
+	jobsrc := base.Split(3)
+
+	// Cumulative weights in canonical op order.
+	type cw struct {
+		op  Op
+		cum float64
+	}
+	cums := make([]cw, 0, len(mix))
+	var total float64
+	for _, op := range allOps {
+		if w := mix[op]; w > 0 {
+			total += w
+			cums = append(cums, cw{op, total})
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+
+	out := make([]Arrival, 0, int(rate*d.Seconds())+16)
+	t := time.Duration(0)
+	for {
+		gap := arrivals.Exponential(rate) // seconds, mean 1/rate
+		t += time.Duration(gap * float64(time.Second))
+		if t >= d {
+			return out
+		}
+		x := opsrc.Float64() * total
+		op := cums[len(cums)-1].op
+		idx := sort.Search(len(cums), func(i int) bool { return cums[i].cum > x })
+		if idx < len(cums) {
+			op = cums[idx].op
+		}
+		out = append(out, Arrival{At: t, Op: op, Job: jobsrc.Intn(jobs)})
+	}
+}

@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+
+	"cmabhs/client"
+)
+
+// SweepConfig drives a saturation sweep: run the base Config at
+// StartRate, multiply by Factor each step, and stop at the first step
+// whose p99, shed rate, or error rate crosses a threshold — that step
+// is the knee, and the step before it is the last sustainable rate.
+type SweepConfig struct {
+	Config
+	// StartRate is the first step's offered rate (default 50 req/s).
+	StartRate float64
+	// Factor multiplies the rate between steps (default 1.5).
+	Factor float64
+	// MaxSteps bounds the sweep (default 10).
+	MaxSteps int
+	// StepDuration overrides Config.Duration per step (default 10s).
+	StepDuration time.Duration
+	// Saturation thresholds (defaults: p99 1s, shed 5%, errors 1%).
+	P99Threshold       time.Duration
+	ShedRateThreshold  float64
+	ErrorRateThreshold float64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.StartRate <= 0 {
+		c.StartRate = 50
+	}
+	if c.Factor <= 1 {
+		c.Factor = 1.5
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 10
+	}
+	if c.StepDuration <= 0 {
+		c.StepDuration = 10 * time.Second
+	}
+	if c.P99Threshold <= 0 {
+		c.P99Threshold = time.Second
+	}
+	if c.ShedRateThreshold <= 0 {
+		c.ShedRateThreshold = 0.05
+	}
+	if c.ErrorRateThreshold <= 0 {
+		c.ErrorRateThreshold = 0.01
+	}
+	return c
+}
+
+// SweepStep is one completed step of a sweep.
+type SweepStep struct {
+	Rate      float64 `json:"rate"`
+	Saturated bool    `json:"saturated"`
+	Why       string  `json:"why,omitempty"` // which threshold tripped
+	Report    *Report `json:"report"`
+}
+
+// SweepResult is a finished sweep. Knee is the first saturated rate
+// (0 when the broker absorbed every step), Sustained the last rate
+// that stayed under every threshold.
+type SweepResult struct {
+	Steps     []SweepStep `json:"steps"`
+	Knee      float64     `json:"knee"`
+	Sustained float64     `json:"sustained"`
+	Saturated bool        `json:"saturated"`
+}
+
+// RunSweep executes a saturation sweep. Each step is an independent
+// fixed-rate run (fresh jobs, same seed, so steps differ only in
+// rate); between steps the job list is audited through the paged
+// listing to catch leaked jobs.
+func RunSweep(ctx context.Context, cfg SweepConfig) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SweepResult{}
+	rate := cfg.StartRate
+	for step := 0; step < cfg.MaxSteps; step++ {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		stepCfg := cfg.Config
+		stepCfg.Rate = rate
+		stepCfg.Duration = cfg.StepDuration
+		cfg.logf("sweep: step %d at %.1f req/s", step+1, rate)
+		rep, err := Run(ctx, stepCfg)
+		if err != nil {
+			return res, err
+		}
+		sat, why := saturated(cfg, rep)
+		res.Steps = append(res.Steps, SweepStep{Rate: rate, Saturated: sat, Why: why, Report: rep})
+		if sat {
+			res.Knee = rate
+			res.Saturated = true
+			cfg.logf("sweep: saturated at %.1f req/s (%s)", rate, why)
+			break
+		}
+		res.Sustained = rate
+		if n, err := auditJobs(ctx, cfg.Config); err == nil && n > 0 {
+			cfg.logf("sweep: %d jobs still live after step %d (leak?)", n, step+1)
+		}
+		rate *= cfg.Factor
+	}
+	return res, nil
+}
+
+func saturated(cfg SweepConfig, rep *Report) (bool, string) {
+	switch {
+	case rep.P99S > cfg.P99Threshold.Seconds():
+		return true, "p99"
+	case rep.ShedRate > cfg.ShedRateThreshold:
+		return true, "shed-rate"
+	case rep.ErrorRate > cfg.ErrorRateThreshold:
+		return true, "error-rate"
+	}
+	return false, ""
+}
+
+// auditJobs counts jobs left on the broker by walking GET /v1/jobs
+// through ?limit/?after pages — both a leak check between sweep steps
+// and live coverage of the paged listing.
+func auditJobs(ctx context.Context, cfg Config) (int, error) {
+	c := client.New(cfg.Target)
+	if cfg.HTTPClient != nil {
+		c = client.New(cfg.Target, client.WithHTTPClient(cfg.HTTPClient))
+	}
+	total, after := 0, ""
+	for {
+		page, err := c.Jobs(ctx, client.ListJobsOptions{Limit: 64, After: after})
+		if err != nil {
+			return total, err
+		}
+		total += len(page)
+		if len(page) < 64 {
+			return total, nil
+		}
+		after = page[len(page)-1].ID
+	}
+}

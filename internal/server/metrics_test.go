@@ -119,8 +119,8 @@ func TestShedCounterAndEnvelope(t *testing.T) {
 	if out.Error.RetryAfterS <= 0 {
 		t.Fatalf("shed envelope retry_after_s %v, want > 0", out.Error.RetryAfterS)
 	}
-	if out.Message != out.Error.Message {
-		t.Fatalf("legacy message %q != error.message %q", out.Message, out.Error.Message)
+	if out.Message != "" {
+		t.Fatalf("legacy top-level message %q present; wire v2 dropped it (LegacyErrors off)", out.Message)
 	}
 
 	snap := s.Metrics().Snapshot()

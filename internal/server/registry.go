@@ -193,6 +193,23 @@ func (r *registry) snapshot() []*job {
 	return out
 }
 
+// ids collects every registered job id, one shard at a time — the
+// cheap half of a listing: no job lock is ever taken, so a paged
+// GET /v1/jobs can window the id space before touching any job that
+// may be mid-advance.
+func (r *registry) ids() []string {
+	out := make([]string, 0, r.len())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for id := range sh.jobs {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // allocID mints the next "<prefix>N" id. Monotonic across the process
 // lifetime, including past any ids observeID has seen.
 func (r *registry) allocID() string {

@@ -43,6 +43,8 @@ import (
 	"net/http"
 	"reflect"
 	"runtime/debug"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -414,6 +416,13 @@ type Server struct {
 	// request. Reachable via Tracing().
 	Tracer *tracing.Tracer
 
+	// LegacyErrors restores the deprecated top-level "message" mirror
+	// on error envelopes for pre-envelope clients (wire revision 1).
+	// Default off: the envelope is {"error": {...}} alone. The mirror
+	// is written by the package-wide error choke point, so the setting
+	// is applied process-wide when Handler is built.
+	LegacyErrors bool
+
 	// Logger, if non-nil, receives the per-request access lines and
 	// recovery diagnostics; nil falls back to slog.Default().
 	Logger *slog.Logger
@@ -513,6 +522,7 @@ func (s *Server) pool() *engine.Pool {
 // request metrics, panic recovery, per-request deadlines, and
 // request-body limits (see middleware.go and metrics.go).
 func (s *Server) Handler() http.Handler {
+	legacyErrorMirror.Store(s.LegacyErrors)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
@@ -690,10 +700,18 @@ func (s *Server) flushWAL(ctx context.Context, j *job) (leaseLost bool) {
 	return false
 }
 
+// WireVersion is the documented revision of the broker's JSON wire
+// surface, reported in healthz. Revision 2 dropped the deprecated
+// top-level "message" mirror from the error envelope (restorable via
+// Server.LegacyErrors / cdt-server -legacy-errors) and added
+// ?limit=/?after= paging to GET /v1/jobs.
+const WireVersion = 2
+
 // Healthz is the wire form of the liveness probe.
 type Healthz struct {
 	Status        string  `json:"status"`
 	Version       string  `json:"version"`
+	WireVersion   int     `json:"wire_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// StateStore reports snapshot durability: "disabled" without a
 	// configured Store, "ok" when the store lists cleanly, otherwise
@@ -747,6 +765,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Healthz{
 		Status:        "ok",
 		Version:       buildVersion(),
+		WireVersion:   WireVersion,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		StateStore:    "disabled",
 		Jobs:          s.registry().len(),
@@ -889,27 +908,58 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusCreated, st)
 
 	case http.MethodGet:
-		// Snapshot the registry first, then take each job's lock with
-		// every shard lock released: waiting on a job mid-advance must
-		// not wedge job creation and deletion.
-		snap := s.registry().snapshot()
-		out := make([]JobStatus, 0, len(snap))
-		for _, j := range snap {
-			j.mu.Lock()
-			out = append(out, s.statusLocked(j))
-			j.mu.Unlock()
-		}
-		// Stable order for clients.
-		for i := 1; i < len(out); i++ {
-			for k := i; k > 0 && out[k-1].ID > out[k].ID; k-- {
-				out[k-1], out[k] = out[k], out[k-1]
-			}
-		}
-		writeJSON(w, http.StatusOK, out)
+		s.handleListJobs(w, r)
 
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
 	}
+}
+
+// handleListJobs serves GET /v1/jobs with optional ?limit= / ?after=
+// paging. The response is a JSON array sorted by id (lexicographic —
+// the same order `after` compares in); a page is the ids strictly
+// past `after`, capped at `limit`. Paging matters under load: only
+// the ids are collected registry-wide (cheap, per-shard locks only),
+// and just the jobs inside the requested window take their job lock
+// for a status render — an unpaged listing of a big registry
+// serializes against every in-flight advance, a paged one does not.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+		limit = n
+	}
+	after := q.Get("after")
+
+	ids := s.registry().ids()
+	sort.Strings(ids)
+	if after != "" {
+		ids = ids[sort.SearchStrings(ids, after):]
+		if len(ids) > 0 && ids[0] == after {
+			ids = ids[1:]
+		}
+	}
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		// A job may vanish between the id scan and here (concurrent
+		// delete); the page simply skips it.
+		j, ok := s.registry().get(id)
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		out = append(out, s.statusLocked(j))
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -1447,18 +1497,25 @@ type ErrorBody struct {
 	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
-// ErrorResponse is the error envelope every non-2xx response carries:
+// ErrorResponse is the error envelope every non-2xx response carries
+// (wire revision 2, see WireVersion):
 //
-//	{"error": {"code": "...", "message": "...", "retry_after_s": n},
-//	 "message": "..."}
+//	{"error": {"code": "...", "message": "...", "retry_after_s": n}}
 //
-// The top-level message duplicates error.message for clients written
-// against the pre-envelope wire format; it is DEPRECATED (DESIGN.md
-// §11) and will be dropped in a future revision.
+// Wire revision 1 additionally mirrored error.message at the top
+// level for clients written against the pre-envelope format; the
+// mirror is gone by default and comes back only behind
+// Server.LegacyErrors (cdt-server -legacy-errors).
 type ErrorResponse struct {
 	Error   ErrorBody `json:"error"`
-	Message string    `json:"message"`
+	Message string    `json:"message,omitempty"`
 }
+
+// legacyErrorMirror gates the deprecated top-level message mirror.
+// It is package-wide (writeError is a free function shared by every
+// handler path); Handler() applies the owning Server's LegacyErrors
+// setting when the handler chain is built.
+var legacyErrorMirror atomic.Bool
 
 // writeError is the single choke point for error responses: every
 // handler path goes through it (usually via httpError) so the envelope
@@ -1471,7 +1528,11 @@ func writeError(w http.ResponseWriter, status int, code string, after time.Durat
 		body.RetryAfterS = after.Seconds()
 		w.Header().Set("Retry-After", retryAfter(after))
 	}
-	writeJSON(w, status, ErrorResponse{Error: body, Message: body.Message})
+	resp := ErrorResponse{Error: body}
+	if legacyErrorMirror.Load() {
+		resp.Message = body.Message
+	}
+	writeJSON(w, status, resp)
 }
 
 // httpError writes the envelope with the default code for the status.

@@ -160,8 +160,8 @@ func TestJobCreationErrors(t *testing.T) {
 		if out.Error.Code != "invalid_request" || out.Error.Message == "" {
 			t.Errorf("%s: envelope %+v, want code invalid_request with a message", tc.name, out)
 		}
-		if out.Message != out.Error.Message {
-			t.Errorf("%s: legacy message %q != error.message %q", tc.name, out.Message, out.Error.Message)
+		if out.Message != "" {
+			t.Errorf("%s: legacy top-level message %q present; wire v2 dropped it (LegacyErrors off)", tc.name, out.Message)
 		}
 	}
 }
@@ -334,5 +334,105 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if code := do(t, ts, http.MethodPost, "/v1/stats", nil, nil); code != http.StatusMethodNotAllowed {
 		t.Error("POST /v1/stats should be rejected")
+	}
+}
+
+// TestListJobsPagination drives ?limit=/?after= paging: pages are
+// sorted by id, strictly past `after`, capped at `limit`, and paging
+// to exhaustion sees every job exactly once.
+func TestListJobsPagination(t *testing.T) {
+	ts := newTestServer(t)
+	const n = 7
+	for i := 0; i < n; i++ {
+		if code := do(t, ts, http.MethodPost, "/v1/jobs",
+			JobRequest{RandomSellers: 5, K: 2, Rounds: 10, Seed: int64(i + 1)}, nil); code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+	}
+
+	var all []JobStatus
+	if code := do(t, ts, http.MethodGet, "/v1/jobs", nil, &all); code != http.StatusOK {
+		t.Fatalf("unpaged list status %d", code)
+	}
+	if len(all) != n {
+		t.Fatalf("unpaged list has %d jobs, want %d", len(all), n)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("list not sorted: %q before %q", all[i-1].ID, all[i].ID)
+		}
+	}
+
+	var seen []string
+	after := ""
+	for {
+		path := "/v1/jobs?limit=3"
+		if after != "" {
+			path += "&after=" + after
+		}
+		var page []JobStatus
+		if code := do(t, ts, http.MethodGet, path, nil, &page); code != http.StatusOK {
+			t.Fatalf("paged list status %d", code)
+		}
+		if len(page) > 3 {
+			t.Fatalf("page of %d exceeds limit 3", len(page))
+		}
+		for _, st := range page {
+			if after != "" && st.ID <= after {
+				t.Fatalf("page entry %q not after cursor %q", st.ID, after)
+			}
+			seen = append(seen, st.ID)
+		}
+		if len(page) < 3 {
+			break
+		}
+		after = page[len(page)-1].ID
+	}
+	if len(seen) != n {
+		t.Fatalf("paging saw %d jobs %v, want %d", len(seen), seen, n)
+	}
+	for i, st := range all {
+		if seen[i] != st.ID {
+			t.Fatalf("paging order %v diverges from unpaged %v", seen, all)
+		}
+	}
+
+	if code := do(t, ts, http.MethodGet, "/v1/jobs?limit=wat", nil, nil); code != http.StatusBadRequest {
+		t.Errorf("bad limit should 400, got %d", code)
+	}
+	var empty []JobStatus
+	if code := do(t, ts, http.MethodGet, "/v1/jobs?after=zzz", nil, &empty); code != http.StatusOK || len(empty) != 0 {
+		t.Errorf("after past the end: status %d, %d jobs, want 200 with none", code, len(empty))
+	}
+}
+
+// TestLegacyErrorMirror proves the deprecated top-level message is
+// gone by default (wire v2) and restored behind LegacyErrors.
+func TestLegacyErrorMirror(t *testing.T) {
+	s := New()
+	s.LegacyErrors = true
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Reset the process-wide mirror for the tests that follow.
+	defer func() { legacyErrorMirror.Store(false) }()
+
+	var out ErrorResponse
+	if code := do(t, ts, http.MethodPost, "/v1/jobs", JobRequest{}, &out); code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	if out.Message == "" || out.Message != out.Error.Message {
+		t.Fatalf("-legacy-errors: top-level message %q should mirror error.message %q", out.Message, out.Error.Message)
+	}
+
+	ts2 := newTestServer(t) // default: mirror off
+	var out2 ErrorResponse
+	if code := do(t, ts2, http.MethodPost, "/v1/jobs", JobRequest{}, &out2); code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	if out2.Message != "" {
+		t.Fatalf("default envelope still carries legacy message %q", out2.Message)
+	}
+	if out2.Error.Code != "invalid_request" || out2.Error.Message == "" {
+		t.Fatalf("envelope %+v", out2)
 	}
 }
