@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -75,6 +76,18 @@ type (
 	Healthz = server.Healthz
 	// JobEvent is one round event on the live stream (see Events).
 	JobEvent = server.JobEvent
+	// SeriesResponse is GET /v1/jobs/{id}/series's response.
+	SeriesResponse = server.SeriesResponse
+	// SeriesPoint is one sampled point of a job's learning curve.
+	SeriesPoint = server.SeriesPoint
+	// ClusterOverview is GET /v1/cluster/overview's response.
+	ClusterOverview = server.ClusterOverview
+	// NodeOverview is one node's row in the cluster overview.
+	NodeOverview = server.NodeOverview
+	// WindowRollup is a node's rolling 1m/5m traffic summary.
+	WindowRollup = server.WindowRollup
+	// WindowRates is one rolling window's rates inside a rollup.
+	WindowRates = server.WindowRates
 	// RetryPolicy tunes the client's backoff; see engine.RetryPolicy.
 	RetryPolicy = engine.RetryPolicy
 )
@@ -442,6 +455,57 @@ func (c *Client) Delete(ctx context.Context, id string) (*DeleteResponse, error)
 		return nil, err
 	}
 	c.dropOwner(id)
+	return &out, nil
+}
+
+// SeriesOptions narrows a Series query. The zero value asks for the
+// full retained regret series.
+type SeriesOptions struct {
+	// Metric picks the series: "regret" (default), "revenue",
+	// "spend", "no_trade", or "failed".
+	Metric string
+	// Since returns only points with Round > Since — poll with the
+	// last round you already have to follow a live job's tail.
+	Since int
+	// MaxPoints, when positive, thins the response to at most this
+	// many points (the newest is always kept).
+	MaxPoints int
+}
+
+// Series fetches a job's downsampled learning curve. The series is
+// recorded passively on the broker with bounded memory, so it works
+// for arbitrarily long runs; SeriesResponse.Stride tells how coarse
+// the downsampling currently is.
+func (c *Client) Series(ctx context.Context, id string, opts SeriesOptions) (*SeriesResponse, error) {
+	q := url.Values{}
+	if opts.Metric != "" {
+		q.Set("metric", opts.Metric)
+	}
+	if opts.Since > 0 {
+		q.Set("since", strconv.Itoa(opts.Since))
+	}
+	if opts.MaxPoints > 0 {
+		q.Set("max_points", strconv.Itoa(opts.MaxPoints))
+	}
+	path := "/v1/jobs/" + id + "/series"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out SeriesResponse
+	if err := c.call(ctx, http.MethodGet, path, id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Overview fetches the merged cluster overview from the connected
+// node (which fans out to its peers, so any single node answers for
+// the whole cluster). Single-node brokers report one node.
+func (c *Client) Overview(ctx context.Context) (*ClusterOverview, error) {
+	var out ClusterOverview
+	if err := c.call(ctx, http.MethodGet, "/v1/cluster/overview", "", nil, &out); err != nil {
+		return nil, err
+	}
 	return &out, nil
 }
 

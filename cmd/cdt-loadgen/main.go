@@ -55,6 +55,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "schedule seed; same seed replays the identical offered load")
 		opTimeout   = flag.Duration("op-timeout", 30*time.Second, "per-request deadline")
 		keepJobs    = flag.Bool("keep-jobs", false, "leave created jobs on the broker after the run")
+		serverMet   = flag.Bool("server-metrics", false, "scrape the broker's /metrics after the run and print a client vs server p50/p99 comparison")
 		jsonOut     = flag.String("json", "", "write the machine-readable report to this file (\"-\": stdout)")
 
 		maxP99  = flag.Duration("max-p99", 0, "assert overall p99 stays at or under this (0: no assertion)")
@@ -97,6 +98,7 @@ func main() {
 		AdvanceRounds: *advRounds,
 		OpTimeout:     *opTimeout,
 		KeepJobs:      *keepJobs,
+		ServerMetrics: *serverMet,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -63,6 +63,7 @@ import (
 
 	"cmabhs/internal/metrics"
 	"cmabhs/internal/server"
+	"cmabhs/internal/telemetry"
 	"cmabhs/internal/tracing"
 )
 
@@ -89,6 +90,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		maxJobs     = flag.Int("max-jobs", 64, "maximum concurrently live jobs")
 		maxAdvance  = flag.Int("max-advance", 100_000, "maximum rounds per advance call")
+		seriesPts   = flag.Int("series-points", telemetry.DefaultCapacity, "per-job learning-curve points retained for /v1/jobs/{id}/series (rounded up to a power of two; longer runs are downsampled, not truncated)")
 		maxInflight = flag.Int("max-concurrent-advances", 16, "maximum advance calls executing at once")
 		shards      = flag.Int("shards", 16, "job-registry lock stripes (rounded up to a power of two)")
 		stateDir    = flag.String("state-dir", "", "directory for durable job snapshots (empty: in-memory only)")
@@ -118,6 +120,7 @@ func main() {
 	srv := server.New()
 	srv.MaxJobs = *maxJobs
 	srv.MaxAdvance = *maxAdvance
+	srv.SeriesCapacity = *seriesPts
 	srv.MaxConcurrentAdvances = *maxInflight
 	srv.Shards = *shards
 	srv.CompactEvery = *compactEvry

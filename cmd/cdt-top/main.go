@@ -1,0 +1,152 @@
+// Command cdt-top renders the cluster overview as an operator
+// dashboard in the terminal: one row per node (health, jobs, leases,
+// rounds, rolling 1m/5m latency and shed rate), totals underneath,
+// and — with -job — a job's regret curve as a sparkline. Point it at
+// ANY node; the broker fans the query out to its peers and merges.
+//
+//	cdt-top -target http://127.0.0.1:8080                one shot
+//	cdt-top -target http://127.0.0.1:8080 -watch 2s      refresh loop
+//	cdt-top -target http://127.0.0.1:8080 -job job-a-1   + regret curve
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cmabhs/client"
+)
+
+func main() {
+	var (
+		target  = flag.String("target", "", "broker base URL, e.g. http://127.0.0.1:8080 (required)")
+		watch   = flag.Duration("watch", 0, "refresh interval; 0 renders once and exits")
+		jobID   = flag.String("job", "", "also plot this job's learning curve")
+		metric  = flag.String("metric", "regret", "series metric for -job: regret, revenue, spend, no_trade, failed")
+		points  = flag.Int("points", 60, "series points to plot for -job")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-refresh request timeout")
+	)
+	flag.Parse()
+	if *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := client.New(*target)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err := render(ctx, c, *jobID, *metric, *points)
+		cancel()
+		if *watch <= 0 {
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdt-top:", err)
+		}
+		time.Sleep(*watch)
+	}
+}
+
+func render(ctx context.Context, c *client.Client, jobID, metric string, points int) error {
+	ov, err := c.Overview(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  nodes=%d  jobs=%d  owned=%d  unreachable=%d\n",
+		time.Now().Format(time.TimeOnly), len(ov.Nodes), ov.Jobs, ov.JobsOwned, ov.Unreachable)
+	fmt.Printf("%-8s %-8s %6s %6s %8s  %22s %22s\n",
+		"NODE", "STATUS", "JOBS", "OWNED", "ROUNDS", "1m p50/p99/shed", "5m p50/p99/shed")
+	for _, n := range ov.Nodes {
+		status := n.Status
+		if len(status) > 24 {
+			status = status[:24]
+		}
+		if status != "ok" {
+			fmt.Printf("%-8s %s\n", n.NodeID, status)
+			continue
+		}
+		fmt.Printf("%-8s %-8s %6d %6d %8d  %22s %22s\n",
+			n.NodeID, status, n.Jobs, n.JobsOwned, n.RoundsAdvanced,
+			rates(n.Window.Win1m), rates(n.Window.Win5m))
+	}
+	if ov.Leases != nil {
+		fmt.Printf("leases: acquired=%d stolen=%d fenced=%d corrupt=%d swept=%d\n",
+			ov.Leases.Acquired, ov.Leases.Stolen, ov.Leases.Fenced, ov.Leases.Corrupt, ov.Leases.Swept)
+	}
+	if jobID != "" {
+		if err := renderSeries(ctx, c, jobID, metric, points); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rates formats one rolling window as "p50/p99 shed% (n)".
+func rates(w client.WindowRates) string {
+	if w.Requests == 0 {
+		return "idle"
+	}
+	return fmt.Sprintf("%s/%s %.0f%% (%d)",
+		ms(w.P50S), ms(w.P99S), w.ShedRate*100, w.Requests)
+}
+
+// ms renders seconds as a compact millisecond figure.
+func ms(sec float64) string {
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.1fs", sec)
+	case sec >= 0.001:
+		return fmt.Sprintf("%.0fms", sec*1000)
+	default:
+		return fmt.Sprintf("%.2fms", sec*1000)
+	}
+}
+
+func renderSeries(ctx context.Context, c *client.Client, id, metric string, points int) error {
+	s, err := c.Series(ctx, id, client.SeriesOptions{Metric: metric, MaxPoints: points})
+	if err != nil {
+		return err
+	}
+	if len(s.Points) == 0 {
+		fmt.Printf("%s %s: no rounds recorded yet\n", id, metric)
+		return nil
+	}
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	fmt.Printf("%s %s (rounds %d..%d of %d, stride %d):\n  %s\n  first=%.4f last=%.4f\n",
+		id, s.Metric, first.Round, last.Round, s.Rounds, s.Stride,
+		sparkline(s.Points), first.Value, last.Value)
+	return nil
+}
+
+// sparkline maps the series onto eight block heights.
+func sparkline(pts []client.SeriesPoint) string {
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := 0
+		if hi > lo {
+			i = int((p.Value - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdt-top:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@ import (
 	"cmabhs"
 	"cmabhs/internal/bandit"
 	"cmabhs/internal/core"
+	"cmabhs/internal/telemetry"
 	"cmabhs/internal/tracing"
 )
 
@@ -92,13 +93,15 @@ func TestObserverBitIdentityUnderFaults(t *testing.T) {
 }
 
 // TestObserverTracingAndStreamingPassivity is the PR-5 strictness
-// upgrade of the passivity contract: the observer now does real
-// observability work — it records a tracing span per round AND
-// publishes each event into a bounded stream buffer that nobody
-// drains (the slow-SSE-consumer worst case, so publishes drop once
-// the buffer fills) — and the mechanism must STILL produce encoded
-// snapshots bit-identical to the unobserved control at every single
-// round boundary, under every fault model at once.
+// upgrade of the passivity contract, extended in PR-10: the observer
+// now does real observability work — it records a tracing span per
+// round, publishes each event into a bounded stream buffer that
+// nobody drains (the slow-SSE-consumer worst case, so publishes drop
+// once the buffer fills), AND feeds a telemetry ring recorder sized
+// so compaction fires mid-run (the broker's series wiring) — and the
+// mechanism must STILL produce encoded snapshots bit-identical to the
+// unobserved control at every single round boundary, under every
+// fault model at once.
 func TestObserverTracingAndStreamingPassivity(t *testing.T) {
 	s := Scenario{M: 10, K: 3, Rounds: 60, Seed: 11, Faults: allFaults(101)}
 
@@ -111,12 +114,21 @@ func TestObserverTracingAndStreamingPassivity(t *testing.T) {
 	ctx, root := tr.StartSpan(context.Background(), "chaos run")
 	stream := make(chan int, 4) // bounded and never drained, like a stalled SSE client
 	dropped := 0
+	series := telemetry.NewRecorder(16) // small ring: downsampling must trigger over 60 rounds
 	cfg := s.Config()
 	cfg.Observer = func(ev *core.RoundEvent) {
 		_, sp := tr.StartSpan(ctx, "round")
 		sp.SetAttr("round", ev.Round)
 		sp.SetAttr("failed", len(ev.Failed))
 		sp.End()
+		series.Record(telemetry.Point{
+			Round:   ev.Round,
+			Regret:  ev.Regret,
+			Revenue: ev.ExpectedRevenue,
+			Spend:   ev.ConsumerSpend,
+			NoTrade: ev.Record.NoTrade,
+			Failed:  len(ev.Failed),
+		})
 		select {
 		case stream <- ev.Round:
 		default:
@@ -167,6 +179,31 @@ func TestObserverTracingAndStreamingPassivity(t *testing.T) {
 	}
 	if len(detail.Spans) != rounds+1 { // rounds + the root span
 		t.Fatalf("%d spans recorded, want %d rounds + 1 root", len(detail.Spans), rounds)
+	}
+	// The ring recorder did real work too: it saw every round, it
+	// compacted (60 rounds through 16 slots), and the series it kept is
+	// coherent — strictly increasing rounds, nondecreasing cumulative
+	// regret, newest round retained.
+	if series.Rounds() != rounds {
+		t.Fatalf("recorder saw %d rounds, want %d", series.Rounds(), rounds)
+	}
+	if series.Stride() < 2 {
+		t.Fatalf("stride %d: compaction never fired, ring proved too little", series.Stride())
+	}
+	pts, _ := series.Series(0, 0)
+	if len(pts) == 0 || len(pts) > 16 {
+		t.Fatalf("series kept %d points, want (0,16]", len(pts))
+	}
+	if pts[len(pts)-1].Round != rounds {
+		t.Fatalf("series tail at round %d, want %d", pts[len(pts)-1].Round, rounds)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Round <= pts[i-1].Round {
+			t.Fatalf("series rounds not increasing at %d", i)
+		}
+		if pts[i].Regret < pts[i-1].Regret {
+			t.Fatalf("cumulative regret decreased at round %d", pts[i].Round)
+		}
 	}
 }
 

@@ -44,6 +44,12 @@ type Config struct {
 	// KeepJobs leaves the created jobs behind after the run (default:
 	// the runner deletes everything it created).
 	KeepJobs bool
+	// ServerMetrics scrapes the broker's /metrics after the run and
+	// joins its cdt_http_request_seconds histograms into the report,
+	// so client-observed and server-side p50/p99 print side by side
+	// (see servermetrics.go). A failed scrape degrades to a log line,
+	// never a failed run.
+	ServerMetrics bool
 	// HTTPClient overrides the pooled transport (tests inject the
 	// httptest client).
 	HTTPClient *http.Client
@@ -222,7 +228,16 @@ dispatch:
 	stopSubs()
 	subWG.Wait()
 
-	return r.report(elapsed), nil
+	rep := r.report(elapsed)
+	if cfg.ServerMetrics {
+		rows, err := scrapeServerRoutes(ctx, hc, cfg.Target)
+		if err != nil {
+			cfg.logf("loadgen: server-metrics scrape failed: %v", err)
+		} else {
+			rep.Server = r.attachServerRoutes(rows)
+		}
+	}
+	return rep, nil
 }
 
 // createPopulation creates the base jobs through the retried setup

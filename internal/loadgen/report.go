@@ -71,6 +71,11 @@ type Report struct {
 
 	Events EventsReport  `json:"events"`
 	Routes []RouteReport `json:"routes"`
+
+	// Server is the broker-side latency view scraped from /metrics at
+	// the end of the run (Config.ServerMetrics); nil when the scrape
+	// was off or failed.
+	Server []ServerRoute `json:"server_routes,omitempty"`
 }
 
 func secs(d time.Duration) float64 { return d.Seconds() }
@@ -178,6 +183,22 @@ func (rep *Report) Human() string {
 		fmt.Fprintf(&b, "%-10s %8d %8d %6d %6d %6d %9s %9s %9s %9s\n",
 			rr.Op, rr.Count, rr.OK, rr.Shed, rr.Errors5xx+rr.Unavailable, rr.Transport,
 			fmtSecs(rr.P50S), fmtSecs(rr.P99S), fmtSecs(rr.P999S), fmtSecs(rr.MaxS))
+	}
+	if len(rep.Server) > 0 {
+		b.WriteString("\nclient vs server (server side scraped from /metrics; both conservative bucket bounds)\n")
+		fmt.Fprintf(&b, "%-26s %-18s %8s %9s %9s %10s %9s %9s\n",
+			"server route", "client ops", "srv n", "srv p50", "srv p99", "client n", "cli p50", "cli p99")
+		for _, sr := range rep.Server {
+			ops, cn, cp50, cp99 := sr.Ops, "-", "-", "-"
+			if ops == "" {
+				ops = "-"
+			} else {
+				cn = fmt.Sprintf("%d", sr.ClientCount)
+				cp50, cp99 = fmtSecs(sr.ClientP50S), fmtSecs(sr.ClientP99S)
+			}
+			fmt.Fprintf(&b, "%-26s %-18s %8d %9s %9s %10s %9s %9s\n",
+				sr.Route, ops, sr.Count, fmtSecs(sr.P50S), fmtSecs(sr.P99S), cn, cp50, cp99)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,271 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server-side latency comparison (Config.ServerMetrics): after the
+// run drains, the broker's /metrics exposition is scraped and its
+// cdt_http_request_seconds histograms are folded into per-route
+// quantiles next to the client-observed ones. The gap between the two
+// IS the network + client stack: server p99 ≈ client p99 means the
+// broker dominates; a wide gap points at the wire or the generator
+// host. Quantiles on both sides are conservative bucket upper bounds
+// (the server's buckets are coarser than the client's HDR histogram,
+// so small disagreements are expected bucket-width noise).
+
+// serverLatencyFamily is the histogram family compared against.
+const serverLatencyFamily = "cdt_http_request_seconds"
+
+// ServerRoute is one route-pattern row of the server-side scrape,
+// with the client-observed quantiles for the ops that hit that route
+// alongside (zero Ops means no client op maps to it).
+type ServerRoute struct {
+	Route string  `json:"route"`
+	Count uint64  `json:"count"`
+	P50S  float64 `json:"p50_s"`
+	P99S  float64 `json:"p99_s"`
+	MeanS float64 `json:"mean_s"`
+
+	Ops         string  `json:"ops,omitempty"` // client ops pooled into the row
+	ClientCount uint64  `json:"client_count,omitempty"`
+	ClientP50S  float64 `json:"client_p50_s,omitempty"`
+	ClientP99S  float64 `json:"client_p99_s,omitempty"`
+}
+
+// opRoutes maps each client op to the broker route pattern it lands
+// on (the route label values in /metrics).
+var opRoutes = map[Op]string{
+	OpCreate:    "/v1/jobs",
+	OpList:      "/v1/jobs",
+	OpAdvance:   "/v1/jobs/{id}/advance",
+	OpStatus:    "/v1/jobs/{id}",
+	OpDelete:    "/v1/jobs/{id}",
+	OpSnapshot:  "/v1/jobs/{id}/snapshot",
+	OpEstimates: "/v1/jobs/{id}/estimates",
+	OpStats:     "/v1/stats",
+	OpSolve:     "/v1/game/solve",
+}
+
+// promHist is one scraped histogram series: cumulative bucket counts
+// by ascending upper bound (+Inf last), plus the _sum/_count samples.
+type promHist struct {
+	bounds []float64
+	cum    []uint64
+	count  uint64
+	sum    float64
+}
+
+// quantile mirrors the conservative upper-bound rule used everywhere
+// else in this package. The +Inf bucket has no upper bound; the last
+// finite bound is reported as a floor (">bound" territory).
+func (h *promHist) quantile(q float64) float64 {
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	for i, c := range h.cum {
+		if c >= target {
+			if math.IsInf(h.bounds[i], 1) {
+				break
+			}
+			return h.bounds[i]
+		}
+	}
+	// Landed in +Inf: the best honest answer without a max is the
+	// largest finite bound.
+	for i := len(h.bounds) - 1; i >= 0; i-- {
+		if !math.IsInf(h.bounds[i], 1) {
+			return h.bounds[i]
+		}
+	}
+	return 0
+}
+
+func (h *promHist) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// scrapeServerRoutes fetches target's /metrics and reduces the
+// request-latency histograms to per-route rows (routes with no
+// traffic are dropped).
+func scrapeServerRoutes(ctx context.Context, hc *http.Client, target string) ([]ServerRoute, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(target, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape /metrics: status %d", resp.StatusCode)
+	}
+	hists, err := parseRouteHistograms(resp.Body, serverLatencyFamily)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ServerRoute, 0, len(hists))
+	for route, h := range hists {
+		if h.count == 0 {
+			continue
+		}
+		out = append(out, ServerRoute{
+			Route: route,
+			Count: h.count,
+			P50S:  h.quantile(0.50),
+			P99S:  h.quantile(0.99),
+			MeanS: h.mean(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out, nil
+}
+
+// parseRouteHistograms extracts family's histogram series keyed by
+// route label from a Prometheus text-format exposition.
+func parseRouteHistograms(r io.Reader, family string) (map[string]*promHist, error) {
+	hists := make(map[string]*promHist)
+	at := func(route string) *promHist {
+		h, ok := hists[route]
+		if !ok {
+			h = &promHist{}
+			hists[route] = h
+		}
+		return h
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line[len(family):]
+		var kind string
+		switch {
+		case strings.HasPrefix(rest, "_bucket{"):
+			kind, rest = "bucket", rest[len("_bucket"):]
+		case strings.HasPrefix(rest, "_count{"):
+			kind, rest = "count", rest[len("_count"):]
+		case strings.HasPrefix(rest, "_sum{"):
+			kind, rest = "sum", rest[len("_sum"):]
+		default:
+			continue // another family sharing the prefix
+		}
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			continue
+		}
+		labels := parseLabels(rest[1:close])
+		route := labels["route"]
+		if route == "" {
+			continue
+		}
+		value, err := strconv.ParseFloat(strings.TrimSpace(rest[close+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad sample value in %q: %w", line, err)
+		}
+		h := at(route)
+		switch kind {
+		case "bucket":
+			bound, err := parseLe(labels["le"])
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad le in %q: %w", line, err)
+			}
+			h.bounds = append(h.bounds, bound)
+			h.cum = append(h.cum, uint64(value))
+		case "count":
+			h.count = uint64(value)
+		case "sum":
+			h.sum = value
+		}
+	}
+	return hists, sc.Err()
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels splits a label body (`a="x",b="y"`) into a map. Values
+// in the families parsed here (route patterns, le bounds) never
+// contain escaped quotes, so a quote-bounded scan suffices.
+func parseLabels(s string) map[string]string {
+	out := make(map[string]string, 4)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return out
+		}
+		name := s[:eq]
+		rest := s[eq+2:]
+		end := strings.IndexByte(rest, '"')
+		if end < 0 {
+			return out
+		}
+		out[name] = rest[:end]
+		s = rest[end+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
+// attachServerRoutes joins the scraped rows with the client-side
+// stats: every op mapping to a route pools its HDR histogram into
+// that row's client columns (identical bounds across ops, so pooling
+// is bucket-wise addition, same as the all-routes rollup).
+func (r *runner) attachServerRoutes(rows []ServerRoute) []ServerRoute {
+	for i := range rows {
+		pooled := newHist()
+		var ops []string
+		for _, op := range allOps {
+			if opRoutes[op] != rows[i].Route {
+				continue
+			}
+			st := r.stats[op]
+			if st.count.Load() == 0 {
+				continue
+			}
+			ops = append(ops, string(op))
+			rows[i].ClientCount += st.count.Load()
+			for b := range st.lat.counts {
+				if n := st.lat.counts[b].Load(); n > 0 {
+					pooled.counts[b].Add(n)
+					pooled.total.Add(n)
+				}
+			}
+			if m := uint64(st.lat.max()); m > pooled.maxNS.Load() {
+				pooled.maxNS.Store(m)
+			}
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		rows[i].Ops = strings.Join(ops, "+")
+		rows[i].ClientP50S = secs(pooled.quantile(0.50))
+		rows[i].ClientP99S = secs(pooled.quantile(0.99))
+	}
+	return rows
+}

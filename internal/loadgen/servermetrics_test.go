@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cmabhs/internal/server"
+)
+
+const sampleExposition = `# HELP cdt_http_request_seconds HTTP request latency in seconds, by route pattern.
+# TYPE cdt_http_request_seconds histogram
+cdt_http_request_seconds_bucket{le="0.005",route="/v1/jobs/{id}/advance"} 90
+cdt_http_request_seconds_bucket{le="0.05",route="/v1/jobs/{id}/advance"} 98
+cdt_http_request_seconds_bucket{le="+Inf",route="/v1/jobs/{id}/advance"} 100
+cdt_http_request_seconds_sum{route="/v1/jobs/{id}/advance"} 1.25
+cdt_http_request_seconds_count{route="/v1/jobs/{id}/advance"} 100
+cdt_http_request_seconds_bucket{le="0.005",route="/v1/stats"} 0
+cdt_http_request_seconds_bucket{le="+Inf",route="/v1/stats"} 0
+cdt_http_request_seconds_sum{route="/v1/stats"} 0
+cdt_http_request_seconds_count{route="/v1/stats"} 0
+cdt_http_request_seconds_p50_1m{route="/v1/jobs/{id}/advance"} 0.005
+cdt_http_requests_total{code="200",method="POST",route="/v1/jobs/{id}/advance"} 100
+`
+
+func TestParseRouteHistograms(t *testing.T) {
+	hists, err := parseRouteHistograms(strings.NewReader(sampleExposition), serverLatencyFamily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hists["/v1/jobs/{id}/advance"]
+	if h == nil {
+		t.Fatalf("advance route missing; got %v", hists)
+	}
+	if h.count != 100 || h.sum != 1.25 {
+		t.Fatalf("count=%d sum=%v", h.count, h.sum)
+	}
+	if len(h.bounds) != 3 || !math.IsInf(h.bounds[2], 1) {
+		t.Fatalf("bounds %v", h.bounds)
+	}
+	if got := h.quantile(0.5); got != 0.005 {
+		t.Fatalf("p50 = %v, want 0.005", got)
+	}
+	if got := h.quantile(0.95); got != 0.05 {
+		t.Fatalf("p95 = %v, want 0.05", got)
+	}
+	// p99.5 lands in +Inf: the largest finite bound is the floor.
+	if got := h.quantile(0.995); got != 0.05 {
+		t.Fatalf("p99.5 = %v, want 0.05 floor", got)
+	}
+	if got := h.mean(); got != 0.0125 {
+		t.Fatalf("mean = %v", got)
+	}
+	// The idle route parses but carries no traffic.
+	if h := hists["/v1/stats"]; h == nil || h.count != 0 {
+		t.Fatalf("stats route = %+v", h)
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	got := parseLabels(`le="0.005",route="/v1/jobs/{id}/advance"`)
+	if got["le"] != "0.005" || got["route"] != "/v1/jobs/{id}/advance" {
+		t.Fatalf("labels = %v", got)
+	}
+	if got := parseLabels(""); len(got) != 0 {
+		t.Fatalf("empty labels = %v", got)
+	}
+}
+
+// TestServerMetricsComparison runs a short load against a real broker
+// with the scrape on and checks the joined rows are coherent.
+func TestServerMetricsComparison(t *testing.T) {
+	s := server.New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		Target:        ts.URL,
+		Rate:          150,
+		Duration:      2 * time.Second,
+		Seed:          7,
+		Jobs:          3,
+		Sellers:       10,
+		K:             3,
+		AdvanceRounds: 10,
+		HTTPClient:    ts.Client(),
+		ServerMetrics: true,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Server) == 0 {
+		t.Fatalf("no server rows scraped\n%s", rep.Human())
+	}
+	var advance *ServerRoute
+	for i := range rep.Server {
+		sr := &rep.Server[i]
+		if sr.Count == 0 {
+			t.Fatalf("zero-count server row %+v", sr)
+		}
+		if sr.Route == "/v1/jobs/{id}/advance" {
+			advance = sr
+		}
+	}
+	if advance == nil {
+		t.Fatalf("no advance row in server view: %+v", rep.Server)
+	}
+	if advance.Ops != "advance" || advance.ClientCount == 0 {
+		t.Fatalf("advance row not joined with client stats: %+v", advance)
+	}
+	// Client-observed latency includes the server's plus the stack
+	// under it; with conservative buckets on both sides allow equality.
+	if advance.ClientP99S <= 0 || advance.P99S <= 0 {
+		t.Fatalf("missing quantiles: %+v", advance)
+	}
+	if !strings.Contains(rep.Human(), "client vs server") {
+		t.Fatalf("human report missing comparison table:\n%s", rep.Human())
+	}
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Window is a rolling-window histogram/counter: a ring of fixed
+// sub-interval slots, each an epoch-tagged bucketed histogram. The
+// observe path is wait-free and mirrors the package's atomics
+// discipline — one epoch load (plus a CAS when the slot rolls over to
+// a new sub-interval) and a handful of atomic adds; no locks, no
+// background goroutine. Readers aggregate the slots whose epoch still
+// falls inside the window, so expiry is lazy and the read side never
+// mutates shared state.
+//
+// Two races are accepted and benign, both confined to a slot
+// boundary: an observation racing the CAS that recycles its slot may
+// be dropped, and an observation landing just after its sub-interval
+// ended may be counted in the slot that replaced it. Both move a
+// single sample by at most one sub-interval of a window that is
+// itself an approximation.
+type Window struct {
+	slotDur int64 // nanoseconds per sub-interval slot
+	bounds  []float64
+	slots   []windowSlot
+	now     func() time.Time
+}
+
+type windowSlot struct {
+	epoch   atomic.Int64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets []atomic.Uint64 // per-bound counts; len(bounds)+1 with +Inf last
+}
+
+// NewWindow builds a rolling window covering span, split into slots
+// sub-intervals. buckets are histogram upper bounds (nil for a
+// count-only window, e.g. shed totals); they follow the same
+// validation rules as Registry.Histogram. Panics on a non-positive
+// span or slot count.
+func NewWindow(span time.Duration, slots int, buckets []float64) *Window {
+	if span <= 0 || slots <= 0 {
+		panic("metrics: NewWindow requires a positive span and slot count")
+	}
+	if len(buckets) > 0 {
+		buckets = validBuckets("window", buckets)
+	}
+	w := &Window{
+		slotDur: int64(span) / int64(slots),
+		bounds:  buckets,
+		slots:   make([]windowSlot, slots),
+		now:     time.Now,
+	}
+	if w.slotDur <= 0 {
+		panic("metrics: NewWindow span shorter than its slot count")
+	}
+	for i := range w.slots {
+		w.slots[i].epoch.Store(-1)
+		if len(buckets) > 0 {
+			w.slots[i].buckets = make([]atomic.Uint64, len(buckets)+1)
+		}
+	}
+	return w
+}
+
+// SetNow injects the clock, for deterministic tests. Call before any
+// Observe or Snapshot; the function must be safe for concurrent use.
+func (w *Window) SetNow(now func() time.Time) { w.now = now }
+
+// Observe records v into the current sub-interval slot. Wait-free.
+func (w *Window) Observe(v float64) {
+	e := w.now().UnixNano() / w.slotDur
+	s := &w.slots[int(e%int64(len(w.slots)))]
+	for {
+		old := s.epoch.Load()
+		if old >= e {
+			break // current (or a racing clock ran ahead); record here
+		}
+		if s.epoch.CompareAndSwap(old, e) {
+			// This observer claimed the rollover and recycles the slot.
+			// A concurrent Observe between the CAS and these stores can
+			// lose its sample to the reset — the benign boundary race
+			// documented on Window.
+			s.count.Store(0)
+			s.sumBits.Store(0)
+			s.maxBits.Store(0)
+			for i := range s.buckets {
+				s.buckets[i].Store(0)
+			}
+			break
+		}
+	}
+	s.count.Add(1)
+	addFloatBits(&s.sumBits, v)
+	maxFloatBits(&s.maxBits, v)
+	if len(s.buckets) > 0 {
+		i := 0
+		for i < len(w.bounds) && v > w.bounds[i] {
+			i++
+		}
+		s.buckets[i].Add(1)
+	}
+}
+
+func addFloatBits(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+func maxFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v || bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// WindowSnapshot is a point-in-time aggregate of the live slots.
+type WindowSnapshot struct {
+	Count   uint64
+	Sum     float64
+	Max     float64
+	Buckets []uint64 // per-bound counts aligned with Bounds; nil for count-only windows
+	Bounds  []float64
+}
+
+// Snapshot aggregates every slot whose epoch is still inside the
+// window. The newest slot is usually partial, so the effective span
+// ranges between span−slot and span.
+func (w *Window) Snapshot() WindowSnapshot {
+	cur := w.now().UnixNano() / w.slotDur
+	min := cur - int64(len(w.slots)) + 1
+	snap := WindowSnapshot{Bounds: w.bounds}
+	if len(w.bounds) > 0 {
+		snap.Buckets = make([]uint64, len(w.bounds)+1)
+	}
+	for i := range w.slots {
+		s := &w.slots[i]
+		e := s.epoch.Load()
+		if e < min || e > cur {
+			continue
+		}
+		snap.Count += s.count.Load()
+		snap.Sum += math.Float64frombits(s.sumBits.Load())
+		if m := math.Float64frombits(s.maxBits.Load()); m > snap.Max {
+			snap.Max = m
+		}
+		for b := range s.buckets {
+			snap.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	return snap
+}
+
+// Count returns the number of observations currently in the window.
+func (w *Window) Count() uint64 { return w.Snapshot().Count }
+
+// Quantile returns the value at quantile q in [0,1], zero when the
+// snapshot is empty. Like the exposition histograms it reports the
+// bucket's upper bound, so the answer is conservative (never
+// under-reported); the +Inf bucket falls back to the exact observed
+// maximum.
+func (s WindowSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum < target {
+			continue
+		}
+		if i < len(s.Bounds) && s.Bounds[i] < s.Max {
+			return s.Bounds[i]
+		}
+		return s.Max
+	}
+	return s.Max
+}

@@ -12,6 +12,7 @@ import (
 	"cmabhs"
 	"cmabhs/internal/metrics"
 	"cmabhs/internal/roundlog"
+	"cmabhs/internal/telemetry"
 )
 
 // Live round-event streaming: GET /v1/jobs/{id}/events serves the
@@ -122,6 +123,19 @@ func (j *job) observe(ev *cmabhs.RoundEvent) {
 			j.walBuf = buf
 			j.walCount++
 		}
+	}
+	if j.series != nil {
+		// Copies five scalars out of the borrowed event; the recorder
+		// owns everything it keeps, so the series stays strictly
+		// passive (the chaos suite proves byte-identity with it on).
+		j.series.Record(telemetry.Point{
+			Round:   ev.Round.Round,
+			Regret:  ev.Regret,
+			Revenue: ev.ExpectedRevenue,
+			Spend:   ev.ConsumerSpend,
+			NoTrade: ev.Round.NoTrade,
+			Failed:  len(ev.FailedSellers),
+		})
 	}
 	if j.hub.active() {
 		j.hub.publish(j.wireEvent(ev))

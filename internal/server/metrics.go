@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -42,8 +43,10 @@ var routes = []string{
 	"/v1/jobs/{id}/snapshot",
 	"/v1/jobs/{id}/estimates",
 	"/v1/jobs/{id}/events",
+	"/v1/jobs/{id}/series",
 	"/v1/game/solve",
 	"/v1/stats",
+	"/v1/cluster/overview",
 	"/metrics",
 	"other",
 }
@@ -51,7 +54,8 @@ var routes = []string{
 // routeOf normalizes a request path to its route pattern.
 func routeOf(path string) string {
 	switch path {
-	case "/v1/healthz", "/v1/jobs", "/v1/game/solve", "/v1/stats", "/metrics":
+	case "/v1/healthz", "/v1/jobs", "/v1/game/solve", "/v1/stats",
+		"/v1/cluster/overview", "/metrics":
 		return path
 	}
 	if rest, ok := strings.CutPrefix(path, "/v1/jobs/"); ok {
@@ -65,6 +69,8 @@ func routeOf(path string) string {
 				return "/v1/jobs/{id}/estimates"
 			case "events":
 				return "/v1/jobs/{id}/events"
+			case "series":
+				return "/v1/jobs/{id}/series"
 			}
 			return "other"
 		}
@@ -79,6 +85,13 @@ type serverMetrics struct {
 	reg      *metrics.Registry
 	inFlight *metrics.Gauge
 	latency  map[string]*metrics.Histogram // by route pattern
+
+	// Rolling 1m/5m windows alongside the cumulative families
+	// (exposed as *_1m/*_5m gauge series, see registerWindows).
+	// Index 0 is the 1-minute window, index 1 the 5-minute one.
+	winLatency map[string][2]*metrics.Window // by route pattern
+	winAll     [2]*metrics.Window            // all routes pooled (overview rollup)
+	winShed    [2]*metrics.Window            // count-only
 
 	shed       *metrics.Counter
 	bodyReject *metrics.Counter
@@ -157,6 +170,20 @@ func (s *Server) Metrics() *metrics.Registry {
 			m.latency[rt] = reg.Histogram(mnLatency,
 				"HTTP request latency in seconds, by route pattern.", nil, metrics.L("route", rt))
 		}
+		m.registerWindows(reg)
+		reg.Gauge("cdt_build_info",
+			"Build and wire-format metadata carried in labels; the value is always 1.",
+			metrics.L("version", buildVersion()),
+			metrics.L("go_version", runtime.Version()),
+			metrics.L("wire_version", strconv.Itoa(WireVersion))).Set(1)
+		// Trace-store loss counters, surfaced from /debug/traces into
+		// the scrape so dashboards can alert on trace loss.
+		reg.GaugeFunc("cdt_trace_evicted_traces",
+			"Traces evicted from the bounded in-memory trace store.",
+			func() float64 { return float64(s.Tracing().Store().Evicted()) })
+		reg.GaugeFunc("cdt_trace_dropped_spans",
+			"Spans dropped because a trace hit its per-trace span cap.",
+			func() float64 { return float64(s.Tracing().Store().DroppedSpans()) })
 		reg.GaugeFunc("cdt_jobs_live", "Live trading jobs.", func() float64 {
 			return float64(s.registry().len())
 		})
@@ -201,6 +228,104 @@ func (s *Server) Metrics() *metrics.Registry {
 	return s.metrics.reg
 }
 
+// windowSpans defines the rolling windows every windowed family
+// carries: suffix, span, and sub-interval slot count. Slot
+// granularity is span/slots (5s for the 1m window, 20s for 5m).
+var windowSpans = [2]struct {
+	suffix string
+	span   time.Duration
+	slots  int
+}{
+	{"1m", time.Minute, 12},
+	{"5m", 5 * time.Minute, 15},
+}
+
+// registerWindows builds the rolling 1m/5m windows and exports them
+// as gauge families computed at scrape time:
+//
+//	cdt_http_request_seconds_p50_{1m,5m}{route=...}  windowed latency quantiles
+//	cdt_http_request_seconds_p99_{1m,5m}{route=...}
+//	cdt_http_requests_{1m,5m}{route=...}             requests inside the window
+//	cdt_http_shed_{1m,5m}                            sheds inside the window
+//	cdt_http_shed_rate_{1m,5m}                       sheds / (requests+sheds), 0 when idle
+//
+// These are gauges, not counters: a window's value falls as samples
+// age out. The cumulative families remain the source of truth for
+// rate() math; the windows exist so a bare scrape (or the cluster
+// overview) answers "what is p99 right now" with no PromQL engine.
+func (m *serverMetrics) registerWindows(reg *metrics.Registry) {
+	m.winLatency = make(map[string][2]*metrics.Window, len(routes))
+	for i, ws := range windowSpans {
+		m.winAll[i] = metrics.NewWindow(ws.span, ws.slots, metrics.DefLatencyBuckets)
+		m.winShed[i] = metrics.NewWindow(ws.span, ws.slots, nil)
+	}
+	for _, rt := range routes {
+		var wins [2]*metrics.Window
+		for i, ws := range windowSpans {
+			w := metrics.NewWindow(ws.span, ws.slots, metrics.DefLatencyBuckets)
+			wins[i] = w
+			lbl := metrics.L("route", rt)
+			reg.GaugeFunc(mnLatency+"_p50_"+ws.suffix,
+				"Rolling-window p50 HTTP latency in seconds, by route pattern.",
+				func() float64 { return w.Snapshot().Quantile(0.5) }, lbl)
+			reg.GaugeFunc(mnLatency+"_p99_"+ws.suffix,
+				"Rolling-window p99 HTTP latency in seconds, by route pattern.",
+				func() float64 { return w.Snapshot().Quantile(0.99) }, lbl)
+			reg.GaugeFunc("cdt_http_requests_"+ws.suffix,
+				"HTTP requests served inside the rolling window, by route pattern.",
+				func() float64 { return float64(w.Count()) }, lbl)
+		}
+		m.winLatency[rt] = wins
+	}
+	for i, ws := range windowSpans {
+		shed, all := m.winShed[i], m.winAll[i]
+		reg.GaugeFunc("cdt_http_shed_"+ws.suffix,
+			"Advance requests shed inside the rolling window.",
+			func() float64 { return float64(shed.Count()) })
+		reg.GaugeFunc("cdt_http_shed_rate_"+ws.suffix,
+			"Fraction of advance traffic shed inside the rolling window.",
+			func() float64 { return shedRate(shed.Count(), all.Count()) })
+	}
+}
+
+// shedRate computes sheds/(served+sheds); shed requests never reach
+// the latency windows, so the denominator adds them back in.
+func shedRate(sheds, served uint64) float64 {
+	if sheds == 0 {
+		return 0
+	}
+	return float64(sheds) / float64(served+sheds)
+}
+
+// recordShed counts one shed advance into the cumulative counter and
+// both rolling windows.
+func (m *serverMetrics) recordShed() {
+	m.shed.Inc()
+	m.winShed[0].Observe(1)
+	m.winShed[1].Observe(1)
+}
+
+// rollup aggregates the pooled latency/shed windows into the wire
+// form the cluster overview reports for this node.
+func (m *serverMetrics) rollup() WindowRollup {
+	var r WindowRollup
+	for i := range windowSpans {
+		snap := m.winAll[i].Snapshot()
+		wr := WindowRates{
+			Requests: snap.Count,
+			P50S:     snap.Quantile(0.5),
+			P99S:     snap.Quantile(0.99),
+			ShedRate: shedRate(m.winShed[i].Count(), snap.Count),
+		}
+		if i == 0 {
+			r.Win1m = wr
+		} else {
+			r.Win5m = wr
+		}
+	}
+	return r
+}
+
 // met returns the instrumented sink, initializing on first use.
 func (s *Server) met() *serverMetrics {
 	s.Metrics()
@@ -223,9 +348,16 @@ func (s *Server) withMetrics(h http.Handler) http.Handler {
 		start := time.Now()
 		defer func() {
 			m.inFlight.Add(-1)
+			sec := time.Since(start).Seconds()
 			if h, ok := m.latency[route]; ok {
-				h.Observe(time.Since(start).Seconds())
+				h.Observe(sec)
 			}
+			if wins, ok := m.winLatency[route]; ok {
+				wins[0].Observe(sec)
+				wins[1].Observe(sec)
+			}
+			m.winAll[0].Observe(sec)
+			m.winAll[1].Observe(sec)
 			code := sw.code
 			if code == 0 {
 				code = http.StatusOK // implicit 200 on first Write

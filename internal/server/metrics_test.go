@@ -180,9 +180,11 @@ func TestRouteOf(t *testing.T) {
 		"/v1/jobs/job-7/snapshot":  "/v1/jobs/{id}/snapshot",
 		"/v1/jobs/job-7/estimates": "/v1/jobs/{id}/estimates",
 		"/v1/jobs/job-7/events":    "/v1/jobs/{id}/events",
+		"/v1/jobs/job-7/series":    "/v1/jobs/{id}/series",
 		"/v1/jobs/job-7/bogus":     "other",
 		"/v1/game/solve":           "/v1/game/solve",
 		"/v1/stats":                "/v1/stats",
+		"/v1/cluster/overview":     "/v1/cluster/overview",
 		"/metrics":                 "/metrics",
 		"/favicon.ico":             "other",
 	}

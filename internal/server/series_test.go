@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getSeries(t *testing.T, h http.Handler, id, query string) (int, SeriesResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id+"/series"+query, nil))
+	var out SeriesResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("series decode: %v\n%s", err, rec.Body)
+		}
+	}
+	return rec.Code, out
+}
+
+// TestJobSeries10kRounds is the acceptance path: a 10k-round job's
+// regret series comes back bounded, downsampled, monotone, and
+// anchored at the newest round.
+func TestJobSeries10kRounds(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	body := `{"random_sellers":10,"k":3,"rounds":10000,"seed":1}`
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if code, adv := advance(t, h, nil, st.ID, 10000); code != http.StatusOK || len(adv.Played) != 10000 {
+		t.Fatalf("advance: code %d, played %d", code, len(adv.Played))
+	}
+
+	code, resp := getSeries(t, h, st.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("series status %d", code)
+	}
+	if resp.ID != st.ID || resp.Metric != "regret" {
+		t.Fatalf("series header %+v", resp)
+	}
+	if resp.Rounds != 10000 {
+		t.Fatalf("rounds recorded %d, want 10000", resp.Rounds)
+	}
+	// 10k rounds through a 512-point ring: downsampling kicked in and
+	// the result stays under the ring capacity.
+	if len(resp.Points) == 0 || len(resp.Points) > 512 {
+		t.Fatalf("series size %d, want (0,512]", len(resp.Points))
+	}
+	if resp.Stride < 32 {
+		t.Fatalf("stride %d after 10k rounds, want >= 32", resp.Stride)
+	}
+	if last := resp.Points[len(resp.Points)-1]; last.Round != 10000 {
+		t.Fatalf("series tail at round %d, want 10000", last.Round)
+	}
+	// Cumulative regret is nondecreasing; rounds strictly increase.
+	for i := 1; i < len(resp.Points); i++ {
+		if resp.Points[i].Round <= resp.Points[i-1].Round {
+			t.Fatalf("rounds not increasing at %d", i)
+		}
+		if resp.Points[i].Value < resp.Points[i-1].Value {
+			t.Fatalf("regret decreased at round %d: %v -> %v",
+				resp.Points[i].Round, resp.Points[i-1].Value, resp.Points[i].Value)
+		}
+	}
+
+	// max_points thins below the ring size and keeps the tail.
+	code, thin := getSeries(t, h, st.ID, "?max_points=100")
+	if code != http.StatusOK || len(thin.Points) == 0 || len(thin.Points) > 100 {
+		t.Fatalf("max_points=100 gave %d points (status %d)", len(thin.Points), code)
+	}
+	if thin.Points[len(thin.Points)-1].Round != 10000 {
+		t.Fatalf("thinned tail %d, want 10000", thin.Points[len(thin.Points)-1].Round)
+	}
+
+	// since pages the tail incrementally.
+	code, tail := getSeries(t, h, st.ID, "?since=9000")
+	if code != http.StatusOK || len(tail.Points) == 0 {
+		t.Fatalf("since=9000: status %d, %d points", code, len(tail.Points))
+	}
+	for _, p := range tail.Points {
+		if p.Round <= 9000 {
+			t.Fatalf("since=9000 returned round %d", p.Round)
+		}
+	}
+
+	// Cumulative revenue is also nondecreasing.
+	code, rev := getSeries(t, h, st.ID, "?metric=revenue")
+	if code != http.StatusOK || len(rev.Points) == 0 {
+		t.Fatalf("revenue series: %d", code)
+	}
+	for i := 1; i < len(rev.Points); i++ {
+		if rev.Points[i].Value < rev.Points[i-1].Value {
+			t.Fatalf("revenue decreased at %d", rev.Points[i].Round)
+		}
+	}
+}
+
+func TestJobSeriesValidation(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	st := createJob(t, h)
+
+	if code, _ := getSeries(t, h, st.ID, "?metric=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bogus metric: %d, want 400", code)
+	}
+	if code, _ := getSeries(t, h, st.ID, "?since=-3"); code != http.StatusBadRequest {
+		t.Fatalf("negative since: %d, want 400", code)
+	}
+	if code, _ := getSeries(t, h, st.ID, "?max_points=x"); code != http.StatusBadRequest {
+		t.Fatalf("garbage max_points: %d, want 400", code)
+	}
+	if code, _ := getSeries(t, h, "nope", ""); code != http.StatusNotFound {
+		t.Fatalf("missing job: %d, want 404", code)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs/"+st.ID+"/series", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST series: %d, want 405", rec.Code)
+	}
+
+	// A job with no rounds yet answers an empty series, not an error.
+	code, resp := getSeries(t, h, st.ID, "")
+	if code != http.StatusOK || len(resp.Points) != 0 || resp.Rounds != 0 {
+		t.Fatalf("fresh job series: status %d, %+v", code, resp)
+	}
+}
+
+// TestJobSeriesCustomCapacity checks SeriesCapacity plumbs through to
+// the per-job recorder.
+func TestJobSeriesCustomCapacity(t *testing.T) {
+	s := New()
+	s.SeriesCapacity = 16
+	h := s.Handler()
+	st := createJob(t, h) // 50-round horizon
+	if code, _ := advance(t, h, nil, st.ID, 50); code != http.StatusOK {
+		t.Fatalf("advance: %d", code)
+	}
+	code, resp := getSeries(t, h, st.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("series: %d", code)
+	}
+	if len(resp.Points) >= 16+1 {
+		t.Fatalf("capacity 16 retained %d points", len(resp.Points))
+	}
+	if resp.Stride < 2 {
+		t.Fatalf("stride %d, want downsampling to have started", resp.Stride)
+	}
+}

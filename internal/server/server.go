@@ -15,8 +15,10 @@
 //	POST   /v1/jobs/{id}/snapshot durably snapshot the job, return the snapshot
 //	GET    /v1/jobs/{id}/estimates current quality estimates
 //	GET    /v1/jobs/{id}/events   live round-event stream (SSE; NDJSON with ?format=ndjson)
+//	GET    /v1/jobs/{id}/series   downsampled regret/revenue learning curve (see series.go)
 //	DELETE /v1/jobs/{id}          drop the job (and its stored snapshot)
 //	POST   /v1/game/solve         stateless single-round game solve
+//	GET    /v1/cluster/overview   merged per-node health/lease/latency view (see overview.go)
 //
 // Advance calls honor the request context: if the client disconnects
 // mid-advance, the job stops at the next round boundary, keeps the
@@ -42,6 +44,7 @@ import (
 	"math"
 	"net/http"
 	"reflect"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -54,6 +57,7 @@ import (
 	"cmabhs/internal/core"
 	"cmabhs/internal/engine"
 	"cmabhs/internal/metrics"
+	"cmabhs/internal/telemetry"
 	"cmabhs/internal/tracing"
 )
 
@@ -281,6 +285,12 @@ type job struct {
 	// watching a job mid-advance is instant.
 	hub *eventHub
 
+	// series is the job's fixed-memory learning-curve recorder
+	// (GET /v1/jobs/{id}/series). Like the hub it has its own leaf
+	// lock: the observer appends under mu, series queries never take
+	// mu at all.
+	series *telemetry.Recorder
+
 	// traceHook, when set, receives each round event for span
 	// recording. Guarded by mu: the advance handler sets it before
 	// AdvanceContext and clears it after, under the same lock the
@@ -368,6 +378,11 @@ type Server struct {
 	MaxJobs int
 	// MaxAdvance bounds rounds per advance call (default 100000).
 	MaxAdvance int
+	// SeriesCapacity bounds the per-job learning-curve ring served at
+	// GET /v1/jobs/{id}/series (rounded up to a power of two; default
+	// telemetry.DefaultCapacity). Longer runs are not truncated —
+	// the recorder downsamples deterministically instead.
+	SeriesCapacity int
 	// MaxConcurrentAdvances bounds advance calls executing at once
 	// across all jobs (default 16). When the pool is saturated
 	// further advance calls are SHED — 429 plus a Retry-After header
@@ -500,6 +515,7 @@ func (s *Server) newJob(id string, sess *cmabhs.Session) *job {
 		horizon: cfg.Rounds,
 		sess:    sess,
 		hub:     newEventHub(s.met().eventsDropped),
+		series:  telemetry.NewRecorder(s.SeriesCapacity),
 	}
 	sess.Observe(j.observe)
 	return j
@@ -529,6 +545,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/game/solve", s.handleSolveGame)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/cluster/overview", s.handleClusterOverview)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.harden(mux)
 }
@@ -711,6 +728,7 @@ const WireVersion = 2
 type Healthz struct {
 	Status        string  `json:"status"`
 	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
 	WireVersion   int     `json:"wire_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// StateStore reports snapshot durability: "disabled" without a
@@ -765,6 +783,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Healthz{
 		Status:        "ok",
 		Version:       buildVersion(),
+		GoVersion:     runtime.Version(),
 		WireVersion:   WireVersion,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		StateStore:    "disabled",
@@ -1036,7 +1055,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			if hint <= 0 {
 				hint = time.Second
 			}
-			s.met().shed.Inc()
+			s.met().recordShed()
 			writeError(w, http.StatusTooManyRequests, "saturated", hint,
 				"advance capacity saturated (%d in flight); retry after %s", s.pool().InUse(), retryAfter(hint)+"s")
 			return
@@ -1106,6 +1125,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 	case action == "events" && r.Method == http.MethodGet:
 		s.handleJobEvents(w, r, j)
+
+	case action == "series" && r.Method == http.MethodGet:
+		s.handleJobSeries(w, r, j)
 
 	case action == "estimates" && r.Method == http.MethodGet:
 		j.mu.Lock()

@@ -1,0 +1,146 @@
+// Package telemetry records fixed-memory time series of a trading
+// job's per-round learning metrics (regret, cumulative revenue and
+// spend, no-trade rounds, failed sellers). A Recorder is fed from the
+// strictly passive RoundObserver path and answers range queries for
+// the series endpoint without ever touching the session: it copies
+// the handful of scalars it needs out of each event and owns all of
+// its memory, so attaching one cannot perturb a run.
+//
+// Memory stays bounded by deterministic power-of-two downsampling:
+// the ring keeps only rounds on a stride-spaced grid, and whenever it
+// fills, the stride doubles and off-grid points are dropped. The kept
+// set is a pure function of the round numbers seen — independent of
+// timing, query load, or goroutine scheduling — so two identical runs
+// always expose identical series.
+package telemetry
+
+import "sync"
+
+// Point is one round's sampled metrics. All monetary fields are
+// cumulative, matching the RoundEvent totals they are copied from;
+// Regret is the cumulative pseudo-regret of Eq. 19.
+type Point struct {
+	Round   int     `json:"round"`
+	Regret  float64 `json:"regret"`
+	Revenue float64 `json:"revenue"`
+	Spend   float64 `json:"spend"`
+	NoTrade bool    `json:"no_trade,omitempty"`
+	Failed  int     `json:"failed,omitempty"`
+}
+
+// DefaultCapacity is the per-job point budget when the caller passes
+// a non-positive capacity.
+const DefaultCapacity = 512
+
+const minCapacity = 8
+
+// Recorder is a fixed-memory round-series ring. Record is called
+// from the observer path (one goroutine at a time, under the job's
+// advance lock); Series may be called concurrently from any number of
+// HTTP readers. The recorder's own mutex is a leaf lock — it is never
+// held while calling out — so queries never contend with anything but
+// the O(1) per-round append.
+type Recorder struct {
+	mu     sync.Mutex
+	cap    int
+	stride int
+	pts    []Point
+	last   Point
+	seen   int
+}
+
+// NewRecorder builds a recorder keeping at most capacity points
+// (rounded up to a power of two, minimum 8; non-positive means
+// DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	c := minCapacity
+	for c < capacity {
+		c <<= 1
+	}
+	return &Recorder{cap: c, stride: 1, pts: make([]Point, 0, c)}
+}
+
+// Record offers one round's point. Points must arrive in increasing
+// round order (the observer contract already guarantees this); rounds
+// off the current stride grid are dropped, except that the newest
+// point is always retained so the series head tracks the live run.
+func (r *Recorder) Record(p Point) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	r.last = p
+	if (p.Round-1)%r.stride != 0 {
+		return
+	}
+	r.pts = append(r.pts, p)
+	for len(r.pts) >= r.cap {
+		r.compact()
+	}
+}
+
+// compact doubles the stride and drops points that fall off the new
+// grid. Grid phase is anchored at round 1, so the kept set after any
+// number of compactions is exactly {rounds ≡ 1 (mod stride)} — the
+// deterministic-downsampling invariant the golden test pins.
+func (r *Recorder) compact() {
+	r.stride *= 2
+	kept := r.pts[:0]
+	for _, p := range r.pts {
+		if (p.Round-1)%r.stride == 0 {
+			kept = append(kept, p)
+		}
+	}
+	r.pts = kept
+}
+
+// Stride reports the current downsampling stride in rounds.
+func (r *Recorder) Stride() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stride
+}
+
+// Rounds reports how many points have been offered to Record.
+func (r *Recorder) Rounds() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Series returns the retained points with Round > since, thinned
+// deterministically to at most maxPoints (non-positive means
+// unlimited — still bounded by the ring capacity). The newest
+// retained point is always included so a poller following the series
+// tail never loses the head of the curve. The second result is the
+// ring's current stride.
+func (r *Recorder) Series(since, maxPoints int) ([]Point, int) {
+	r.mu.Lock()
+	sel := make([]Point, 0, len(r.pts)+1)
+	for _, p := range r.pts {
+		if p.Round > since {
+			sel = append(sel, p)
+		}
+	}
+	if r.seen > 0 && r.last.Round > since &&
+		(len(sel) == 0 || sel[len(sel)-1].Round != r.last.Round) {
+		sel = append(sel, r.last)
+	}
+	stride := r.stride
+	r.mu.Unlock()
+
+	if maxPoints > 0 && len(sel) > maxPoints {
+		k := (len(sel) + maxPoints - 1) / maxPoints
+		out := sel[:0]
+		for i := 0; i < len(sel); i += k {
+			out = append(out, sel[i])
+		}
+		// Swap the newest point in for the last grid pick so the series
+		// always ends at the most recent round.
+		out[len(out)-1] = sel[len(sel)-1]
+		sel = out
+	}
+	return sel, stride
+}

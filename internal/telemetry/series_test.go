@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func feed(r *Recorder, from, to int) {
+	for round := from; round <= to; round++ {
+		r.Record(Point{
+			Round:   round,
+			Regret:  float64(round) * 0.5,
+			Revenue: float64(round) * 2,
+			Spend:   float64(round),
+			NoTrade: round%7 == 0,
+			Failed:  round % 3,
+		})
+	}
+}
+
+// TestRecorderGoldenDownsampling pins the exact retained round set
+// for a fixed feed: capacity 16, rounds 1..100. The kept set must be
+// {rounds ≡ 1 (mod stride)} with the stride the power of two the ring
+// settles on — any change to the compaction rule shows up here.
+func TestRecorderGoldenDownsampling(t *testing.T) {
+	r := NewRecorder(16)
+	feed(r, 1, 100)
+
+	if got := r.Stride(); got != 8 {
+		t.Fatalf("stride = %d, want 8", got)
+	}
+	pts, stride := r.Series(0, 0)
+	if stride != 8 {
+		t.Fatalf("series stride = %d, want 8", stride)
+	}
+	var rounds []int
+	for _, p := range pts {
+		rounds = append(rounds, p.Round)
+	}
+	golden := []int{1, 9, 17, 25, 33, 41, 49, 57, 65, 73, 81, 89, 97, 100}
+	if !reflect.DeepEqual(rounds, golden) {
+		t.Fatalf("retained rounds = %v\nwant %v", rounds, golden)
+	}
+	// Values ride along with their rounds.
+	for _, p := range pts {
+		if p.Regret != float64(p.Round)*0.5 || p.Revenue != float64(p.Round)*2 {
+			t.Fatalf("point %d carries wrong values: %+v", p.Round, p)
+		}
+	}
+}
+
+// TestRecorderDeterministic: two identical feeds yield byte-identical
+// series regardless of interleaved queries.
+func TestRecorderDeterministic(t *testing.T) {
+	a, b := NewRecorder(32), NewRecorder(32)
+	rng := rand.New(rand.NewSource(42))
+	for round := 1; round <= 5000; round++ {
+		p := Point{Round: round, Regret: rng.Float64() * float64(round)}
+		a.Record(p)
+		if round%97 == 0 {
+			a.Series(round/2, 7) // queries must not perturb retention
+		}
+		b.Record(p)
+	}
+	ap, as := a.Series(0, 0)
+	bp, bs := b.Series(0, 0)
+	if as != bs || !reflect.DeepEqual(ap, bp) {
+		t.Fatalf("identical feeds diverged: stride %d vs %d, %d vs %d points", as, bs, len(ap), len(bp))
+	}
+	if len(ap) >= 32 {
+		t.Fatalf("ring exceeded capacity: %d points", len(ap))
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	r := NewRecorder(64)
+	feed(r, 1, 100000)
+	pts, _ := r.Series(0, 0)
+	if len(pts) > 64 {
+		t.Fatalf("10^5 rounds retained %d points, cap 64", len(pts))
+	}
+	if last := pts[len(pts)-1]; last.Round != 100000 {
+		t.Fatalf("newest round missing: tail is %d", last.Round)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Round <= pts[i-1].Round {
+			t.Fatalf("rounds not increasing at %d: %d then %d", i, pts[i-1].Round, pts[i].Round)
+		}
+	}
+}
+
+func TestRecorderSinceAndMaxPoints(t *testing.T) {
+	r := NewRecorder(256)
+	feed(r, 1, 200)
+
+	// since: strictly-greater tail query.
+	pts, _ := r.Series(150, 0)
+	for _, p := range pts {
+		if p.Round <= 150 {
+			t.Fatalf("since=150 returned round %d", p.Round)
+		}
+	}
+	if pts[len(pts)-1].Round != 200 {
+		t.Fatalf("tail query lost the head: %d", pts[len(pts)-1].Round)
+	}
+
+	// max_points thins deterministically and keeps the newest point.
+	thin, _ := r.Series(0, 10)
+	if len(thin) > 10 {
+		t.Fatalf("max_points=10 returned %d points", len(thin))
+	}
+	if thin[0].Round != 1 || thin[len(thin)-1].Round != 200 {
+		t.Fatalf("thinned series endpoints %d..%d, want 1..200", thin[0].Round, thin[len(thin)-1].Round)
+	}
+	for i := 1; i < len(thin); i++ {
+		if thin[i].Round <= thin[i-1].Round {
+			t.Fatalf("thinned rounds not increasing: %v", thin)
+		}
+	}
+
+	// Empty window.
+	if pts, _ := r.Series(10000, 5); len(pts) != 0 {
+		t.Fatalf("future since returned %d points", len(pts))
+	}
+
+	// max_points=1 still answers with the newest point.
+	one, _ := r.Series(0, 1)
+	if len(one) != 1 || one[0].Round != 200 {
+		t.Fatalf("max_points=1 = %+v, want the newest round", one)
+	}
+}
+
+func TestRecorderOffGridHeadRetained(t *testing.T) {
+	r := NewRecorder(16)
+	feed(r, 1, 100) // stride is now 8; round 100 is off-grid
+	pts, _ := r.Series(0, 0)
+	if pts[len(pts)-1].Round != 100 {
+		t.Fatalf("off-grid newest round dropped; tail %d", pts[len(pts)-1].Round)
+	}
+	// The next on-grid round replaces the synthetic head cleanly.
+	feed(r, 101, 105) // 105 ≡ 1 mod 8? 104%8 == 0 → on-grid
+	pts, _ = r.Series(0, 0)
+	if pts[len(pts)-1].Round != 105 {
+		t.Fatalf("tail after more rounds = %d, want 105", pts[len(pts)-1].Round)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Round <= pts[i-1].Round {
+			t.Fatalf("series not strictly increasing: %v", pts)
+		}
+	}
+}
+
+func TestRecorderCapacityRounding(t *testing.T) {
+	if got := NewRecorder(0).cap; got != DefaultCapacity {
+		t.Fatalf("default cap = %d", got)
+	}
+	if got := NewRecorder(100).cap; got != 128 {
+		t.Fatalf("cap(100) = %d, want 128", got)
+	}
+	if got := NewRecorder(3).cap; got != minCapacity {
+		t.Fatalf("cap(3) = %d, want %d", got, minCapacity)
+	}
+}
